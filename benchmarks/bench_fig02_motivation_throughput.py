@@ -1,0 +1,28 @@
+"""Figure 2: total IPC of Baseline vs S-TLB vs S-(TLB+PTW).
+
+Paper shape: S-TLB improves throughput over baseline (~26% on average),
+and separating the page walkers on top of the TLB (S-(TLB+PTW)) adds a
+further large gain — the observation motivating the whole paper.  Gains
+concentrate in the HL/HM/HH classes; LL/ML/MM are mostly flat.
+"""
+
+from repro.harness.experiments import fig2_motivation_throughput
+
+from conftest import run_once
+
+
+def test_fig2_motivation_throughput(benchmark, bench_session, bench_pairs,
+                                    record_result):
+    result = run_once(
+        benchmark, lambda: fig2_motivation_throughput(bench_session, bench_pairs)
+    )
+    record_result(result)
+
+    overall = result.row_for(pair="gmean[all]")
+    # Separating walkers on top of TLBs must add throughput over S-TLB...
+    assert overall["s_tlb_ptw"] > overall["s_tlb"]
+    # ...and the idealized config beats the baseline overall.
+    assert overall["s_tlb_ptw"] > 1.05
+    # VM-agnostic classes stay near 1.0.
+    ll = result.row_for(pair="gmean[LL]")
+    assert 0.8 < ll["s_tlb_ptw"] < 1.3

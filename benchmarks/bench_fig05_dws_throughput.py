@@ -1,0 +1,29 @@
+"""Figure 5: throughput of Baseline vs DWS vs DWS++.
+
+Paper shape: DWS improves total IPC substantially on average (37% over
+45 workloads, 55% over the 32 VM-sensitive ones), with the largest
+gains in HL/HM classes; DWS++ gives up a small part of DWS's gain in
+exchange for fairness; LL/ML/MM stay near 1.0.
+"""
+
+from repro.harness.experiments import fig5_throughput
+
+from conftest import run_once
+
+
+def test_fig5_dws_throughput(benchmark, bench_session, bench_pairs,
+                             record_result):
+    result = run_once(benchmark,
+                      lambda: fig5_throughput(bench_session, bench_pairs))
+    record_result(result)
+
+    overall = result.row_for(pair="gmean[all]")
+    assert overall["dws"] > 1.05          # DWS wins on average
+    assert overall["dwspp"] > 1.0         # DWS++ also beats baseline
+    # LL pairs are agnostic: DWS must not hurt them materially
+    ll = result.row_for(pair="gmean[LL]")
+    assert ll["dws"] > 0.9
+    # the big wins are in the classes with a Heavy tenant
+    hl = result.row_for(pair="gmean[HL]")
+    hm = result.row_for(pair="gmean[HM]")
+    assert max(hl["dws"], hm["dws"]) > 1.2

@@ -1,0 +1,25 @@
+"""Figure 6: fairness under Baseline vs DWS vs DWS++.
+
+Paper shape: DWS sometimes improves fairness but not always (it can
+starve a heavy tenant next to a steady moderate one); DWS++ moderates
+those cases and delivers the best average fairness of the three.
+"""
+
+from repro.harness.experiments import fig6_fairness
+
+from conftest import run_once
+
+
+def test_fig6_fairness(benchmark, bench_session, bench_pairs, record_result):
+    result = run_once(benchmark,
+                      lambda: fig6_fairness(bench_session, bench_pairs))
+    record_result(result)
+
+    for row in result.rows:
+        for col in ("baseline", "dws", "dwspp"):
+            assert 0.0 <= row[col] <= 1.0 + 1e-9
+    overall = result.row_for(pair="gmean[all]")
+    # DWS++ is designed to never be much worse than DWS on fairness
+    assert overall["dwspp"] >= overall["dws"] * 0.9
+    # and the stealing policies should not collapse fairness vs baseline
+    assert overall["dwspp"] >= overall["baseline"] * 0.75

@@ -1,0 +1,23 @@
+"""Figure 7: weighted IPC under Baseline vs DWS vs DWS++.
+
+Paper shape: weighted IPC rises significantly under DWS (15% on
+average); DWS++ moderates slightly, trading throughput for fairness.
+"""
+
+from repro.harness.experiments import fig7_weighted_ipc
+
+from conftest import run_once
+
+
+def test_fig7_weighted_ipc(benchmark, bench_session, bench_pairs,
+                           record_result):
+    result = run_once(benchmark,
+                      lambda: fig7_weighted_ipc(bench_session, bench_pairs))
+    record_result(result)
+
+    overall = result.row_for(pair="gmean[all]")
+    assert overall["dws"] > overall["baseline"]
+    assert overall["dwspp"] > overall["baseline"] * 0.98
+    for row in result.rows:
+        for col in ("baseline", "dws", "dwspp"):
+            assert 0 <= row[col] <= 2.0 + 1e-6

@@ -1,0 +1,29 @@
+"""Figure 8: average walk latency relative to stand-alone execution.
+
+Paper shape: under the baseline, the less walk-intensive tenant of the
+HL/HM/HH pairs sees its walk latency inflate several-fold over
+stand-alone; DWS rationalizes it (partitioned walkers), and DWS++
+moderates the spread between the two tenants.
+"""
+
+from repro.harness.experiments import fig8_walk_latency
+
+from conftest import run_once
+
+
+def test_fig8_walk_latency(benchmark, bench_session, record_result):
+    result = run_once(benchmark, lambda: fig8_walk_latency(bench_session))
+    record_result(result)
+
+    def row(cls, config):
+        return result.row_for(**{"class": cls, "config": config})
+
+    for cls in ("HL", "HM"):
+        base = row(cls, "baseline")
+        dws = row(cls, "dws")
+        worst_base = max(base["tenant1"], base["tenant2"])
+        worst_dws = max(dws["tenant1"], dws["tenant2"])
+        # the starved tenant's walk latency inflates under the baseline...
+        assert worst_base > 2.0, (cls, worst_base)
+        # ...and DWS brings the worst-hit tenant's latency down sharply
+        assert worst_dws < worst_base * 0.6, (cls, worst_base, worst_dws)

@@ -1,0 +1,36 @@
+"""Figure 9: walker share controls L2 TLB share.
+
+Paper shape: for BLK.3DS and SAD.MM, moving from baseline to DWS shifts
+each tenant's share of busy walkers, and its share of L2 TLB capacity
+moves in the same direction — stealing's subtle second-order effect.
+"""
+
+from repro.harness.experiments import fig9_share_coupling
+
+from conftest import run_once
+
+
+def test_fig9_share_coupling(benchmark, bench_session, record_result):
+    result = run_once(benchmark, lambda: fig9_share_coupling(bench_session))
+    record_result(result)
+
+    for pair in ("BLK.3DS", "SAD.MM"):
+        rows = {(r["config"], r["tenant"]): r for r in result.rows
+                if r["pair"] == pair}
+        heavy_base = rows[("baseline", 0)]
+        heavy_dws = rows[("dws", 0)]
+        # DWS moves walker share away from the heavy tenant...
+        assert heavy_dws["pw_share"] < heavy_base["pw_share"] + 0.05
+        # ...and the TLB share moves the same direction as the PW share
+        pw_delta = heavy_dws["pw_share"] - heavy_base["pw_share"]
+        tlb_delta = heavy_dws["tlb_share"] - heavy_base["tlb_share"]
+        assert pw_delta * tlb_delta >= -0.01, (pair, pw_delta, tlb_delta)
+
+    # the strongly contended pair shows the full coupling: the heavy
+    # tenant dominates both resources in the baseline and cedes a
+    # visible amount of both under DWS
+    sad = {(r["config"], r["tenant"]): r for r in result.rows
+           if r["pair"] == "SAD.MM"}
+    assert sad[("baseline", 0)]["tlb_share"] > sad[("baseline", 1)]["tlb_share"]
+    assert sad[("dws", 0)]["tlb_share"] < sad[("baseline", 0)]["tlb_share"]
+    assert sad[("dws", 1)]["tlb_share"] > sad[("baseline", 1)]["tlb_share"]

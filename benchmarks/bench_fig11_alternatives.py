@@ -1,0 +1,27 @@
+"""Figure 11: comparison with static partitioning and MASK.
+
+Paper shape: static partitioning *degrades* throughput versus baseline
+(stealing is the key mechanism); DWS outperforms MASK; MASK+DWS works
+but adds little over DWS alone.
+"""
+
+from repro.harness.experiments import fig11_alternatives
+
+from conftest import run_once
+
+
+def test_fig11_alternatives(benchmark, bench_session, bench_pairs,
+                            record_result):
+    result = run_once(
+        benchmark, lambda: fig11_alternatives(bench_session, bench_pairs)
+    )
+    record_result(result)
+
+    all_row = result.row_for(**{"class": "All"})
+    # stealing matters: DWS beats the no-steal static partitioning
+    assert all_row["dws"] > all_row["static"]
+    # DWS at least matches MASK (paper: beats it by 29%)
+    assert all_row["dws"] >= all_row["mask"] * 0.95
+    # MASK+DWS keeps DWS's win (orthogonal mechanisms compose)
+    assert all_row["mask_dws"] > all_row["static"]
+    assert all_row["mask_dws"] > 0.9 * all_row["dws"]

@@ -1,0 +1,24 @@
+"""Figure 13: scaling beyond two tenants (3 and 4 co-runners).
+
+Paper shape: DWS still provides significant throughput gains with three
+and four concurrent tenants (up to 1.9x; >1.25x in most combos), with
+the walker count rounded to divide evenly among tenants.
+"""
+
+from repro.harness import geomean
+from repro.harness.experiments import fig13_multi_tenant
+
+from conftest import run_once
+
+
+def test_fig13_multi_tenant(benchmark, bench_session, record_result):
+    result = run_once(benchmark, lambda: fig13_multi_tenant(bench_session))
+    record_result(result)
+
+    assert {r["tenants"] for r in result.rows} == {3, 4}
+    dws_speedups = [r["dws"] for r in result.rows]
+    # DWS never collapses and wins on average across the combos
+    assert min(dws_speedups) > 0.85
+    assert geomean(dws_speedups) > 1.05
+    # combos with a heavy+light mix show substantial wins
+    assert max(dws_speedups) > 1.2

@@ -1,0 +1,33 @@
+"""Table III: interleaving of page walks under the baseline.
+
+Paper shape: interleaving (other-tenant walks a request waits for) is
+negligible for LL, grows through ML/MM, and reaches tens for the
+HL/HM/HH classes; within a pair, the *less* walk-intensive tenant waits
+behind more of the other tenant's walks.
+"""
+
+from repro.harness.experiments import table3_interleaving_baseline
+
+from conftest import run_once
+
+
+def test_table3_interleaving_baseline(benchmark, bench_session, record_result):
+    result = run_once(benchmark,
+                      lambda: table3_interleaving_baseline(bench_session))
+    record_result(result)
+
+    means = {r["class"]: r["average"] for r in result.rows
+             if r["pair"] == "arith. mean"}
+    # Heavy classes suffer interleaving of tens of walks...
+    assert means["HL"] > 10.0
+    assert means["HM"] > 10.0
+    assert means["HH"] > 10.0
+    # ...while the VM-agnostic classes stay far below them.  (The paper
+    # reports LL near zero; at our scaled trace lengths the light
+    # tenants' few walks are mostly cold-start walks that overlap both
+    # tenants' warmup, which inflates the LL average — the relative
+    # ordering is the reproduced shape.)
+    agnostic_worst = max(means["LL"], means["ML"], means["MM"])
+    vm_worst = max(means["HL"], means["HM"], means["HH"])
+    assert agnostic_worst < 15.0
+    assert agnostic_worst < vm_worst / 3

@@ -1,0 +1,30 @@
+"""Table V: interleaving under Baseline, DWS and DWS++.
+
+Paper shape: compared to tens of interleaved walks in the baseline,
+average interleaving drops to a small fraction under both DWS and
+DWS++; DWS++ interleaves slightly more than DWS because it steals more
+aggressively.
+"""
+
+from repro.harness.experiments import table5_interleaving
+
+from conftest import run_once
+
+
+def test_table5_interleaving(benchmark, bench_session, record_result):
+    result = run_once(benchmark, lambda: table5_interleaving(bench_session))
+    record_result(result)
+
+    means = {}
+    for row in result.rows:
+        if row["pair"] == "arith. mean":
+            means[(row["config"], row["class"])] = row["average"]
+    for cls in ("HL", "HM", "HH"):
+        base = means[("baseline", cls)]
+        dws = means[("dws", cls)]
+        # interleaving collapses by at least an order of magnitude
+        assert dws < base / 5, (cls, base, dws)
+        assert dws < 5.0
+    # DWS bounds interleaving tightly everywhere
+    all_dws = [v for (cfg, _), v in means.items() if cfg == "dws"]
+    assert max(all_dws) < 10.0

@@ -1,0 +1,28 @@
+"""Table VI: percentage of page walks serviced by stealing.
+
+Paper shape: within a pair, one tenant's walks are stolen far more than
+the other's (driven by the relative walk-generation rates); stealing
+percentages are higher under DWS++ than DWS; HH pairs steal little
+(no spare walkers to steal with).
+"""
+
+from repro.harness.experiments import table6_stealing
+
+from conftest import run_once
+
+
+def test_table6_stealing(benchmark, bench_session, record_result):
+    result = run_once(benchmark, lambda: table6_stealing(bench_session))
+    record_result(result)
+
+    rows = [r for r in result.rows if r["pair"] != "arith. mean"]
+    assert all(0 <= r["tenant1_pct"] <= 100 for r in rows)
+    # stealing actually happens for the VM-sensitive classes under DWS
+    dws_hl = [r for r in rows if r["config"] == "dws" and r["class"] in
+              ("HL", "HM")]
+    assert any(r["tenant1_pct"] + r["tenant2_pct"] > 1.0 for r in dws_hl)
+    # DWS++ steals at least as much as DWS overall
+    total = {cfg: sum(r["tenant1_pct"] + r["tenant2_pct"]
+                      for r in rows if r["config"] == cfg)
+             for cfg in ("dws", "dwspp")}
+    assert total["dwspp"] >= total["dws"] * 0.8

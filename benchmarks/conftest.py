@@ -1,0 +1,78 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper.
+All files share one session-scoped :class:`repro.harness.Session`, so
+runs common to several experiments (e.g. the Baseline/DWS/DWS++ runs
+behind Figures 5-7 and Tables V-VI) are simulated once.
+
+Environment knobs:
+
+* ``REPRO_SCALE`` — workload length multiplier (default 0.4; use 1.0 or
+  more for higher-fidelity numbers at the cost of run time).
+* ``REPRO_PAIRS`` — ``rep`` (default: two pairs per class, the paper's
+  representative set), ``all`` (the full 45), or a comma-separated list
+  of pair names.
+* ``REPRO_WARPS`` — warps per SM (default 4).
+
+Rendered tables are written to ``benchmarks/results/<experiment>.txt``.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness import Session, format_table
+from repro.workloads.pairs import REPRESENTATIVE_PAIRS, WORKLOAD_PAIRS
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _env_pairs():
+    raw = os.environ.get("REPRO_PAIRS", "rep")
+    if raw == "all":
+        return list(WORKLOAD_PAIRS)
+    if raw == "rep":
+        return [p for pairs in REPRESENTATIVE_PAIRS.values() for p in pairs]
+    return [p.strip() for p in raw.split(",") if p.strip()]
+
+
+@pytest.fixture(scope="session")
+def bench_session():
+    scale = float(os.environ.get("REPRO_SCALE", "0.4"))
+    warps = int(os.environ.get("REPRO_WARPS", "4"))
+    return Session(scale=scale, warps_per_sm=warps)
+
+
+@pytest.fixture(scope="session")
+def bench_pairs():
+    return _env_pairs()
+
+
+@pytest.fixture(scope="session")
+def bench_session_deep():
+    """A higher-MLP session (8 warps/SM) for experiments whose effects
+    need deeper per-tenant walk queues — Figure 10's stealing-
+    aggressiveness knob only moves once PEND_WALKS imbalances can cross
+    the DIFF_THRES fractions of the 192-entry queue."""
+    scale = float(os.environ.get("REPRO_SCALE", "0.4"))
+    return Session(scale=scale, warps_per_sm=8)
+
+
+@pytest.fixture()
+def record_result():
+    """Write an experiment's rendered table under benchmarks/results/."""
+
+    def _record(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = format_table(result)
+        (RESULTS_DIR / f"{result.experiment}.txt").write_text(text + "\n")
+        print("\n" + text)
+        return result
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

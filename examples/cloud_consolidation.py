@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Cloud consolidation study: which co-tenant pairs are safe to pack?
+
+A cloud operator wants to place two tenants on one GPU without
+destroying either's performance.  This example sweeps representative
+workload pairs from each class (LL .. HH), measures throughput and
+fairness under the baseline and under DWS++, and prints a packing
+recommendation per pair — the kind of placement table a scheduler
+could precompute with this library.
+
+Run:  python examples/cloud_consolidation.py [--scale 0.4]
+"""
+
+import argparse
+
+from repro import GpuConfig, Session
+from repro.metrics import fairness, total_ipc, weighted_ipc
+from repro.workloads.pairs import REPRESENTATIVE_PAIRS, pair_class, split_pair
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.4)
+    parser.add_argument("--policy", default="dwspp",
+                        choices=["dws", "dwspp", "static", "mask"])
+    args = parser.parse_args()
+
+    session = Session(scale=args.scale, warps_per_sm=4)
+    base_cfg = GpuConfig.baseline()
+    smart_cfg = base_cfg.with_policy(args.policy)
+
+    pairs = [p for pair_list in REPRESENTATIVE_PAIRS.values()
+             for p in pair_list]
+
+    header = (f"{'pair':<11} {'class':<5} {'tIPC base':>9} "
+              f"{'tIPC ' + args.policy:>10} {'fair base':>9} "
+              f"{'fair ' + args.policy:>10}  verdict")
+    print(header)
+    print("-" * len(header))
+    for pair in pairs:
+        names = split_pair(pair)
+        standalone = session.standalone_ipcs(names)
+        base = session.run_pair(pair, base_cfg)
+        smart = session.run_pair(pair, smart_cfg)
+        t_base, t_smart = total_ipc(base), total_ipc(smart)
+        f_base = fairness(base, standalone)
+        f_smart = fairness(smart, standalone)
+        w_smart = weighted_ipc(smart, standalone)
+        # A pair packs well if consolidated progress beats time-slicing
+        # (weighted IPC > 1) and neither tenant is starved.
+        if w_smart > 1.0 and f_smart > 0.3:
+            verdict = "pack"
+        elif w_smart > 0.9:
+            verdict = "pack (watch fairness)"
+        else:
+            verdict = "isolate"
+        print(f"{pair:<11} {pair_class(pair):<5} {t_base:>9.2f} "
+              f"{t_smart:>10.2f} {f_base:>9.2f} {f_smart:>10.2f}  {verdict}")
+
+    print("\n'pack' = consolidated weighted IPC exceeds one GPU's worth of")
+    print("time-sliced progress; 'isolate' = contention burns more than")
+    print("consolidation saves, give the pair separate GPUs/MIG slices.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""How trustworthy is a measured speedup?  Seed-stability methodology.
+
+Simulation papers report point estimates; good methodology checks them
+against seed noise.  This example measures the DWS-over-baseline
+throughput ratio for one pair across several seeds using the
+seed-matched comparison in :mod:`repro.harness.seeds`, and reports the
+spread — so a user knows whether a small effect is signal.
+
+Run:  python examples/seed_stability.py [--pair GUPS.JPEG] [--seeds 4]
+"""
+
+import argparse
+
+from repro import GpuConfig
+from repro.harness.seeds import compare_policies, seed_study
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pair", default="GUPS.JPEG")
+    parser.add_argument("--seeds", type=int, default=4)
+    parser.add_argument("--scale", type=float, default=0.25)
+    args = parser.parse_args()
+
+    seeds = tuple(range(args.seeds))
+    base = GpuConfig.baseline()
+    comparison = compare_policies(
+        args.pair, base, base.with_policy("dws"),
+        seeds=seeds, scale=args.scale,
+        label_a="baseline", label_b="dws",
+    )
+
+    print(f"{args.pair}: DWS vs baseline across {len(seeds)} seeds\n")
+    print(f"{'seed':>4} {'baseline':>10} {'dws':>10} {'ratio':>7}")
+    for seed, (a, b, r) in enumerate(zip(comparison.stats_a.values,
+                                         comparison.stats_b.values,
+                                         comparison.ratios)):
+        print(f"{seed:>4} {a:>10.3f} {b:>10.3f} {r:>6.3f}x")
+
+    print(f"\nmean speedup : {comparison.mean_ratio:.3f}x")
+    print(f"baseline CV  : {comparison.stats_a.cv * 100:.2f}% "
+          f"(run-to-run noise)")
+    print(f"dws CV       : {comparison.stats_b.cv * 100:.2f}%")
+    verdict = ("every seed agrees on the winner"
+               if comparison.consistent_direction
+               else "seeds DISAGREE on the winner - treat the mean with care")
+    print(f"direction    : {verdict}")
+
+    # bonus: absolute spread of one configuration on its own
+    solo = seed_study(args.pair, base, seeds=seeds, scale=args.scale)
+    print(f"\nbaseline total IPC across seeds: "
+          f"min {solo.minimum:.3f} / mean {solo.mean:.3f} / "
+          f"max {solo.maximum:.3f}")
+
+
+if __name__ == "__main__":
+    main()

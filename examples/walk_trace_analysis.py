@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Inspecting the page walk subsystem with the built-in tracer.
+
+The :class:`repro.engine.trace.Tracer` records the lifecycle of every
+page walk (enqueue, service start / steal, completion).  This example
+attaches one to a contended run and mines the records for the story the
+aggregate metrics summarize: how long walks queued, which walkers
+serviced stolen work, and the longest cross-tenant wait any single walk
+experienced.
+
+Run:  python examples/walk_trace_analysis.py [--policy dws]
+"""
+
+import argparse
+from collections import Counter
+
+from repro import GpuConfig, MultiTenantManager, Tenant, benchmark
+from repro.engine.trace import Tracer
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--policy", default="dws",
+                        choices=["baseline", "static", "dws", "dwspp"])
+    parser.add_argument("--scale", type=float, default=0.3)
+    args = parser.parse_args()
+
+    config = GpuConfig.baseline().with_policy(args.policy)
+    manager = MultiTenantManager(
+        config,
+        [Tenant(0, benchmark("GUPS", scale=args.scale)),
+         Tenant(1, benchmark("JPEG", scale=args.scale))],
+        warps_per_sm=4,
+    )
+    tracer = Tracer(capacity=500_000)
+    manager.gpu.walk_subsystem_for(0).tracer = tracer
+    manager.run()
+
+    starts = tracer.records("walk.start") + tracer.records("walk.steal")
+    completes = tracer.records("walk.complete")
+    print(f"policy={args.policy}: traced {len(starts)} serviced walks "
+          f"({tracer.count('walk.steal')} stolen, "
+          f"{tracer.count('walk.overflow')} overflowed arrivals)")
+
+    for tenant in (0, 1):
+        waits = [r.fields["waited"] for r in starts
+                 if r.fields["tenant"] == tenant]
+        inter = [r.fields["interleaved"] for r in starts
+                 if r.fields["tenant"] == tenant]
+        if not waits:
+            continue
+        waits.sort()
+        print(f"\ntenant {tenant}: {len(waits)} walks")
+        print(f"  queueing   p50={waits[len(waits) // 2]:6d}  "
+              f"p99={waits[int(len(waits) * 0.99)]:6d}  max={waits[-1]:6d} cyc")
+        print(f"  interleave mean={sum(inter) / len(inter):6.2f}  "
+              f"max={max(inter)}")
+
+    steal_walkers = Counter(r.fields["walker"]
+                            for r in tracer.records("walk.steal"))
+    if steal_walkers:
+        busiest = steal_walkers.most_common(3)
+        print("\nbusiest stealing walkers: "
+              + ", ".join(f"#{w} ({n} steals)" for w, n in busiest))
+
+    latencies = sorted(r.fields["latency"] for r in completes)
+    if latencies:
+        print(f"\nwalk latency p50={latencies[len(latencies) // 2]} "
+              f"p99={latencies[int(len(latencies) * 0.99)]} "
+              f"max={latencies[-1]} cyc over {len(latencies)} walks")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro — a trace-driven GPU MMU simulator reproducing
+"Improving GPU Multi-tenancy with Page Walk Stealing" (HPCA 2021).
+
+Public API tour:
+
+* :class:`~repro.engine.config.GpuConfig` — the simulated GPU
+  (``GpuConfig.baseline()`` is the paper's Table I; ``with_*`` helpers
+  derive every evaluated variant).
+* :func:`~repro.workloads.suite.benchmark` — the 13 synthetic Table II
+  workload models, and :data:`~repro.workloads.pairs.WORKLOAD_PAIRS` —
+  the 45 evaluated two-tenant pairs.
+* :class:`~repro.tenancy.manager.MultiTenantManager` — runs co-tenants
+  with the paper's relaunch methodology and returns a
+  :class:`~repro.tenancy.manager.RunResult`.
+* :mod:`repro.metrics` — total/weighted IPC, fairness, interleaving,
+  walk latency and resource shares.
+* :class:`~repro.harness.runner.Session` and
+  :mod:`repro.harness.experiments` — one entry point per paper table
+  and figure.
+
+Quickstart::
+
+    from repro import GpuConfig, MultiTenantManager, Tenant, benchmark
+    from repro.metrics import total_ipc
+
+    config = GpuConfig.baseline().with_policy("dws")
+    tenants = [Tenant(0, benchmark("GUPS")), Tenant(1, benchmark("JPEG"))]
+    result = MultiTenantManager(config, tenants).run()
+    print(total_ipc(result))
+"""
+
+from repro.core.dwspp import DwsPlusParams
+from repro.engine.config import GpuConfig, PolicySpec
+from repro.harness.runner import Session
+from repro.tenancy.manager import MultiTenantManager, RunResult
+from repro.tenancy.tenant import Tenant
+from repro.workloads.pairs import WORKLOAD_PAIRS
+from repro.workloads.suite import benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DwsPlusParams",
+    "GpuConfig",
+    "MultiTenantManager",
+    "PolicySpec",
+    "RunResult",
+    "Session",
+    "Tenant",
+    "WORKLOAD_PAIRS",
+    "benchmark",
+    "__version__",
+]

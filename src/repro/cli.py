@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the 13 benchmark models and 45 workload pairs.
+* ``characterize <bench ...>`` — stand-alone MPMI / band / IPC.
+* ``run <pair>`` — one co-run under a chosen policy, with the headline
+  metrics.
+* ``experiment <id>`` — regenerate one paper table/figure (fig2..fig14,
+  table3/5/6) and print its rows.
+* ``compare <pair>`` — baseline vs static vs DWS vs DWS++ side by side.
+
+All commands accept ``--scale`` (workload length multiplier) and
+``--warps`` (warps per SM) to trade fidelity for run time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.engine.config import GpuConfig
+from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.reporting import format_table
+from repro.harness.runner import Session
+from repro.metrics import (
+    fairness,
+    interleaving_of,
+    steal_fraction,
+    total_ipc,
+    walk_latency_of,
+    weighted_ipc,
+)
+from repro.workloads.characterize import characterize
+from repro.workloads.pairs import WORKLOAD_PAIRS, pair_class, split_pair
+from repro.workloads.suite import BENCHMARKS, benchmark
+
+POLICIES = ("baseline", "static", "dws", "dwspp", "mask", "mask+dws")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="workload length multiplier (default 0.5)")
+    parser.add_argument("--warps", type=int, default=4,
+                        help="warps per SM (default 4)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPU page-walk-stealing simulator (HPCA'21 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and workload pairs")
+
+    p = sub.add_parser("characterize", help="measure stand-alone MPMI")
+    p.add_argument("benchmarks", nargs="*", metavar="BENCH",
+                   help="benchmark names (default: all 13)")
+    _add_common(p)
+
+    p = sub.add_parser("run", help="run one workload pair")
+    p.add_argument("pair", help="e.g. GUPS.JPEG")
+    p.add_argument("--policy", choices=POLICIES, default="dws")
+    _add_common(p)
+
+    p = sub.add_parser("compare", help="compare policies on one pair")
+    p.add_argument("pair", help="e.g. BLK.3DS")
+    _add_common(p)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("id", choices=sorted(ALL_EXPERIMENTS),
+                   help="experiment id, e.g. fig5")
+    p.add_argument("--pairs", default=None,
+                   help="comma-separated pair subset (default: experiment's own)")
+    _add_common(p)
+
+    p = sub.add_parser("report", help="regenerate experiments as Markdown")
+    p.add_argument("--experiments", default=None,
+                   help="comma-separated experiment ids (default: all)")
+    p.add_argument("--pairs", default=None,
+                   help="comma-separated pair subset for the pair-driven figures")
+    p.add_argument("--output", default=None,
+                   help="write to this file instead of stdout")
+    _add_common(p)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def cmd_list(_args) -> int:
+    print("Benchmarks (paper Table II):")
+    for name, spec in BENCHMARKS.items():
+        print(f"  {name:5s} [{spec.category}]  {spec.description}")
+    print(f"\nWorkload pairs ({len(WORKLOAD_PAIRS)}):")
+    by_class = {}
+    for pair in WORKLOAD_PAIRS:
+        by_class.setdefault(pair_class(pair), []).append(pair)
+    for cls in ("LL", "ML", "MM", "HL", "HM", "HH"):
+        print(f"  {cls}: {', '.join(by_class.get(cls, []))}")
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    names = args.benchmarks or list(BENCHMARKS)
+    print(f"{'bench':<6} {'band':<4} {'MPMI':>10} {'cold MPMI':>10} {'IPC':>8}")
+    for name in names:
+        if name not in BENCHMARKS:
+            print(f"unknown benchmark {name!r}", file=sys.stderr)
+            return 2
+        c = characterize(benchmark(name, scale=args.scale),
+                         warps_per_sm=args.warps, seed=args.seed)
+        print(f"{name:<6} {c.band:<4} {c.mpmi:>10.1f} {c.cold_mpmi:>10.1f} "
+              f"{c.ipc:>8.3f}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    session = Session(scale=args.scale, warps_per_sm=args.warps,
+                      seed=args.seed)
+    names = split_pair(args.pair)
+    config = GpuConfig.baseline().with_policy(args.policy)
+    result = session.run_pair(args.pair, config)
+    standalone = session.standalone_ipcs(names)
+    print(f"{args.pair} [{pair_class(args.pair)}] under {args.policy}")
+    print(f"  total IPC     : {total_ipc(result):.3f}")
+    print(f"  weighted IPC  : {weighted_ipc(result, standalone):.3f}")
+    print(f"  fairness      : {fairness(result, standalone):.3f}")
+    for t, name in enumerate(names):
+        print(f"  tenant {t} ({name:5s}): IPC {result.ipc_of(t):8.3f}  "
+              f"walk lat {walk_latency_of(result, t):7.0f} cyc  "
+              f"interleave {interleaving_of(result, t):6.2f}  "
+              f"stolen {steal_fraction(result, t) * 100:5.1f}%")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    session = Session(scale=args.scale, warps_per_sm=args.warps,
+                      seed=args.seed)
+    names = split_pair(args.pair)
+    standalone = session.standalone_ipcs(names)
+    base_cfg = GpuConfig.baseline()
+    base_ipc = total_ipc(session.run_pair(args.pair, base_cfg))
+    print(f"{args.pair} [{pair_class(args.pair)}]")
+    print(f"{'policy':<10} {'tIPC':>8} {'vs base':>8} {'wIPC':>7} {'fair':>6}")
+    for policy in ("baseline", "static", "dws", "dwspp"):
+        run = session.run_pair(args.pair, base_cfg.with_policy(policy))
+        t = total_ipc(run)
+        print(f"{policy:<10} {t:>8.3f} {t / base_ipc:>7.3f}x "
+              f"{weighted_ipc(run, standalone):>7.3f} "
+              f"{fairness(run, standalone):>6.3f}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    session = Session(scale=args.scale, warps_per_sm=args.warps,
+                      seed=args.seed)
+    fn = ALL_EXPERIMENTS[args.id]
+    kwargs = {}
+    if args.pairs:
+        kwargs["pairs"] = [p.strip() for p in args.pairs.split(",")]
+    result = fn(session, **kwargs)
+    print(format_table(result))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.harness.report import generate_report
+
+    session = Session(scale=args.scale, warps_per_sm=args.warps,
+                      seed=args.seed)
+    experiments = (None if args.experiments is None
+                   else [e.strip() for e in args.experiments.split(",")])
+    pairs = (None if args.pairs is None
+             else [p.strip() for p in args.pairs.split(",")])
+    text = generate_report(session, experiments=experiments, pairs=pairs)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "characterize": cmd_characterize,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "experiment": cmd_experiment,
+    "report": cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

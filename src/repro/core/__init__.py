@@ -1,0 +1,48 @@
+"""The paper's contribution: page-walk-stealing scheduling policies.
+
+This package implements Sections V and VI of the paper on top of the
+mechanism in :mod:`repro.vm`:
+
+* :class:`~repro.core.shared.SharedQueuePolicy` — today's GPUs: one
+  monolithic FIFO page walk queue feeding all walkers (the baseline).
+* :class:`~repro.core.static_partition.StaticPartitionPolicy` — naive
+  equal partitioning of walkers among tenants, no stealing (Figure 11's
+  "Static").
+* :class:`~repro.core.dws.DwsPolicy` — **Dynamic Walk Stealing**: walkers
+  are partitioned, but a walker whose owner has no pending walk steals a
+  queued walk from another tenant.
+* :class:`~repro.core.dwspp.DwsPlusPolicy` — **DWS++**: additionally
+  steals when the imbalance in queued walks crosses a dynamically-set
+  threshold (DIFF_THRES) driven by the tenants' relative walk-generation
+  rates, bounded by QUEUE_THRES and a no-consecutive-steal rule.
+* :class:`~repro.core.mask.MaskController` — a simplified reimplementation
+  of MASK's TLB token scheme, the comparator of Figure 11.
+
+The tiny hardware structures of Figure 4 (FWA, TWM, WTM) are modeled
+bit-for-bit in :mod:`repro.core.structures`.
+"""
+
+from repro.core.dws import DwsPolicy
+from repro.core.dwspp import DwsPlusParams, DwsPlusPolicy
+from repro.core.factory import build_policy
+from repro.core.mask import MaskController
+from repro.core.shared import SharedQueuePolicy
+from repro.core.static_partition import StaticPartitionPolicy
+from repro.core.structures import (
+    FreeWalkerArray,
+    TenantWalkerMap,
+    WalkerTenantMap,
+)
+
+__all__ = [
+    "DwsPlusParams",
+    "DwsPlusPolicy",
+    "DwsPolicy",
+    "FreeWalkerArray",
+    "MaskController",
+    "SharedQueuePolicy",
+    "StaticPartitionPolicy",
+    "TenantWalkerMap",
+    "WalkerTenantMap",
+    "build_policy",
+]

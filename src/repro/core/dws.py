@@ -1,0 +1,33 @@
+"""Dynamic Walk Stealing (DWS) — Section V/VI of the paper.
+
+DWS partitions the walkers equally among tenants and splits the page walk
+queue into per-walker queues.  A walker serves its owner tenant's queued
+walks first (its own queue, then sibling owned queues).  Only when **no
+walk is queued from its owner** may it steal the oldest queued walk of
+another tenant — the tenant with the most queued walks.
+
+This preserves utilization (no walker idles while any tenant has queued
+walks) while strictly limiting interleaving: a queued walk can be
+overtaken by at most the one other-tenant walk currently being serviced
+on each of its owner's walkers, never by a queue full of them.  Table V
+shows interleaving dropping from tens (baseline) to a small fraction.
+
+Modeling note: the paper's PEND_WALKS counter decrements at walk *finish*
+and therefore counts in-service walks too.  For the steal decision
+("no page walk request is pending from its owner") we test the owner's
+*queued* walks — derivable in hardware from the FWA free-slot counters.
+Testing the finish-decremented counter instead would make a walker idle
+while its owner's only pending walks are already in service on sibling
+walkers, which serves no purpose and the paper does not intend.
+"""
+
+from __future__ import annotations
+
+from repro.core.partitioned import PartitionedWalkPolicy
+
+
+class DwsPolicy(PartitionedWalkPolicy):
+    """Equal walker partition with steal-when-owner-idle."""
+
+    def _allow_steal_when_owner_idle(self, walker_id: int, owner: int) -> bool:
+        return True

@@ -1,0 +1,159 @@
+"""DWS++ — stealing with a tunable throughput/fairness balance.
+
+DWS can be unfair to a page-walk-intensive tenant co-running with a
+tenant that issues a steady trickle of walks: the trickle keeps the
+latter's walkers *just* busy enough that the plain steal-when-owner-idle
+condition rarely fires.  DWS++ (paper Section V/VI) therefore also allows
+stealing **while the owner has walks queued**, guarded by three rules:
+
+1. the walker must not have just serviced a stolen walk
+   (the FWA ``is_stolen`` bit — bounds interleaving strictly),
+2. the walker's own queue occupancy must be below ``QUEUE_THRES``
+   (a walker never prioritizes another tenant while its own work piles
+   up), and
+3. the normalized difference between the tenants' PEND_WALKS counters
+   must exceed ``DIFF_THRES``.
+
+``DIFF_THRES`` is re-set at the end of every epoch (a fixed number of
+walk arrivals, default 200) from the *ratio* of the tenants' arrival
+counts: similar rates → a low threshold (aggressive stealing); a much
+higher rate at the non-owner tenant → a high threshold or no stealing at
+all, protecting the moderate-rate tenant whose walks are
+latency-critical.  The schedule is the paper's Table IV, and the
+conservative/aggressive presets of Table VII expose the
+throughput-vs-fairness knob evaluated in Figure 10.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.core.partitioned import PartitionedWalkPolicy
+from repro.vm.walk import WalkRequest
+
+#: DIFF_THRES schedule entries: (upper bound on the arrival-rate ratio R,
+#: threshold).  ``None`` as threshold means stealing is disabled.
+ScheduleEntry = Tuple[float, Optional[float]]
+
+DEFAULT_SCHEDULE: Tuple[ScheduleEntry, ...] = (
+    (1.5, 0.4),
+    (2.0, 0.6),
+    (3.0, 0.8),
+    (4.0, 0.9),
+    (math.inf, None),  # R > 4: no stealing
+)
+
+AGGRESSIVE_SCHEDULE: Tuple[ScheduleEntry, ...] = (
+    (math.inf, 0.3),  # steal eagerly at any rate ratio
+)
+
+
+@dataclass(frozen=True)
+class DwsPlusParams:
+    """DWS++ tuning knobs (paper Tables IV and VII)."""
+
+    epoch_length: int = 200
+    queue_thres: float = 0.51
+    schedule: Tuple[ScheduleEntry, ...] = DEFAULT_SCHEDULE
+    initial_diff_thres: Optional[float] = 0.4
+    #: the paper's "ensures that the interleaving of walks remains
+    #: strictly bounded" rule; disable only for ablation studies
+    forbid_consecutive_steals: bool = True
+
+    def __post_init__(self) -> None:
+        if self.epoch_length <= 0:
+            raise ValueError("epoch_length must be positive")
+        if not 0 < self.queue_thres <= 1:
+            raise ValueError("queue_thres must be in (0, 1]")
+        bounds = [b for b, _ in self.schedule]
+        if bounds != sorted(bounds) or not bounds or bounds[-1] != math.inf:
+            raise ValueError("schedule bounds must be increasing and end at inf")
+
+    def diff_thres_for_ratio(self, ratio: float) -> Optional[float]:
+        """Threshold the schedule assigns to an arrival-rate ratio."""
+        for bound, thres in self.schedule:
+            if ratio <= bound:
+                return thres
+        raise AssertionError("schedule must end at inf")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # The three evaluated configurations (Table VII)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def default() -> "DwsPlusParams":
+        return DwsPlusParams()
+
+    @staticmethod
+    def conservative() -> "DwsPlusParams":
+        """Steals only when its own queue is nearly empty."""
+        return DwsPlusParams(queue_thres=0.17)
+
+    @staticmethod
+    def aggressive() -> "DwsPlusParams":
+        """Low flat threshold; steals at any rate ratio."""
+        return DwsPlusParams(schedule=AGGRESSIVE_SCHEDULE,
+                             initial_diff_thres=0.3)
+
+
+class DwsPlusPolicy(PartitionedWalkPolicy):
+    """DWS plus imbalance-triggered stealing with rate-adaptive thresholds."""
+
+    def __init__(
+        self,
+        num_walkers: int,
+        queue_entries: int,
+        tenant_ids: Sequence[int],
+        params: Optional[DwsPlusParams] = None,
+        max_tenants: int = 8,
+    ) -> None:
+        super().__init__(num_walkers, queue_entries, tenant_ids, max_tenants)
+        self.params = params or DwsPlusParams()
+        #: the DIFF_THRES register of Figure 4; None disables stealing
+        self.diff_thres: Optional[float] = self.params.initial_diff_thres
+        self._epoch_counter = 0
+        self.epochs_completed = 0
+
+    # ------------------------------------------------------------------
+    # Epoch accounting (driven by walk arrivals)
+    # ------------------------------------------------------------------
+    def _note_arrival(self, request: WalkRequest) -> None:
+        self.twm.inc_enq_epoch(request.tenant_id)
+        self._epoch_counter += 1
+        if self._epoch_counter >= self.params.epoch_length:
+            self._end_epoch()
+
+    def _end_epoch(self) -> None:
+        counts = [self.twm.enq_epoch(t) for t in self._tenants]
+        if counts and max(counts) > 0:
+            low = min(counts)
+            ratio = math.inf if low == 0 else max(counts) / low
+            self.diff_thres = self.params.diff_thres_for_ratio(ratio)
+        self.twm.reset_epoch()
+        self._epoch_counter = 0
+        self.epochs_completed += 1
+
+    # ------------------------------------------------------------------
+    # Stealing rules
+    # ------------------------------------------------------------------
+    def _allow_steal_when_owner_idle(self, walker_id: int, owner: int) -> bool:
+        """Plain DWS utilization stealing is always on in DWS++."""
+        return True
+
+    def _allow_steal_despite_pending(self, walker_id: int, owner: int) -> bool:
+        if self.diff_thres is None:
+            return False
+        if self.params.forbid_consecutive_steals and self.fwa.is_stolen(walker_id):
+            return False  # never steal twice in a row
+        if self.queue_occupancy(walker_id) > self.params.queue_thres:
+            return False  # own work is piling up
+        own_pend = self.twm.pend_walks(owner)
+        other_pend = max(
+            (self.twm.pend_walks(t) for t in self._tenants if t != owner),
+            default=0,
+        )
+        if other_pend <= own_pend:
+            return False
+        imbalance = (other_pend - own_pend) / self.queue_entries
+        return imbalance > self.diff_thres

@@ -1,0 +1,63 @@
+"""Construction of walker-scheduling policies from a :class:`PolicySpec`.
+
+The GPU assembly (:mod:`repro.gpu.gpu`) calls :func:`build_policy` so
+that experiment code only manipulates configuration data, never policy
+classes.  The MASK half of ``mask`` / ``mask+dws`` is a TLB-side
+controller built separately via :func:`build_mask_controller`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.dws import DwsPolicy
+from repro.core.dwspp import DwsPlusParams, DwsPlusPolicy
+from repro.core.mask import MaskController
+from repro.core.shared import SharedQueuePolicy
+from repro.core.static_partition import StaticPartitionPolicy
+from repro.engine.config import PolicySpec
+from repro.vm.walk import WalkSchedulingPolicy
+
+
+def build_policy(
+    spec: PolicySpec,
+    num_walkers: int,
+    queue_entries: int,
+    tenant_ids: Sequence[int],
+    max_tenants: int = 8,
+) -> WalkSchedulingPolicy:
+    """Instantiate the walker-scheduling policy ``spec`` names."""
+    if spec.name in ("baseline", "mask"):
+        # MASK keeps today's shared walk queue; its mechanisms act on the
+        # L2 TLB and the data cache, built by build_mask_controller().
+        return SharedQueuePolicy(num_walkers, queue_entries)
+    if spec.name == "static":
+        return StaticPartitionPolicy(num_walkers, queue_entries, tenant_ids,
+                                     max_tenants)
+    if spec.name in ("dws", "mask+dws"):
+        return DwsPolicy(num_walkers, queue_entries, tenant_ids, max_tenants)
+    if spec.name == "dwspp":
+        params = spec.params.get("params")
+        if params is None:
+            preset = spec.params.get("preset", "default")
+            params = {
+                "default": DwsPlusParams.default,
+                "conservative": DwsPlusParams.conservative,
+                "aggressive": DwsPlusParams.aggressive,
+            }[preset]()
+        return DwsPlusPolicy(num_walkers, queue_entries, tenant_ids,
+                             params=params, max_tenants=max_tenants)
+    raise ValueError(f"unhandled policy {spec.name!r}")  # pragma: no cover
+
+
+def build_mask_controller(
+    spec: PolicySpec, tenant_ids: Sequence[int]
+) -> Optional[MaskController]:
+    """A MaskController when the spec includes MASK, else ``None``."""
+    if spec.name not in ("mask", "mask+dws"):
+        return None
+    return MaskController(
+        tenant_ids,
+        epoch_lookups=spec.params.get("epoch_lookups", 4096),
+        total_tokens_per_epoch=spec.params.get("tokens", 2048),
+    )

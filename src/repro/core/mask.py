@@ -1,0 +1,130 @@
+"""A simplified MASK comparator (Ausavarungnirun et al., ASPLOS'18).
+
+MASK attacks GPU multi-tenancy contention at the **shared L2 TLB** and at
+the data caches, not at the walkers — which is why the paper treats it as
+orthogonal to DWS and evaluates MASK, DWS and MASK+DWS (Figure 11).
+
+We reimplement MASK's two key ideas at the fidelity the comparison
+needs:
+
+* **TLB-fill tokens** — each epoch, every tenant receives a share of L2
+  TLB *fill tokens* proportional to how much use it got out of the TLB
+  (its L2 TLB hit rate during the previous epoch).  A fill without a
+  token is dropped (the translation still completes and fills the L1
+  TLB); this throttles a thrashing tenant's ability to evict a
+  well-behaving tenant's entries.
+* **PTE bypass** — page-table reads of a tenant whose walks mostly miss
+  in the L2 data cache bypass it, keeping PTE traffic from evicting data
+  lines.
+
+Walker scheduling under MASK remains the baseline shared FIFO queue
+(or DWS when combined as MASK+DWS).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+
+class MaskController:
+    """Epoch-driven token allocator for L2 TLB fills and PTE bypass."""
+
+    def __init__(
+        self,
+        tenant_ids: Sequence[int],
+        epoch_lookups: int = 4096,
+        total_tokens_per_epoch: int = 2048,
+        bypass_hit_rate_floor: float = 0.35,
+    ) -> None:
+        if epoch_lookups <= 0 or total_tokens_per_epoch <= 0:
+            raise ValueError("epoch and token budget must be positive")
+        self.tenant_ids = sorted(tenant_ids)
+        self.epoch_lookups = epoch_lookups
+        self.total_tokens = total_tokens_per_epoch
+        self.bypass_hit_rate_floor = bypass_hit_rate_floor
+        self._lookups_this_epoch = 0
+        self._hits: Dict[int, int] = {t: 0 for t in self.tenant_ids}
+        self._lookups: Dict[int, int] = {t: 0 for t in self.tenant_ids}
+        self._walker_hits: Dict[int, int] = {t: 0 for t in self.tenant_ids}
+        self._walker_accesses: Dict[int, int] = {t: 0 for t in self.tenant_ids}
+        self._tokens: Dict[int, int] = {}
+        self._pte_bypass: Dict[int, bool] = {t: False for t in self.tenant_ids}
+        self.epochs_completed = 0
+        self._reset_tokens_equal()
+
+    def _reset_tokens_equal(self) -> None:
+        share = self.total_tokens // max(1, len(self.tenant_ids))
+        self._tokens = {t: share for t in self.tenant_ids}
+
+    # ------------------------------------------------------------------
+    # Observation hooks (called by the GPU's translation path)
+    # ------------------------------------------------------------------
+    def note_l2_tlb_lookup(self, tenant_id: int, hit: bool) -> None:
+        if tenant_id not in self._lookups:
+            self._add_tenant(tenant_id)
+        self._lookups[tenant_id] += 1
+        if hit:
+            self._hits[tenant_id] += 1
+        self._lookups_this_epoch += 1
+        if self._lookups_this_epoch >= self.epoch_lookups:
+            self._end_epoch()
+
+    def note_walker_cache_access(self, tenant_id: int, hit: bool) -> None:
+        if tenant_id not in self._walker_accesses:
+            self._add_tenant(tenant_id)
+        self._walker_accesses[tenant_id] += 1
+        if hit:
+            self._walker_hits[tenant_id] += 1
+
+    def _add_tenant(self, tenant_id: int) -> None:
+        self.tenant_ids = sorted(set(self.tenant_ids) | {tenant_id})
+        for table in (self._hits, self._lookups, self._walker_hits,
+                      self._walker_accesses):
+            table.setdefault(tenant_id, 0)
+        self._tokens.setdefault(tenant_id, 0)
+        self._pte_bypass.setdefault(tenant_id, False)
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def allow_l2_fill(self, tenant_id: int) -> bool:
+        """Spend a fill token; without one the L2 TLB fill is dropped."""
+        tokens = self._tokens.get(tenant_id, 0)
+        if tokens > 0:
+            self._tokens[tenant_id] = tokens - 1
+            return True
+        return False
+
+    def pte_bypass(self, tenant_id: int) -> bool:
+        """True when this tenant's PTE reads should skip the L2 data cache."""
+        return self._pte_bypass.get(tenant_id, False)
+
+    # ------------------------------------------------------------------
+    # Epoch rollover: utility-proportional token allocation
+    # ------------------------------------------------------------------
+    def _end_epoch(self) -> None:
+        utilities = {}
+        for t in self.tenant_ids:
+            lookups = self._lookups[t]
+            utilities[t] = (self._hits[t] / lookups) if lookups else 0.0
+        total_utility = sum(utilities.values())
+        if total_utility > 0:
+            self._tokens = {
+                t: max(1, int(self.total_tokens * utilities[t] / total_utility))
+                for t in self.tenant_ids
+            }
+        else:
+            self._reset_tokens_equal()
+        for t in self.tenant_ids:
+            accesses = self._walker_accesses[t]
+            hit_rate = (self._walker_hits[t] / accesses) if accesses else 1.0
+            self._pte_bypass[t] = hit_rate < self.bypass_hit_rate_floor
+        self._hits = {t: 0 for t in self.tenant_ids}
+        self._lookups = {t: 0 for t in self.tenant_ids}
+        self._walker_hits = {t: 0 for t in self.tenant_ids}
+        self._walker_accesses = {t: 0 for t in self.tenant_ids}
+        self._lookups_this_epoch = 0
+        self.epochs_completed += 1
+
+    def tokens_of(self, tenant_id: int) -> int:
+        return self._tokens.get(tenant_id, 0)

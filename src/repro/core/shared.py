@@ -1,0 +1,47 @@
+"""The baseline walker-scheduling policy: one shared FIFO walk queue.
+
+This is "today's design" the paper evaluates against (Figure 1): page
+walk requests from every tenant queue up in arrival order in a single
+monolithic page walk queue; whenever a walker finishes, it picks the
+request at the head of the queue regardless of which tenant issued it.
+Nothing prevents one page-walk-intensive tenant from filling the queue
+and forcing every other tenant's walks to wait behind tens of unrelated
+requests — the uncontrolled interleaving quantified in Table III.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Sequence
+
+from repro.vm.walk import WalkRequest, WalkSchedulingPolicy
+
+
+class SharedQueuePolicy(WalkSchedulingPolicy):
+    """Monolithic FIFO page walk queue shared by all tenants."""
+
+    def __init__(self, num_walkers: int, queue_entries: int) -> None:
+        self.num_walkers = num_walkers
+        self.queue_entries = queue_entries
+        self._queue: Deque[WalkRequest] = deque()
+
+    def on_arrival(self, request: WalkRequest) -> bool:
+        if len(self._queue) >= self.queue_entries:
+            return False
+        self._queue.append(request)
+        return True
+
+    def select(self, walker_id: int) -> Optional[WalkRequest]:
+        return self._queue.popleft() if self._queue else None
+
+    def on_complete(self, walker_id: int, request: WalkRequest) -> None:
+        """FIFO keeps no per-walk state."""
+
+    def pending_for(self, tenant_id: int) -> int:
+        return sum(1 for r in self._queue if r.tenant_id == tenant_id)
+
+    def pending_total(self) -> int:
+        return len(self._queue)
+
+    def on_tenant_set_changed(self, tenant_ids: Sequence[int]) -> None:
+        """The shared queue is tenant-agnostic; nothing to re-partition."""

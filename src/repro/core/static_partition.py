@@ -1,0 +1,20 @@
+"""Naive static partitioning of walkers — the strawman of Figure 11.
+
+Walkers are partitioned equally among tenants exactly as in DWS, but a
+walker may *never* service another tenant's walk.  This eliminates
+interleaving completely, yet the paper shows it degrades throughput below
+the baseline: when tenants generate walks at different rates, one
+tenant's walkers sit idle while the other tenant's walks queue up.
+The comparison with DWS demonstrates that stealing is the key mechanism.
+"""
+
+from __future__ import annotations
+
+from repro.core.partitioned import PartitionedWalkPolicy
+
+
+class StaticPartitionPolicy(PartitionedWalkPolicy):
+    """Equal walker partition with stealing disabled."""
+
+    def _allow_steal_when_owner_idle(self, walker_id: int, owner: int) -> bool:
+        return False

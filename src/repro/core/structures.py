@@ -1,0 +1,176 @@
+"""The hardware structures of Figure 4: FWA, TWM and WTM.
+
+These are modeled as real, bounded structures (not just Python dicts)
+because the paper's state-overhead claim — "total state overhead of new
+structures is only 192 bits" for the default configuration — is part of
+the contribution.  Every structure exposes :meth:`state_bits` so the
+accounting can be asserted in tests.
+
+* **FWA (Free Walker Array)** — one entry per walker: a counter of free
+  slots in that walker's queue, plus the ``is_stolen`` bit that DWS++
+  uses to forbid consecutive steals.
+* **TWM (Tenant-to-Walker Map)** — one entry per tenant: a bitmap of the
+  walkers the tenant owns, the ``PEND_WALKS`` counter of walks enqueued
+  and not yet finished, and the ``ENQ_EPOCH`` counter of walks that
+  arrived in the current epoch.
+* **WTM (Walker-to-Tenant Map)** — one entry per walker: the owner
+  tenant's id.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+
+def _bits_for(max_value: int) -> int:
+    """Bits needed to represent values 0..max_value inclusive."""
+    return max(1, math.ceil(math.log2(max_value + 1)))
+
+
+class FreeWalkerArray:
+    """Per-walker free-slot counters plus the is_stolen bit (Figure 4a)."""
+
+    def __init__(self, num_walkers: int, per_walker_queue: int) -> None:
+        if num_walkers <= 0 or per_walker_queue <= 0:
+            raise ValueError("walkers and queue slots must be positive")
+        self.num_walkers = num_walkers
+        self.per_walker_queue = per_walker_queue
+        self._free: List[int] = [per_walker_queue] * num_walkers
+        self._is_stolen: List[bool] = [False] * num_walkers
+
+    def free_slots(self, walker_id: int) -> int:
+        return self._free[walker_id]
+
+    def occupied(self, walker_id: int) -> int:
+        return self.per_walker_queue - self._free[walker_id]
+
+    def consume_slot(self, walker_id: int) -> None:
+        if self._free[walker_id] <= 0:
+            raise ValueError(f"walker {walker_id} queue already full")
+        self._free[walker_id] -= 1
+
+    def release_slot(self, walker_id: int) -> None:
+        if self._free[walker_id] >= self.per_walker_queue:
+            raise ValueError(f"walker {walker_id} queue already empty")
+        self._free[walker_id] += 1
+
+    def is_stolen(self, walker_id: int) -> bool:
+        return self._is_stolen[walker_id]
+
+    def set_stolen(self, walker_id: int, value: bool) -> None:
+        self._is_stolen[walker_id] = value
+
+    def state_bits(self) -> int:
+        return self.num_walkers * (_bits_for(self.per_walker_queue) + 1)
+
+
+class TenantWalkerMap:
+    """Per-tenant walker-ownership bitmaps and counters (Figure 4b)."""
+
+    def __init__(self, max_tenants: int, num_walkers: int, queue_entries: int,
+                 epoch_bits: int = 8) -> None:
+        self.max_tenants = max_tenants
+        self.num_walkers = num_walkers
+        self.queue_entries = queue_entries
+        self.epoch_bits = epoch_bits
+        self._bitmap: Dict[int, int] = {}
+        self._pend_walks: Dict[int, int] = {}
+        self._enq_epoch: Dict[int, int] = {}
+
+    # -- ownership bitmap ------------------------------------------------
+    def set_owners(self, tenant_id: int, walker_ids: Sequence[int]) -> None:
+        bitmap = 0
+        for w in walker_ids:
+            if not 0 <= w < self.num_walkers:
+                raise ValueError(f"walker id {w} out of range")
+            bitmap |= 1 << w
+        self._bitmap[tenant_id] = bitmap
+        self._pend_walks.setdefault(tenant_id, 0)
+        self._enq_epoch.setdefault(tenant_id, 0)
+
+    def owned_walkers(self, tenant_id: int) -> List[int]:
+        bitmap = self._bitmap.get(tenant_id, 0)
+        return [w for w in range(self.num_walkers) if bitmap & (1 << w)]
+
+    def owns(self, tenant_id: int, walker_id: int) -> bool:
+        return bool(self._bitmap.get(tenant_id, 0) & (1 << walker_id))
+
+    def clear_tenant(self, tenant_id: int) -> None:
+        self._bitmap.pop(tenant_id, None)
+        self._pend_walks.pop(tenant_id, None)
+        self._enq_epoch.pop(tenant_id, None)
+
+    @property
+    def tenants(self) -> List[int]:
+        return sorted(self._bitmap)
+
+    # -- PEND_WALKS: enqueued and not yet finished -------------------------
+    def pend_walks(self, tenant_id: int) -> int:
+        return self._pend_walks.get(tenant_id, 0)
+
+    def inc_pend(self, tenant_id: int) -> None:
+        self._pend_walks[tenant_id] = self._pend_walks.get(tenant_id, 0) + 1
+
+    def dec_pend(self, tenant_id: int) -> None:
+        current = self._pend_walks.get(tenant_id, 0)
+        if current <= 0:
+            raise ValueError(f"PEND_WALKS underflow for tenant {tenant_id}")
+        self._pend_walks[tenant_id] = current - 1
+
+    # -- ENQ_EPOCH: arrivals in the current epoch -------------------------
+    def enq_epoch(self, tenant_id: int) -> int:
+        return self._enq_epoch.get(tenant_id, 0)
+
+    def inc_enq_epoch(self, tenant_id: int) -> None:
+        cap = (1 << self.epoch_bits) - 1
+        self._enq_epoch[tenant_id] = min(cap, self._enq_epoch.get(tenant_id, 0) + 1)
+
+    def reset_epoch(self) -> None:
+        for tenant in self._enq_epoch:
+            self._enq_epoch[tenant] = 0
+
+    def state_bits(self) -> int:
+        per_tenant = (
+            self.num_walkers                       # ownership bitmap
+            + _bits_for(self.queue_entries)        # PEND_WALKS
+            + self.epoch_bits                      # ENQ_EPOCH
+        )
+        return self.max_tenants * per_tenant
+
+
+class WalkerTenantMap:
+    """Per-walker owner-tenant ids (Figure 4, WTM)."""
+
+    def __init__(self, num_walkers: int, max_tenants: int) -> None:
+        self.num_walkers = num_walkers
+        self.max_tenants = max_tenants
+        self._owner: List[int] = [0] * num_walkers
+
+    def owner_of(self, walker_id: int) -> int:
+        return self._owner[walker_id]
+
+    def set_owner(self, walker_id: int, tenant_id: int) -> None:
+        if not 0 <= tenant_id < self.max_tenants:
+            raise ValueError(
+                f"tenant id {tenant_id} exceeds design maximum {self.max_tenants}"
+            )
+        self._owner[walker_id] = tenant_id
+
+    def state_bits(self) -> int:
+        return self.num_walkers * _bits_for(self.max_tenants - 1)
+
+
+def partition_walkers(num_walkers: int, tenant_ids: Sequence[int]) -> Dict[int, List[int]]:
+    """Equal partitioning of walkers among tenants (round-robin remainder).
+
+    This is both the initialization of DWS/DWS++ and the re-partitioning
+    applied when the tenant set changes at runtime (Section VI-C).
+    """
+    if not tenant_ids:
+        return {}
+    assignment: Dict[int, List[int]] = {t: [] for t in tenant_ids}
+    ordered = sorted(tenant_ids)
+    for walker in range(num_walkers):
+        assignment[ordered[walker % len(ordered)]].append(walker)
+    return assignment

@@ -1,0 +1,49 @@
+"""Discrete-event simulation engine underpinning the GPU MMU simulator.
+
+The engine is deliberately generic: it knows nothing about GPUs, TLBs or
+page walkers.  It provides
+
+* :class:`~repro.engine.simulator.Simulator` — the event loop and clock,
+* :mod:`~repro.engine.stats` — counters, accumulators, histograms and
+  time-weighted occupancy samplers used by every subsystem,
+* :mod:`~repro.engine.config` — the configuration dataclasses mirroring
+  the paper's Table I baseline and all evaluated variants,
+* :mod:`~repro.engine.rng` — deterministic, named random streams so that
+  every experiment is exactly reproducible.
+"""
+
+from repro.engine.config import (
+    CacheConfig,
+    DramConfig,
+    GpuConfig,
+    PolicySpec,
+    SmConfig,
+    TlbConfig,
+    WalkerConfig,
+)
+from repro.engine.rng import DeterministicRng
+from repro.engine.simulator import Simulator
+from repro.engine.stats import (
+    Accumulator,
+    Counter,
+    Histogram,
+    OccupancySampler,
+    StatsRegistry,
+)
+
+__all__ = [
+    "Accumulator",
+    "CacheConfig",
+    "Counter",
+    "DeterministicRng",
+    "DramConfig",
+    "GpuConfig",
+    "Histogram",
+    "OccupancySampler",
+    "PolicySpec",
+    "Simulator",
+    "SmConfig",
+    "StatsRegistry",
+    "TlbConfig",
+    "WalkerConfig",
+]

@@ -1,0 +1,84 @@
+"""Lightweight structured tracing for simulation debugging and analysis.
+
+A :class:`Tracer` is a bounded ring buffer of (time, kind, fields)
+records.  Components that support tracing (currently the page walk
+subsystem) emit records when a tracer is attached; with no tracer
+attached the cost is a single attribute check per event.
+
+Typical use::
+
+    tracer = Tracer(capacity=10_000, kinds={"walk.steal"})
+    manager.gpu.walk_subsystem_for(0).tracer = tracer
+    manager.run()
+    for rec in tracer.records("walk.steal"):
+        print(rec.time, rec.fields["tenant"], rec.fields["walker"])
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time: int
+    kind: str
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"[{self.time}] {self.kind} {parts}"
+
+
+class Tracer:
+    """Bounded, optionally kind-filtered event recorder."""
+
+    def __init__(self, capacity: int = 100_000,
+                 kinds: Optional[Iterable[str]] = None) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._kinds: Optional[Set[str]] = set(kinds) if kinds is not None else None
+        self._buffer: Deque[TraceRecord] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.emitted = 0
+
+    def wants(self, kind: str) -> bool:
+        return self._kinds is None or kind in self._kinds
+
+    def emit(self, time: int, kind: str, **fields: object) -> None:
+        """Record an event (silently filtered if its kind is unwanted)."""
+        if not self.wants(kind):
+            return
+        if len(self._buffer) == self.capacity:
+            self.dropped += 1
+        self._buffer.append(TraceRecord(time, kind, fields))
+        self.emitted += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def records(self, kind: Optional[str] = None) -> List[TraceRecord]:
+        if kind is None:
+            return list(self._buffer)
+        return [r for r in self._buffer if r.kind == kind]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for r in self._buffer if r.kind == kind)
+
+    def last(self, kind: Optional[str] = None) -> Optional[TraceRecord]:
+        for record in reversed(self._buffer):
+            if kind is None or record.kind == kind:
+                return record
+        return None
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self.dropped = 0

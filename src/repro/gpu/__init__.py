@@ -1,0 +1,18 @@
+"""The GPU compute model: warps, the coalescer, SMs and the assembly.
+
+The model is trace-driven at memory-operation granularity: each warp is
+a finite stream of :class:`~repro.gpu.warp.WarpOp` records ("issue N
+compute instructions, then this memory access").  SMs arbitrate issue
+bandwidth among their resident warps greedily (GTO-like) and bound
+outstanding memory operations with per-SM MSHRs.  The
+:class:`~repro.gpu.gpu.Gpu` class assembles SM partitions, per-SM L1
+TLBs, the shared (or per-tenant) L2 TLB, the page walk subsystem with
+the configured scheduling policy, and the memory hierarchy.
+"""
+
+from repro.gpu.coalescer import Coalescer
+from repro.gpu.gpu import Gpu, TenantContext
+from repro.gpu.sm import Sm
+from repro.gpu.warp import Warp, WarpOp
+
+__all__ = ["Coalescer", "Gpu", "Sm", "TenantContext", "Warp", "WarpOp"]

@@ -1,0 +1,51 @@
+"""The per-SM memory coalescer.
+
+A SIMD memory instruction presents up to warp-width lane addresses.  The
+coalescer reduces them to the unique cache lines touched (for data
+accesses) and the unique pages touched (for address translation) —
+paper Section II: accesses falling on one page are "coalesced to a
+single address translation request before looking up the L1 TLB".
+Divergent workloads (GUPS-like) defeat coalescing and emit several pages
+per instruction, which is exactly what makes them page-walk heavy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.vm.address import AddressLayout
+
+
+class Coalescer:
+    """Stateless address coalescing for one SM."""
+
+    def __init__(self, layout: AddressLayout, line_bytes: int) -> None:
+        self.layout = layout
+        self.line_bytes = line_bytes
+
+    def coalesce(self, addrs: Sequence[int]) -> List[Tuple[int, int]]:
+        """Reduce lane addresses to unique (page, representative addr) pairs.
+
+        One memory transaction is issued per unique *line*; returned here
+        is one entry per unique *page* carrying the first line-aligned
+        address on that page and the count of unique lines it covers —
+        the SM issues that many data accesses after one translation.
+        """
+        by_page = {}
+        seen_lines = set()
+        for addr in addrs:
+            line = addr // self.line_bytes
+            page = self.layout.vpn(addr)
+            if line in seen_lines:
+                continue
+            seen_lines.add(line)
+            if page not in by_page:
+                by_page[page] = [addr - (addr % self.line_bytes), 0]
+            by_page[page][1] += 1
+        return [(page, rep) for page, (rep, _count) in sorted(by_page.items())]
+
+    def unique_lines(self, addrs: Sequence[int]) -> int:
+        return len({a // self.line_bytes for a in addrs})
+
+    def unique_pages(self, addrs: Sequence[int]) -> int:
+        return len({self.layout.vpn(a) for a in addrs})

@@ -1,0 +1,303 @@
+"""Top-level GPU assembly: SM partitions, TLB hierarchy, walkers, memory.
+
+The :class:`Gpu` ties every substrate together and implements the
+translation datapath of Figure 1:
+
+    SM memory op -> coalescer -> L1 TLB (private, MSHR-merged)
+        -> shared L2 TLB (+interconnect)
+        -> page walk subsystem (policy-scheduled walkers, PWC)
+        -> 4-level page table in simulated physical memory
+    ... translation done -> L1/L2 data caches -> DRAM
+
+Multi-tenancy is spatial (MPS-style): SMs are partitioned among tenants,
+while the L2 TLB, walkers, L2 cache and DRAM are shared.  The idealized
+configurations of Section IV (S-TLB and S-(TLB+PTW)) replicate the L2
+TLB and/or walker pool per tenant when the config's
+``separate_l2_tlb`` / ``separate_walkers`` flags are set.
+
+When the policy spec includes MASK, a :class:`~repro.core.mask
+.MaskController` gates L2 TLB fills (token scheme) and routes PTE reads
+of cache-unfriendly tenants straight to DRAM (PTE bypass).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.factory import build_mask_controller, build_policy
+from repro.engine.config import GpuConfig, PolicySpec
+from repro.engine.simulator import Simulator
+from repro.gpu.coalescer import Coalescer
+from repro.gpu.sm import Sm
+from repro.gpu.warp import Warp
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.vm.address import AddressLayout
+from repro.vm.page_table import PageTable
+from repro.vm.subsystem import PageWalkSubsystem
+from repro.vm.tlb import Tlb
+from repro.vm.walk import WalkRequest
+
+
+class TenantContext:
+    """Everything the GPU tracks per co-running tenant."""
+
+    def __init__(self, tenant_id: int, page_table: PageTable,
+                 sm_ids: List[int]) -> None:
+        self.tenant_id = tenant_id
+        self.page_table = page_table
+        self.sm_ids = sm_ids
+        self.instructions = 0
+        self.active_warps = 0
+        self.on_complete: Optional[Callable[[], None]] = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Tenant {self.tenant_id}: SMs {self.sm_ids}>"
+
+
+class _WalkerMemoryAdapter:
+    """Walker-side memory port implementing MASK's PTE bypass."""
+
+    def __init__(self, gpu: "Gpu") -> None:
+        self.gpu = gpu
+
+    def walker_access(self, paddr: int, on_done: Callable[[], None],
+                      tenant_id: int = 0) -> None:
+        gpu = self.gpu
+        mask = gpu.mask
+        if mask is not None:
+            mask.note_walker_cache_access(tenant_id, gpu.memory.l2.contains(paddr))
+            if mask.pte_bypass(tenant_id):
+                gpu.memory.dram.access(paddr, False, on_done, tenant_id)
+                return
+        gpu.memory.walker_access(paddr, on_done, tenant_id)
+
+
+class Gpu:
+    """A spatially multi-tenant GPU instance."""
+
+    def __init__(self, sim: Simulator, config: GpuConfig,
+                 tenant_ids: List[int]) -> None:
+        if not tenant_ids:
+            raise ValueError("need at least one tenant")
+        self.sim = sim
+        self.config = config
+        self.layout = AddressLayout(page_size_bits=config.page_size_bits)
+        self.memory = MemoryHierarchy(sim, config)
+        self.tenants: Dict[int, TenantContext] = {}
+        self._tenant_ids = sorted(tenant_ids)
+        self.mask = build_mask_controller(config.policy, self._tenant_ids)
+
+        coalescer = Coalescer(self.layout, config.sm.l1_cache.line_bytes)
+        self.sms: List[Sm] = [
+            Sm(sim, i, config.sm, self, coalescer)
+            for i in range(config.sm.num_sms)
+        ]
+        self.l1_tlbs: List[Tlb] = [
+            Tlb(sim, config.sm.l1_tlb, name=f"l1tlb.sm{i}")
+            for i in range(config.sm.num_sms)
+        ]
+        # Per-SM translation MSHRs: (tenant, vpn) -> waiting callbacks.
+        self._xlat_mshrs: List[Dict[Tuple[int, int], List[Callable]]] = [
+            {} for _ in range(config.sm.num_sms)
+        ]
+        self._xlat_overflow: List[Deque] = [deque() for _ in range(config.sm.num_sms)]
+
+        self._build_l2_tlbs()
+        self._build_walk_subsystems()
+        self._partition_sms()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_l2_tlbs(self) -> None:
+        cfg = self.config
+        if cfg.separate_l2_tlb:
+            # S-TLB: an exclusive, full-size L2 TLB per tenant.
+            self._l2_tlbs = {
+                t: Tlb(self.sim, cfg.l2_tlb, name=f"l2tlb.t{t}")
+                for t in self._tenant_ids
+            }
+        else:
+            shared = Tlb(self.sim, cfg.l2_tlb, name="l2tlb")
+            self._l2_tlbs = {t: shared for t in self._tenant_ids}
+
+    def _build_walk_subsystems(self) -> None:
+        cfg = self.config
+        walker_mem = _WalkerMemoryAdapter(self)
+        if cfg.separate_walkers:
+            # S-(TLB+PTW): exclusive full-size walker pool per tenant;
+            # with no cross-tenant contention the policy is irrelevant,
+            # so each private pool runs the plain shared FIFO.
+            self._pws = {}
+            for t in self._tenant_ids:
+                policy = build_policy(
+                    PolicySpec(name="baseline"),
+                    cfg.walkers.num_walkers, cfg.walkers.queue_entries, [t],
+                    cfg.max_tenants,
+                )
+                self._pws[t] = PageWalkSubsystem(
+                    self.sim, walker_mem, policy,
+                    num_walkers=cfg.walkers.num_walkers,
+                    pwc_entries=cfg.walkers.pwc_entries,
+                    pwc_latency=cfg.walkers.pwc_latency,
+                    dispatch_latency=cfg.walkers.dispatch_latency,
+                    layout=self.layout, name=f"pws.t{t}",
+                )
+        else:
+            policy = build_policy(
+                cfg.policy, cfg.walkers.num_walkers,
+                cfg.walkers.queue_entries, self._tenant_ids, cfg.max_tenants,
+            )
+            shared = PageWalkSubsystem(
+                self.sim, walker_mem, policy,
+                num_walkers=cfg.walkers.num_walkers,
+                pwc_entries=cfg.walkers.pwc_entries,
+                pwc_latency=cfg.walkers.pwc_latency,
+                dispatch_latency=cfg.walkers.dispatch_latency,
+                layout=self.layout, name="pws",
+            )
+            self._pws = {t: shared for t in self._tenant_ids}
+
+    def _partition_sms(self) -> None:
+        """Assign SMs to tenants in equal contiguous blocks (MPS-style)."""
+        num = self.config.sm.num_sms
+        n = len(self._tenant_ids)
+        base, extra = divmod(num, n)
+        self._sm_assignment: Dict[int, List[int]] = {}
+        cursor = 0
+        for i, tenant in enumerate(self._tenant_ids):
+            count = base + (1 if i < extra else 0)
+            self._sm_assignment[tenant] = list(range(cursor, cursor + count))
+            cursor += count
+
+    # ------------------------------------------------------------------
+    # Tenant management
+    # ------------------------------------------------------------------
+    def add_tenant(self, tenant_id: int) -> TenantContext:
+        if tenant_id not in self._tenant_ids:
+            raise ValueError(
+                f"tenant {tenant_id} was not declared at construction"
+            )
+        page_table = PageTable(tenant_id, self.layout, self.memory.frames,
+                               node_frame_bytes=self.config.page_size)
+        context = TenantContext(tenant_id, page_table,
+                                self._sm_assignment[tenant_id])
+        self.tenants[tenant_id] = context
+        self._pws[tenant_id].register_tenant(tenant_id, page_table)
+        return context
+
+    def l2_tlb_for(self, tenant_id: int) -> Tlb:
+        return self._l2_tlbs[tenant_id]
+
+    def walk_subsystem_for(self, tenant_id: int) -> PageWalkSubsystem:
+        return self._pws[tenant_id]
+
+    def launch_warps(self, tenant_id: int, streams) -> None:
+        """Distribute warp streams over the tenant's SM partition."""
+        context = self.tenants[tenant_id]
+        sm_ids = context.sm_ids
+        if not sm_ids:
+            raise ValueError(f"tenant {tenant_id} has no SMs")
+        for i, stream in enumerate(streams):
+            warp = Warp(i, tenant_id, stream)
+            context.active_warps += 1
+            self.sms[sm_ids[i % len(sm_ids)]].add_warp(warp)
+
+    # ------------------------------------------------------------------
+    # Datapath: called by SMs
+    # ------------------------------------------------------------------
+    def access_memory(self, sm_id: int, tenant_id: int, vaddr: int,
+                      is_write: bool, on_done: Callable[[], None]) -> None:
+        """Translate then access memory; ``on_done`` at data return."""
+        vpn = self.layout.vpn(vaddr)
+        self.tenants[tenant_id].page_table.ensure_mapped(vpn)
+        offset = self.layout.page_offset(vaddr)
+
+        def translated(frame: int) -> None:
+            paddr = self.memory.frames.frame_to_addr(frame) + offset
+            self.memory.data_access(sm_id, paddr, is_write, on_done, tenant_id)
+
+        self._translate(sm_id, tenant_id, vpn, translated)
+
+    def _translate(self, sm_id: int, tenant_id: int, vpn: int,
+                   on_translated: Callable[[int], None]) -> None:
+        l1 = self.l1_tlbs[sm_id]
+        if l1.lookup(tenant_id, vpn):
+            frame = self.tenants[tenant_id].page_table.translate(vpn)
+            self.sim.after(l1.config.hit_latency, on_translated, frame)
+            return
+        # L1 miss: merge into the SM's translation MSHRs.
+        mshrs = self._xlat_mshrs[sm_id]
+        key = (tenant_id, vpn)
+        if key in mshrs:
+            mshrs[key].append(on_translated)
+            return
+        if len(mshrs) >= self.config.sm.l1_tlb.mshr_entries:
+            self._xlat_overflow[sm_id].append((tenant_id, vpn, on_translated))
+            self.sim.stats.counter(f"l1tlb.sm{sm_id}.mshr_stalls").inc()
+            return
+        mshrs[key] = [on_translated]
+        self.sim.after(l1.config.hit_latency + self.config.interconnect_latency,
+                       self._l2_tlb_lookup, sm_id, tenant_id, vpn)
+
+    def _l2_tlb_lookup(self, sm_id: int, tenant_id: int, vpn: int) -> None:
+        l2 = self._l2_tlbs[tenant_id]
+        hit = l2.lookup(tenant_id, vpn)
+        if self.mask is not None:
+            self.mask.note_l2_tlb_lookup(tenant_id, hit)
+        if hit:
+            frame = self.tenants[tenant_id].page_table.translate(vpn)
+            self.sim.after(l2.config.hit_latency, self._finish_translation,
+                           sm_id, tenant_id, vpn, frame, False)
+            return
+        self.sim.stats.counter(f"gpu.l2tlb_misses.tenant{tenant_id}").inc()
+        self.sim.after(
+            l2.config.hit_latency,
+            lambda: self._pws[tenant_id].request_walk(
+                tenant_id, vpn,
+                lambda req: self._walk_done(sm_id, tenant_id, vpn, req),
+            ),
+        )
+
+    def _walk_done(self, sm_id: int, tenant_id: int, vpn: int,
+                   request: WalkRequest) -> None:
+        frame = self.tenants[tenant_id].page_table.translate(vpn)
+        self._finish_translation(sm_id, tenant_id, vpn, frame, True)
+
+    def _finish_translation(self, sm_id: int, tenant_id: int, vpn: int,
+                            frame: int, from_walk: bool) -> None:
+        if from_walk:
+            l2 = self._l2_tlbs[tenant_id]
+            if self.mask is None or self.mask.allow_l2_fill(tenant_id):
+                l2.insert(tenant_id, vpn, frame)
+        self.l1_tlbs[sm_id].insert(tenant_id, vpn, frame)
+        mshrs = self._xlat_mshrs[sm_id]
+        waiters = mshrs.pop((tenant_id, vpn), [])
+        for waiter in waiters:
+            waiter(frame)
+        self._drain_xlat_overflow(sm_id)
+
+    def _drain_xlat_overflow(self, sm_id: int) -> None:
+        overflow = self._xlat_overflow[sm_id]
+        mshrs = self._xlat_mshrs[sm_id]
+        while overflow and len(mshrs) < self.config.sm.l1_tlb.mshr_entries:
+            tenant_id, vpn, on_translated = overflow.popleft()
+            self._translate(sm_id, tenant_id, vpn, on_translated)
+            # _translate may hit (no MSHR used) or allocate one; loop
+            # re-checks capacity either way.
+
+    # ------------------------------------------------------------------
+    # Accounting: called by SMs
+    # ------------------------------------------------------------------
+    def count_instructions(self, tenant_id: int, count: int) -> None:
+        context = self.tenants[tenant_id]
+        context.instructions += count
+        self.sim.stats.counter(f"gpu.instructions.tenant{tenant_id}").inc(count)
+
+    def note_warp_done(self, sm_id: int, warp: Warp) -> None:
+        context = self.tenants[warp.tenant_id]
+        context.active_warps -= 1
+        if context.active_warps == 0 and context.on_complete is not None:
+            callback, context.on_complete = context.on_complete, None
+            callback()

@@ -1,0 +1,61 @@
+"""Warps as finite streams of compute-then-memory operations.
+
+A :class:`WarpOp` abstracts a stretch of a warp's execution: ``compute``
+ALU instructions followed by one SIMD memory instruction touching
+``addrs`` (one virtual address per participating lane, after whatever
+divergence the workload models).  A warp with no memory instruction left
+emits a final op with empty ``addrs``.
+
+This granularity is the key performance trade-off of the simulator (see
+DESIGN.md): event count scales with memory operations rather than
+instructions, while IPC, issue-bandwidth contention and memory-level
+parallelism are still modeled.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+
+class WarpOp:
+    """``compute`` instructions followed by one memory instruction."""
+
+    __slots__ = ("compute", "addrs", "is_write")
+
+    def __init__(self, compute: int, addrs: Sequence[int] = (),
+                 is_write: bool = False) -> None:
+        if compute < 0:
+            raise ValueError("compute instruction count cannot be negative")
+        self.compute = compute
+        self.addrs = tuple(addrs)
+        self.is_write = is_write
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions this op retires (compute + the memory op)."""
+        return self.compute + (1 if self.addrs else 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "st" if self.is_write else "ld"
+        return f"WarpOp(compute={self.compute}, {kind} x{len(self.addrs)})"
+
+
+class Warp:
+    """A warp context: a tenant-tagged stream of WarpOps."""
+
+    __slots__ = ("warp_id", "tenant_id", "_stream", "done")
+
+    def __init__(self, warp_id: int, tenant_id: int,
+                 stream: Iterator[WarpOp]) -> None:
+        self.warp_id = warp_id
+        self.tenant_id = tenant_id
+        self._stream = iter(stream)
+        self.done = False
+
+    def next_op(self) -> Optional[WarpOp]:
+        """The next op, or ``None`` when the warp has retired."""
+        try:
+            return next(self._stream)
+        except StopIteration:
+            self.done = True
+            return None

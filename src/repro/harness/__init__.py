@@ -1,0 +1,49 @@
+"""The experiment harness: one entry point per paper table and figure.
+
+Typical use::
+
+    from repro.harness import Session, experiments, reporting
+
+    session = Session(scale=1.0, warps_per_sm=4)
+    result = experiments.fig5_throughput(session)
+    print(reporting.format_table(result))
+
+The :class:`~repro.harness.runner.Session` caches every (pair, config)
+simulation and every stand-alone run, so experiments that share
+configurations (e.g. Figures 5, 6 and 7 all need Baseline/DWS/DWS++
+runs) reuse each other's work.
+"""
+
+from repro.harness.parallel import Job, pair_jobs, run_jobs
+from repro.harness.report import generate_report
+from repro.harness.results_io import export_results, load_results
+from repro.harness.reporting import (
+    ExperimentResult,
+    format_bars,
+    format_table,
+    geomean,
+)
+from repro.harness.runner import Session, StandaloneMeasurement
+from repro.harness.seeds import compare_policies, seed_study
+from repro.harness.sweep import Sweep, axis
+from repro.harness.validate import validate_result
+
+__all__ = [
+    "ExperimentResult",
+    "Job",
+    "Session",
+    "StandaloneMeasurement",
+    "Sweep",
+    "axis",
+    "compare_policies",
+    "export_results",
+    "load_results",
+    "seed_study",
+    "format_bars",
+    "format_table",
+    "generate_report",
+    "geomean",
+    "pair_jobs",
+    "run_jobs",
+    "validate_result",
+]

@@ -1,0 +1,565 @@
+"""One experiment per paper table and figure (see DESIGN.md's index).
+
+Every function takes a :class:`~repro.harness.runner.Session` plus an
+optional subset of workload pairs (defaulting to all 45) and returns an
+:class:`~repro.harness.reporting.ExperimentResult` whose rows mirror the
+bars/rows of the corresponding figure/table.  Figures report values
+normalized exactly the way the paper normalizes them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.dwspp import DwsPlusParams
+from repro.engine.config import GpuConfig
+from repro.harness.reporting import (
+    ExperimentResult,
+    arithmetic_mean,
+    geomean,
+)
+from repro.harness.runner import Session
+from repro.workloads.base import Workload
+from repro.metrics import (
+    fairness,
+    interleaving_of,
+    steal_fraction,
+    tlb_share,
+    total_ipc,
+    walk_latency_of,
+    weighted_ipc,
+)
+from repro.workloads.pairs import (
+    REPRESENTATIVE_PAIRS,
+    WORKLOAD_PAIRS,
+    pair_class,
+    split_pair,
+    vm_sensitive_pairs,
+)
+
+CLASS_ORDER = ("LL", "ML", "MM", "HL", "HM", "HH")
+
+
+def _pairs(pairs: Optional[Sequence[str]]) -> List[str]:
+    return list(pairs) if pairs is not None else list(WORKLOAD_PAIRS)
+
+
+def _sorted_by_class(pairs: Sequence[str]) -> List[str]:
+    return sorted(pairs, key=lambda p: (CLASS_ORDER.index(pair_class(p)), p))
+
+
+def _append_class_means(result: ExperimentResult, value_columns: Sequence[str]) -> None:
+    """Add per-class and overall geometric-mean rows."""
+    for cls in CLASS_ORDER:
+        class_rows = [r for r in result.rows if r.get("class") == cls]
+        if not class_rows:
+            continue
+        means = {
+            col: geomean([float(r[col]) for r in class_rows if col in r])
+            for col in value_columns
+        }
+        result.add_row(pair=f"gmean[{cls}]", **{"class": cls}, **means)
+    plain = [r for r in result.rows if not str(r["pair"]).startswith("gmean")]
+    result.add_row(
+        pair="gmean[all]",
+        **{"class": "*"},
+        **{col: geomean([float(r[col]) for r in plain if col in r])
+           for col in value_columns},
+    )
+
+
+# ----------------------------------------------------------------------
+# Section IV: motivation (Figures 2 and 3)
+# ----------------------------------------------------------------------
+def _motivation_configs() -> Dict[str, GpuConfig]:
+    base = GpuConfig.baseline()
+    return {
+        "baseline": base,
+        "s_tlb": base.with_separate_tlb(),
+        "s_tlb_ptw": base.with_separate_tlb_and_walkers(),
+    }
+
+
+def fig2_motivation_throughput(session: Session,
+                               pairs: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Figure 2: total IPC of Baseline / S-TLB / S-(TLB+PTW), normalized
+    to Baseline, grouped by workload class."""
+    result = ExperimentResult(
+        "fig2", "Total IPC: baseline vs separate TLB vs separate TLB+PTW "
+        "(normalized to baseline)",
+        columns=["pair", "class", "baseline", "s_tlb", "s_tlb_ptw"],
+    )
+    configs = _motivation_configs()
+    for pair in _sorted_by_class(_pairs(pairs)):
+        base = total_ipc(session.run_pair(pair, configs["baseline"]))
+        row = {"pair": pair, "class": pair_class(pair), "baseline": 1.0}
+        for name in ("s_tlb", "s_tlb_ptw"):
+            row[name] = total_ipc(session.run_pair(pair, configs[name])) / base
+        result.add_row(**row)
+    _append_class_means(result, ["baseline", "s_tlb", "s_tlb_ptw"])
+    return result
+
+
+def fig3_motivation_weighted_ipc(session: Session,
+                                 pairs: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Figure 3: weighted IPC of the three motivation configurations
+    (absolute values; range 0..2 for two tenants)."""
+    result = ExperimentResult(
+        "fig3", "Weighted IPC: baseline vs separate TLB vs separate TLB+PTW",
+        columns=["pair", "class", "baseline", "s_tlb", "s_tlb_ptw"],
+    )
+    configs = _motivation_configs()
+    for pair in _sorted_by_class(_pairs(pairs)):
+        names = split_pair(pair)
+        standalone = session.standalone_ipcs(names)
+        row = {"pair": pair, "class": pair_class(pair)}
+        for name, cfg in configs.items():
+            row[name] = weighted_ipc(session.run_pair(pair, cfg), standalone)
+        result.add_row(**row)
+    _append_class_means(result, ["baseline", "s_tlb", "s_tlb_ptw"])
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table III / Table V: interleaving
+# ----------------------------------------------------------------------
+def _interleaving_rows(session: Session, config: GpuConfig,
+                       label: str, result: ExperimentResult) -> None:
+    for cls in CLASS_ORDER:
+        class_values = []
+        for pair in REPRESENTATIVE_PAIRS[cls]:
+            run = session.run_pair(pair, config)
+            t1 = interleaving_of(run, 0)
+            t2 = interleaving_of(run, 1)
+            result.add_row(**{"class": cls, "pair": pair, "config": label,
+                              "tenant1": t1, "tenant2": t2,
+                              "average": (t1 + t2) / 2})
+            class_values.append((t1 + t2) / 2)
+        result.add_row(**{"class": cls, "pair": "arith. mean", "config": label,
+                          "tenant1": float("nan"), "tenant2": float("nan"),
+                          "average": arithmetic_mean(class_values)})
+
+
+def table3_interleaving_baseline(session: Session) -> ExperimentResult:
+    """Table III: baseline interleaving for the representative pairs."""
+    result = ExperimentResult(
+        "table3", "Interleaving of page walks (baseline)",
+        columns=["class", "pair", "config", "tenant1", "tenant2", "average"],
+    )
+    _interleaving_rows(session, GpuConfig.baseline(), "baseline", result)
+    return result
+
+
+def table5_interleaving(session: Session) -> ExperimentResult:
+    """Table V: interleaving under Baseline, DWS and DWS++."""
+    result = ExperimentResult(
+        "table5", "Interleaving in Baseline, DWS, and DWS++",
+        columns=["class", "pair", "config", "tenant1", "tenant2", "average"],
+    )
+    base = GpuConfig.baseline()
+    for label, cfg in (("baseline", base),
+                       ("dws", base.with_policy("dws")),
+                       ("dwspp", base.with_policy("dwspp"))):
+        _interleaving_rows(session, cfg, label, result)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Section VII-A: Figures 5, 6, 7
+# ----------------------------------------------------------------------
+def _dws_configs() -> Dict[str, GpuConfig]:
+    base = GpuConfig.baseline()
+    return {
+        "baseline": base,
+        "dws": base.with_policy("dws"),
+        "dwspp": base.with_policy("dwspp"),
+    }
+
+
+def fig5_throughput(session: Session,
+                    pairs: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Figure 5: total IPC of Baseline/DWS/DWS++, normalized to baseline."""
+    result = ExperimentResult(
+        "fig5", "Throughput (total IPC), normalized to baseline",
+        columns=["pair", "class", "baseline", "dws", "dwspp"],
+    )
+    configs = _dws_configs()
+    for pair in _sorted_by_class(_pairs(pairs)):
+        base = total_ipc(session.run_pair(pair, configs["baseline"]))
+        row = {"pair": pair, "class": pair_class(pair), "baseline": 1.0}
+        for name in ("dws", "dwspp"):
+            row[name] = total_ipc(session.run_pair(pair, configs[name])) / base
+        result.add_row(**row)
+    _append_class_means(result, ["baseline", "dws", "dwspp"])
+    vm_set = set(vm_sensitive_pairs())
+    vm_rows = [r for r in result.rows
+               if r["pair"] in vm_set]
+    if vm_rows:
+        result.notes.append(
+            "VM-sensitive subset (H-class pairs) DWS gmean: "
+            f"{geomean([float(r['dws']) for r in vm_rows]):.3f}"
+        )
+    return result
+
+
+def fig6_fairness(session: Session,
+                  pairs: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Figure 6: fairness (min/max slowdown) under Baseline/DWS/DWS++."""
+    result = ExperimentResult(
+        "fig6", "Fairness in Baseline, DWS, and DWS++ (higher is better)",
+        columns=["pair", "class", "baseline", "dws", "dwspp"],
+    )
+    configs = _dws_configs()
+    for pair in _sorted_by_class(_pairs(pairs)):
+        names = split_pair(pair)
+        standalone = session.standalone_ipcs(names)
+        row = {"pair": pair, "class": pair_class(pair)}
+        for name, cfg in configs.items():
+            row[name] = fairness(session.run_pair(pair, cfg), standalone)
+        result.add_row(**row)
+    _append_class_means(result, ["baseline", "dws", "dwspp"])
+    return result
+
+
+def fig7_weighted_ipc(session: Session,
+                      pairs: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Figure 7: weighted IPC under Baseline/DWS/DWS++."""
+    result = ExperimentResult(
+        "fig7", "Weighted IPC for Baseline, DWS, and DWS++",
+        columns=["pair", "class", "baseline", "dws", "dwspp"],
+    )
+    configs = _dws_configs()
+    for pair in _sorted_by_class(_pairs(pairs)):
+        names = split_pair(pair)
+        standalone = session.standalone_ipcs(names)
+        row = {"pair": pair, "class": pair_class(pair)}
+        for name, cfg in configs.items():
+            row[name] = weighted_ipc(session.run_pair(pair, cfg), standalone)
+        result.add_row(**row)
+    _append_class_means(result, ["baseline", "dws", "dwspp"])
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table VI: stealing percentages
+# ----------------------------------------------------------------------
+def table6_stealing(session: Session) -> ExperimentResult:
+    """Table VI: percentage of walks serviced by stealing, per tenant."""
+    result = ExperimentResult(
+        "table6", "Percentage of page walks serviced by stealing",
+        columns=["class", "pair", "config", "tenant1_pct", "tenant2_pct"],
+    )
+    base = GpuConfig.baseline()
+    for label, cfg in (("dws", base.with_policy("dws")),
+                       ("dwspp", base.with_policy("dwspp"))):
+        for cls in CLASS_ORDER:
+            t1s, t2s = [], []
+            for pair in REPRESENTATIVE_PAIRS[cls]:
+                run = session.run_pair(pair, cfg)
+                t1 = steal_fraction(run, 0) * 100
+                t2 = steal_fraction(run, 1) * 100
+                result.add_row(**{"class": cls, "pair": pair, "config": label,
+                                  "tenant1_pct": t1, "tenant2_pct": t2})
+                t1s.append(t1)
+                t2s.append(t2)
+            result.add_row(**{"class": cls, "pair": "arith. mean",
+                              "config": label,
+                              "tenant1_pct": arithmetic_mean(t1s),
+                              "tenant2_pct": arithmetic_mean(t2s)})
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 8: walk latency
+# ----------------------------------------------------------------------
+def fig8_walk_latency(session: Session) -> ExperimentResult:
+    """Figure 8: per-tenant walk latency normalized to stand-alone,
+    gmean per workload class, for Baseline/DWS/DWS++."""
+    result = ExperimentResult(
+        "fig8", "Average walk latency relative to stand-alone execution",
+        columns=["class", "config", "tenant1", "tenant2"],
+    )
+    base = GpuConfig.baseline()
+    configs = (("baseline", base), ("dws", base.with_policy("dws")),
+               ("dwspp", base.with_policy("dwspp")))
+    for cls in CLASS_ORDER:
+        for label, cfg in configs:
+            t1_vals, t2_vals = [], []
+            for pair in REPRESENTATIVE_PAIRS[cls]:
+                names = split_pair(pair)
+                run = session.run_pair(pair, cfg)
+                for idx, values in ((0, t1_vals), (1, t2_vals)):
+                    sa = session.standalone(names[idx]).walk_latency
+                    lat = walk_latency_of(run, idx)
+                    if sa > 0 and lat > 0:
+                        values.append(lat / sa)
+            result.add_row(**{"class": cls, "config": label,
+                              "tenant1": geomean(t1_vals),
+                              "tenant2": geomean(t2_vals)})
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 9: walker share vs TLB share coupling
+# ----------------------------------------------------------------------
+def fig9_share_coupling(session: Session,
+                        pairs: Sequence[str] = ("BLK.3DS", "SAD.MM")) -> ExperimentResult:
+    """Figure 9: per-tenant walker share and L2 TLB share under baseline
+    and DWS, for the paper's two representative pairs."""
+    result = ExperimentResult(
+        "fig9", "Effect of page walker share on L2 TLB share",
+        columns=["pair", "config", "tenant", "workload", "pw_share", "tlb_share"],
+    )
+    base = GpuConfig.baseline()
+    for pair in pairs:
+        names = split_pair(pair)
+        for label, cfg in (("baseline", base), ("dws", base.with_policy("dws"))):
+            run = session.run_pair(pair, cfg)
+            for idx, name in enumerate(names):
+                result.add_row(
+                    pair=pair, config=label, tenant=idx, workload=name,
+                    pw_share=run.stat(f"pws.walker_share.tenant{idx}"),
+                    tlb_share=tlb_share(run, idx),
+                )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 10: the throughput/fairness knob
+# ----------------------------------------------------------------------
+def fig10_aggressiveness(session: Session,
+                         pairs: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Figure 10: fairness (a) and throughput (b) gmeans per class for
+    Baseline, DWS and the three DWS++ variants of Table VII."""
+    result = ExperimentResult(
+        "fig10", "Balancing fairness and throughput with DWS++ variants",
+        columns=["class", "metric", "baseline", "dws", "dwspp_conservative",
+                 "dwspp", "dwspp_aggressive"],
+    )
+    base = GpuConfig.baseline()
+    configs = {
+        "baseline": base,
+        "dws": base.with_policy("dws"),
+        "dwspp_conservative": base.with_policy("dwspp", preset="conservative"),
+        "dwspp": base.with_policy("dwspp"),
+        "dwspp_aggressive": base.with_policy("dwspp", preset="aggressive"),
+    }
+    use = _pairs(pairs)
+    for cls in CLASS_ORDER + ("All",):
+        cls_pairs = [p for p in use if cls == "All" or pair_class(p) == cls]
+        if not cls_pairs:
+            continue
+        fair_row = {"class": cls, "metric": "fairness"}
+        thr_row = {"class": cls, "metric": "throughput"}
+        for label, cfg in configs.items():
+            fair_vals, thr_vals = [], []
+            for pair in cls_pairs:
+                names = split_pair(pair)
+                standalone = session.standalone_ipcs(names)
+                run = session.run_pair(pair, cfg)
+                base_run = session.run_pair(pair, configs["baseline"])
+                fair_vals.append(fairness(run, standalone))
+                thr_vals.append(total_ipc(run) / total_ipc(base_run))
+            fair_row[label] = geomean(fair_vals)
+            thr_row[label] = geomean(thr_vals)
+        result.add_row(**fair_row)
+        result.add_row(**thr_row)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 11: comparison with alternatives
+# ----------------------------------------------------------------------
+def fig11_alternatives(session: Session,
+                       pairs: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Figure 11: Baseline / Static / MASK / DWS / MASK+DWS throughput,
+    normalized to baseline, gmean per class."""
+    result = ExperimentResult(
+        "fig11", "Comparison with static partitioning and MASK",
+        columns=["class", "baseline", "static", "mask", "dws", "mask_dws"],
+    )
+    base = GpuConfig.baseline()
+    configs = {
+        "baseline": base,
+        "static": base.with_policy("static"),
+        "mask": base.with_policy("mask"),
+        "dws": base.with_policy("dws"),
+        "mask_dws": base.with_policy("mask+dws"),
+    }
+    use = _pairs(pairs)
+    for cls in CLASS_ORDER + ("All",):
+        cls_pairs = [p for p in use if cls == "All" or pair_class(p) == cls]
+        if not cls_pairs:
+            continue
+        row = {"class": cls}
+        for label, cfg in configs.items():
+            vals = []
+            for pair in cls_pairs:
+                run = session.run_pair(pair, cfg)
+                base_run = session.run_pair(pair, configs["baseline"])
+                vals.append(total_ipc(run) / total_ipc(base_run))
+            row[label] = geomean(vals)
+        result.add_row(**row)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 12: sensitivity to TLB size and walker count
+# ----------------------------------------------------------------------
+def fig12_sensitivity(session: Session,
+                      pairs: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Figure 12: DWS improvement over a same-resource baseline while
+    sweeping L2 TLB entries (512/1024/2048), walkers (12/16/24) and the
+    combined 2048+24 point; plus the Section IV 'doubling' check."""
+    result = ExperimentResult(
+        "fig12", "Sensitivity of DWS to L2 TLB capacity and walker count "
+        "(normalized to the same-resource baseline)",
+        columns=["class", "variant", "dws_speedup"],
+    )
+    variants: Dict[str, GpuConfig] = {
+        "512 entries": GpuConfig.baseline().with_l2_tlb_entries(512),
+        "1024 entries": GpuConfig.baseline(),
+        "2048 entries": GpuConfig.baseline().with_l2_tlb_entries(2048),
+        "12 walkers": GpuConfig.baseline().with_walker_count(12),
+        "16 walkers": GpuConfig.baseline(),
+        "24 walkers": GpuConfig.baseline().with_walker_count(24),
+        "2048 + 24": GpuConfig.baseline().with_l2_tlb_entries(2048)
+                                         .with_walker_count(24),
+    }
+    use = _pairs(pairs)
+    for cls in CLASS_ORDER + ("All",):
+        cls_pairs = [p for p in use if cls == "All" or pair_class(p) == cls]
+        if not cls_pairs:
+            continue
+        for variant, cfg in variants.items():
+            vals = []
+            for pair in cls_pairs:
+                base_run = session.run_pair(pair, cfg)
+                dws_run = session.run_pair(pair, cfg.with_policy("dws"))
+                vals.append(total_ipc(dws_run) / total_ipc(base_run))
+            result.add_row(**{"class": cls, "variant": variant,
+                              "dws_speedup": geomean(vals)})
+    # Section IV prose: doubled shared resources (2048 entries, 32 PTWs)
+    # vs S-(TLB+PTW) at baseline sizing.
+    doubled = GpuConfig.baseline().with_l2_tlb_entries(2048).with_walker_count(32)
+    ideal = GpuConfig.baseline().with_separate_tlb_and_walkers()
+    ratios = []
+    for pair in use:
+        doubled_ipc = total_ipc(session.run_pair(pair, doubled))
+        ideal_ipc = total_ipc(session.run_pair(pair, ideal))
+        if ideal_ipc > 0:
+            ratios.append(doubled_ipc / ideal_ipc)
+    result.notes.append(
+        "doubled shared resources (2048-entry TLB, 32 PTWs) achieve "
+        f"{geomean(ratios):.3f}x of interference-free S-(TLB+PTW) throughput"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 13: three and four tenants
+# ----------------------------------------------------------------------
+DEFAULT_MULTI_TENANT_COMBOS = (
+    "GUPS.MM.JPEG",
+    "BLK.HS.3DS",
+    "SAD.LIB.FFT",
+    "QTC.MM.HS",
+    "GUPS.SAD.MM.HS",
+    "BLK.QTC.JPEG.FFT",
+)
+
+
+def fig13_multi_tenant(session: Session,
+                       combos: Sequence[str] = DEFAULT_MULTI_TENANT_COMBOS) -> ExperimentResult:
+    """Figure 13: throughput with 3 and 4 concurrent tenants.
+
+    As in the paper, the walker count is adjusted to the nearest value
+    divisible by the tenant count (15 for three tenants, 16 for four);
+    the L2 TLB stays at baseline size.
+    """
+    result = ExperimentResult(
+        "fig13", "Throughput with three and four tenants "
+        "(normalized to baseline)",
+        columns=["combo", "tenants", "baseline", "dws", "dwspp"],
+    )
+    for combo in combos:
+        names = combo.split(".")
+        n = len(names)
+        walkers = (16 // n) * n
+        base = GpuConfig.baseline().with_walker_count(walkers)
+        base_ipc = total_ipc(session.run_names(names, base))
+        row = {"combo": combo, "tenants": n, "baseline": 1.0}
+        for label in ("dws", "dwspp"):
+            run = session.run_names(names, base.with_policy(label))
+            row[label] = total_ipc(run) / base_ipc
+        result.add_row(**row)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 14: large pages
+# ----------------------------------------------------------------------
+DEFAULT_LARGE_PAGE_PAIRS = ("GUPS.SAD", "QTC.BLK", "BLK.3DS", "GUPS.JPEG",
+                            "SAD.MM", "BLK.HS")
+
+
+def fig14_large_pages(session: Session,
+                      pairs: Sequence[str] = DEFAULT_LARGE_PAGE_PAIRS,
+                      footprint_multiplier: int = 16) -> ExperimentResult:
+    """Figure 14: DWS and DWS++ with 64 KB pages.
+
+    The paper "simulated a few workloads with enhanced memory footprint"
+    for the large-page study — with 16x larger pages, the footprint must
+    grow to keep the TLB under comparable pressure.  We scale every
+    model's footprint by ``footprint_multiplier`` (default 16, matching
+    the page-size growth) and re-run Baseline/DWS/DWS++.
+    """
+    result = ExperimentResult(
+        "fig14", "Throughput with 64KB pages and enhanced footprints "
+        "(normalized to baseline)",
+        columns=["pair", "class", "baseline", "dws", "dwspp"],
+    )
+    base = GpuConfig.baseline().with_page_size_bits(16)
+
+    def enhanced(name: str) -> Workload:
+        wl = session.workload(name)
+        spec = dataclasses.replace(
+            wl.spec,
+            footprint_bytes=wl.spec.footprint_bytes * footprint_multiplier,
+        )
+        return Workload(spec, wl.scale)
+
+    for pair in pairs:
+        names = split_pair(pair)
+        workloads = [enhanced(n) for n in names]
+        label = f"{pair}@x{footprint_multiplier}"
+        base_ipc = total_ipc(session.run_custom(label, workloads, base))
+        row = {"pair": pair, "class": pair_class(pair), "baseline": 1.0}
+        for policy in ("dws", "dwspp"):
+            run = session.run_custom(label, workloads,
+                                     base.with_policy(policy))
+            row[policy] = total_ipc(run) / base_ipc
+        result.add_row(**row)
+    _append_class_means(result, ["baseline", "dws", "dwspp"])
+    return result
+
+
+#: experiment id -> callable, for discovery by benches and examples
+ALL_EXPERIMENTS = {
+    "fig2": fig2_motivation_throughput,
+    "fig3": fig3_motivation_weighted_ipc,
+    "table3": table3_interleaving_baseline,
+    "fig5": fig5_throughput,
+    "fig6": fig6_fairness,
+    "fig7": fig7_weighted_ipc,
+    "table5": table5_interleaving,
+    "table6": table6_stealing,
+    "fig8": fig8_walk_latency,
+    "fig9": fig9_share_coupling,
+    "fig10": fig10_aggressiveness,
+    "fig11": fig11_alternatives,
+    "fig12": fig12_sensitivity,
+    "fig13": fig13_multi_tenant,
+    "fig14": fig14_large_pages,
+}

@@ -1,0 +1,72 @@
+"""Markdown report generation: every experiment, one document.
+
+:func:`generate_report` runs a selected set of the paper's experiments
+through one caching :class:`~repro.harness.runner.Session` and renders a
+self-contained Markdown report — the regenerate-everything entry point
+behind ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.reporting import ExperimentResult
+from repro.harness.runner import Session
+
+#: experiments safe to run with a pair subset passed through
+_PAIRED = ("fig2", "fig3", "fig5", "fig6", "fig7", "fig10", "fig11")
+
+
+def _markdown_table(result: ExperimentResult) -> str:
+    header = "| " + " | ".join(result.columns) + " |"
+    rule = "|" + "|".join("---" for _ in result.columns) + "|"
+    lines = [header, rule]
+    for row in result.rows:
+        cells = []
+        for col in result.columns:
+            value = row.get(col, "")
+            cells.append(f"{value:.3f}" if isinstance(value, float) else str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def render_markdown(results: Sequence[ExperimentResult],
+                    title: str = "Reproduction report") -> str:
+    parts = [f"# {title}", ""]
+    for result in results:
+        parts.append(f"## {result.experiment}: {result.title}")
+        parts.append("")
+        parts.append(_markdown_table(result))
+        for note in result.notes:
+            parts.append("")
+            parts.append(f"> {note}")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def generate_report(
+    session: Optional[Session] = None,
+    experiments: Optional[Iterable[str]] = None,
+    pairs: Optional[Sequence[str]] = None,
+) -> str:
+    """Run experiments and return the rendered Markdown.
+
+    ``experiments`` defaults to every known experiment; ``pairs``
+    restricts the pair-driven ones (Figures 2/3/5/6/7/10/11) to a
+    subset — the table/latency/share experiments always use their own
+    paper-defined sets.
+    """
+    session = session or Session()
+    selected = list(experiments) if experiments is not None else sorted(ALL_EXPERIMENTS)
+    unknown = [e for e in selected if e not in ALL_EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}")
+    results: List[ExperimentResult] = []
+    for name in selected:
+        fn = ALL_EXPERIMENTS[name]
+        if pairs is not None and name in _PAIRED:
+            results.append(fn(session, pairs=pairs))
+        else:
+            results.append(fn(session))
+    return render_markdown(results)

@@ -1,0 +1,113 @@
+"""Structured experiment results and plain-text table rendering.
+
+Every experiment returns an :class:`ExperimentResult`: a list of row
+dicts plus column metadata, so benches can both print the same rows the
+paper's table/figure reports and assert on the numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's average for speedups)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    vals = list(values)
+    return sum(vals) / len(vals) if vals else 0.0
+
+
+@dataclass
+class ExperimentResult:
+    """Rows reproducing one paper table or figure."""
+
+    experiment: str                  # e.g. "fig5"
+    title: str
+    columns: List[str]               # ordered column keys
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(values)
+
+    def column(self, name: str, where: Optional[Dict[str, object]] = None) -> List[float]:
+        """All numeric values of one column, optionally filtered."""
+        out = []
+        for row in self.rows:
+            if where and any(row.get(k) != v for k, v in where.items()):
+                continue
+            value = row.get(name)
+            if isinstance(value, (int, float)):
+                out.append(float(value))
+        return out
+
+    def row_for(self, **match: object) -> Dict[str, object]:
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in match.items()):
+                return row
+        raise KeyError(f"no row matching {match}")
+
+
+def format_bars(result: ExperimentResult, value_column: str,
+                label_column: str = "pair", width: int = 40,
+                baseline: float = 1.0) -> str:
+    """Render one column as a horizontal ASCII bar chart.
+
+    Bars are scaled to the column maximum; a ``|`` tick marks the
+    ``baseline`` value (1.0 for the paper's normalized figures), so
+    above/below-baseline rows are visible at a glance in a terminal.
+    """
+    rows = [(str(r.get(label_column, "")), float(r[value_column]))
+            for r in result.rows
+            if isinstance(r.get(value_column), (int, float))]
+    if not rows:
+        return f"(no numeric values in column {value_column!r})"
+    peak = max(max(v for _, v in rows), baseline)
+    label_width = max(len(label) for label, _ in rows)
+    tick = round(baseline / peak * width) if peak > 0 else 0
+    lines = [f"{result.experiment}: {value_column} "
+             f"(| marks {baseline:g}, full bar = {peak:.3f})"]
+    for label, value in rows:
+        filled = round(value / peak * width) if peak > 0 else 0
+        bar = ""
+        for i in range(width + 1):
+            if i == tick:
+                bar += "|"
+            elif i < filled:
+                bar += "#"
+            else:
+                bar += " "
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:.3f}")
+    return "\n".join(lines)
+
+
+def format_table(result: ExperimentResult, float_fmt: str = "{:.3f}") -> str:
+    """Render an ExperimentResult as an aligned text table."""
+    headers = result.columns
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    cells = [[render(row.get(col, "")) for col in headers] for row in result.rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [f"== {result.experiment}: {result.title} =="]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Exporting run results to JSON for external analysis/plotting.
+
+A :class:`~repro.tenancy.manager.RunResult` holds live simulator state
+references; what downstream tooling needs is the numbers.  This module
+serializes the portable subset — config description, per-tenant
+execution stats, the flattened statistics namespace — and reads it back
+as plain dictionaries.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Union
+
+from repro.tenancy.manager import RunResult
+
+FORMAT_VERSION = 1
+
+
+def result_to_dict(result: RunResult) -> Dict:
+    """The JSON-portable view of one run."""
+    return {
+        "config": result.config.describe(),
+        "policy": result.config.policy.name,
+        "total_cycles": result.total_cycles,
+        "events_fired": result.events_fired,
+        "tenants": {
+            str(t): {
+                "workload": stats.workload_name,
+                "instructions": stats.instructions,
+                "cycles": stats.cycles,
+                "ipc": stats.ipc,
+                "completed_executions": stats.completed_executions,
+                "executions": [
+                    {"instructions": e.instructions, "cycles": e.cycles,
+                     "l2_tlb_misses": e.l2_tlb_misses, "ipc": e.ipc,
+                     "mpmi": e.mpmi}
+                    for e in stats.executions
+                ],
+            }
+            for t, stats in result.tenants.items()
+        },
+        "stats": dict(result.stats),
+    }
+
+
+def export_results(results: Mapping[str, RunResult],
+                   path: Union[str, Path]) -> None:
+    """Write labeled results as one JSON document."""
+    payload = {
+        "format": FORMAT_VERSION,
+        "runs": {label: result_to_dict(r) for label, r in results.items()},
+    }
+    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
+
+
+def load_results(path: Union[str, Path]) -> Dict[str, Dict]:
+    """Read back an exported document as plain dictionaries."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported results format in {path}")
+    return payload["runs"]

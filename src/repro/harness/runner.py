@@ -1,0 +1,135 @@
+"""Simulation session with run caching and stand-alone measurements.
+
+A :class:`Session` fixes the experiment scale (workload length multiplier,
+warps per SM, seed) and memoizes:
+
+* multi-tenant runs, keyed by (workload names, config identity), and
+* stand-alone runs — each tenant alone on the *baseline policy* version
+  of a configuration with the full GPU, which is how the paper defines
+  IPC_SA and the stand-alone walk latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.engine.config import GpuConfig, config_key
+from repro.tenancy.manager import MultiTenantManager, RunResult
+from repro.tenancy.tenant import Tenant
+from repro.workloads.base import Workload
+from repro.workloads.pairs import split_pair
+from repro.workloads.suite import benchmark
+
+
+@dataclass(frozen=True)
+class StandaloneMeasurement:
+    """Stand-alone IPC and walk latency of one workload on one config."""
+
+    workload: str
+    ipc: float
+    walk_latency: float  # mean cycles, enqueue to completion
+
+
+class Session:
+    """Caching runner for all experiments at one fidelity setting."""
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        warps_per_sm: int = 4,
+        seed: int = 0,
+        max_events: int = 200_000_000,
+    ) -> None:
+        self.scale = scale
+        self.warps_per_sm = warps_per_sm
+        self.seed = seed
+        self.max_events = max_events
+        self._run_cache: Dict[Tuple, RunResult] = {}
+        self._standalone_cache: Dict[Tuple, StandaloneMeasurement] = {}
+
+    # ------------------------------------------------------------------
+    # Workload construction
+    # ------------------------------------------------------------------
+    def workload(self, name: str) -> Workload:
+        return benchmark(name, scale=self.scale)
+
+    def tenants_for(self, names: Sequence[str]) -> list:
+        return [Tenant(i, self.workload(n)) for i, n in enumerate(names)]
+
+    # ------------------------------------------------------------------
+    # Cached runs
+    # ------------------------------------------------------------------
+    def run_names(self, names: Sequence[str], config: GpuConfig) -> RunResult:
+        """Run the named workloads as co-tenants under ``config``."""
+        key = (tuple(names), config_key(config))
+        cached = self._run_cache.get(key)
+        if cached is None:
+            manager = MultiTenantManager(
+                config, self.tenants_for(names),
+                warps_per_sm=self.warps_per_sm, seed=self.seed,
+                max_events=self.max_events,
+            )
+            cached = manager.run()
+            self._run_cache[key] = cached
+        return cached
+
+    def run_pair(self, pair: str, config: GpuConfig) -> RunResult:
+        """Run a paper-style pair like ``"BLK.3DS"`` under ``config``."""
+        return self.run_names(split_pair(pair), config)
+
+    def run_custom(self, label: str, workloads: Sequence[Workload],
+                   config: GpuConfig) -> RunResult:
+        """Run ad-hoc workload objects (e.g. footprint-enhanced variants).
+
+        ``label`` must uniquely identify the workload set; it keys the
+        cache together with the config identity.
+        """
+        key = (("custom", label), config_key(config))
+        cached = self._run_cache.get(key)
+        if cached is None:
+            tenants = [Tenant(i, wl) for i, wl in enumerate(workloads)]
+            manager = MultiTenantManager(
+                config, tenants, warps_per_sm=self.warps_per_sm,
+                seed=self.seed, max_events=self.max_events,
+            )
+            cached = manager.run()
+            self._run_cache[key] = cached
+        return cached
+
+    def standalone(self, name: str,
+                   config: Optional[GpuConfig] = None) -> StandaloneMeasurement:
+        """Stand-alone measurement: the workload alone, baseline policy.
+
+        ``config`` defaults to Table I; for sensitivity studies pass the
+        resource-adjusted config — the policy and the separate-TLB/PTW
+        flags are always reset to the plain shared baseline.
+        """
+        cfg = (config or GpuConfig.baseline()).with_policy("baseline")
+        if cfg.separate_l2_tlb or cfg.separate_walkers:
+            cfg = dataclasses.replace(cfg, separate_l2_tlb=False,
+                                      separate_walkers=False)
+        key = (name, config_key(cfg))
+        cached = self._standalone_cache.get(key)
+        if cached is None:
+            result = self.run_names([name], cfg)
+            cached = StandaloneMeasurement(
+                workload=name,
+                ipc=result.ipc_of(0),
+                walk_latency=result.stat("pws.walk_latency.tenant0.mean"),
+            )
+            self._standalone_cache[key] = cached
+        return cached
+
+    def standalone_ipcs(self, names: Sequence[str],
+                        config: Optional[GpuConfig] = None) -> Dict[int, float]:
+        """Stand-alone IPC keyed by tenant index, for weighted IPC/fairness."""
+        return {i: self.standalone(n, config).ipc for i, n in enumerate(names)}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def cached_runs(self) -> int:
+        return len(self._run_cache)

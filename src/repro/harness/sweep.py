@@ -1,0 +1,98 @@
+"""Generic parameter sweeps over configurations and workload pairs.
+
+The figure-specific experiments in :mod:`repro.harness.experiments`
+hard-code the paper's sweeps; this module provides the general tool a
+user needs for their own design-space exploration: run a grid of
+(config-variant x pair), collect any metrics, and tabulate.
+
+Example::
+
+    from repro.harness import Session
+    from repro.harness.sweep import Sweep, axis
+
+    sweep = Sweep(Session(scale=0.5))
+    sweep.add_axis(axis("walkers", [8, 16, 24],
+                        lambda cfg, v: cfg.with_walker_count(v)))
+    sweep.add_axis(axis("policy", ["baseline", "dws"],
+                        lambda cfg, v: cfg.with_policy(v)))
+    table = sweep.run(["GUPS.MM", "BLK.3DS"])
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.engine.config import GpuConfig
+from repro.harness.reporting import ExperimentResult
+from repro.harness.runner import Session
+from repro.metrics import fairness, total_ipc, weighted_ipc
+from repro.workloads.pairs import split_pair
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One swept parameter: a name, its values and a config transform."""
+
+    name: str
+    values: tuple
+    apply: Callable[[GpuConfig, object], GpuConfig]
+
+
+def axis(name: str, values: Sequence, apply: Callable[[GpuConfig, object], GpuConfig]) -> SweepAxis:
+    """Convenience constructor for a :class:`SweepAxis`."""
+    if not values:
+        raise ValueError(f"axis {name!r} has no values")
+    return SweepAxis(name, tuple(values), apply)
+
+
+class Sweep:
+    """A cross-product sweep over config axes and workload pairs."""
+
+    def __init__(self, session: Session,
+                 base_config: Optional[GpuConfig] = None) -> None:
+        self.session = session
+        self.base_config = base_config or GpuConfig.baseline()
+        self.axes: List[SweepAxis] = []
+
+    def add_axis(self, ax: SweepAxis) -> "Sweep":
+        if any(existing.name == ax.name for existing in self.axes):
+            raise ValueError(f"duplicate axis {ax.name!r}")
+        self.axes.append(ax)
+        return self
+
+    def configurations(self) -> List[Dict]:
+        """Every axis-value combination with its derived config."""
+        combos = []
+        for values in itertools.product(*(ax.values for ax in self.axes)):
+            cfg = self.base_config
+            settings = {}
+            for ax, value in zip(self.axes, values):
+                cfg = ax.apply(cfg, value)
+                settings[ax.name] = value
+            combos.append({"settings": settings, "config": cfg})
+        return combos
+
+    def run(self, pairs: Sequence[str],
+            with_fairness: bool = False) -> ExperimentResult:
+        """Run the full grid; one row per (combination, pair)."""
+        if not self.axes:
+            raise ValueError("add at least one axis before running")
+        columns = [ax.name for ax in self.axes] + ["pair", "total_ipc"]
+        if with_fairness:
+            columns += ["weighted_ipc", "fairness"]
+        result = ExperimentResult("sweep", "parameter sweep", columns=columns)
+        for combo in self.configurations():
+            for pair in pairs:
+                run = self.session.run_pair(pair, combo["config"])
+                row = dict(combo["settings"])
+                row["pair"] = pair
+                row["total_ipc"] = total_ipc(run)
+                if with_fairness:
+                    names = split_pair(pair)
+                    standalone = self.session.standalone_ipcs(names)
+                    row["weighted_ipc"] = weighted_ipc(run, standalone)
+                    row["fairness"] = fairness(run, standalone)
+                result.add_row(**row)
+        return result

@@ -1,0 +1,107 @@
+"""Cross-checks on a RunResult: conservation laws and metric sanity.
+
+Simulators rot silently: a lost event or a double-counted stat skews
+results without crashing.  :func:`validate_result` re-derives the
+relationships that must hold between independently-collected statistics
+and reports every violation.  The integration tests run it on every
+policy, and ``python -m repro run`` can surface it to users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.tenancy.manager import RunResult
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one RunResult."""
+
+    violations: List[str] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def expect(self, condition: bool, message: str) -> None:
+        self.checks_run += 1
+        if not condition:
+            self.violations.append(message)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise AssertionError(
+                "run validation failed:\n  " + "\n  ".join(self.violations)
+            )
+
+
+def _subsystems(result: RunResult) -> List[str]:
+    names = set()
+    for key in result.stats:
+        if ".completed.tenant" in key:
+            names.add(key.split(".completed.")[0])
+    return sorted(names)
+
+
+def validate_result(result: RunResult) -> ValidationReport:
+    """Run every consistency check against ``result``."""
+    report = ValidationReport()
+
+    # -- per-tenant execution accounting ---------------------------------
+    for t in result.tenant_ids:
+        stats = result.tenants[t]
+        report.expect(stats.completed_executions >= 1,
+                      f"tenant {t} completed no executions")
+        report.expect(stats.cycles <= result.total_cycles,
+                      f"tenant {t} cycles exceed total run cycles")
+        report.expect(
+            sum(e.instructions for e in stats.executions) == stats.instructions,
+            f"tenant {t} per-execution instructions do not sum to the total",
+        )
+        report.expect(
+            sum(e.cycles for e in stats.executions) == stats.cycles,
+            f"tenant {t} per-execution cycles do not sum to the total",
+        )
+        report.expect(stats.ipc >= 0, f"tenant {t} has negative IPC")
+
+    # -- walk conservation, per subsystem --------------------------------
+    for sub in _subsystems(result):
+        for t in result.tenant_ids:
+            walks = result.stat(f"{sub}.walks.tenant{t}", -1.0)
+            completed = result.stat(f"{sub}.completed.tenant{t}", -1.0)
+            if walks < 0 and completed < 0:
+                continue  # tenant not served by this subsystem
+            report.expect(
+                walks == completed,
+                f"{sub}: tenant {t} enqueued {walks} walks but completed "
+                f"{completed}",
+            )
+            stolen = result.stat(f"{sub}.stolen.tenant{t}")
+            report.expect(
+                stolen <= max(completed, 0),
+                f"{sub}: tenant {t} has more stolen walks than completions",
+            )
+            queue_mean = result.stat(f"{sub}.queue_latency.tenant{t}.mean")
+            walk_mean = result.stat(f"{sub}.walk_latency.tenant{t}.mean")
+            report.expect(
+                queue_mean <= walk_mean or walk_mean == 0,
+                f"{sub}: tenant {t} queueing latency exceeds total walk "
+                f"latency",
+            )
+
+    # -- share metrics are fractions -------------------------------------
+    for key, value in result.stats.items():
+        if ".walker_share." in key or ".tlb_share." in key:
+            report.expect(-1e-9 <= value <= 1.0 + 1e-9,
+                          f"{key} = {value} is not a fraction")
+
+    # -- TLB hit/miss accounting ------------------------------------------
+    for t in result.tenant_ids:
+        misses = result.stat(f"gpu.l2tlb_misses.tenant{t}", -1.0)
+        if misses >= 0:
+            report.expect(misses >= 0, f"negative L2 TLB misses, tenant {t}")
+
+    return report

@@ -1,0 +1,17 @@
+"""Physical memory substrate: caches, DRAM channels and frame allocation.
+
+All components share one asynchronous interface —
+``access(addr, is_write, on_done, tenant_id)`` — where ``on_done()`` is
+invoked through the simulator at the cycle the access completes.  This
+lets the L1 caches, the banked L2, DRAM, and the page-table walkers
+compose without any component knowing what sits above or below it.
+"""
+
+from repro.mem.cache import Cache
+from repro.mem.dram import Dram
+from repro.mem.frames import FrameAllocator
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.interconnect import Interconnect
+
+__all__ = ["Cache", "Dram", "FrameAllocator", "Interconnect",
+           "MemoryHierarchy"]

@@ -1,0 +1,63 @@
+"""DRAM channel model.
+
+The paper's evaluation depends on page walks costing "hundreds of cycles"
+and on memory bandwidth contention between co-running tenants.  We model
+each channel as a server with a fixed access latency plus an occupancy
+term: back-to-back accesses to the same channel serialize by
+``cycles_per_access``, which bounds per-channel bandwidth.  Addresses are
+interleaved across channels at cache-line granularity, as in GPUs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.engine.config import DramConfig
+from repro.engine.simulator import Simulator
+from repro.engine.stats import StatsRegistry
+
+
+class Dram:
+    """Multi-channel DRAM with latency + bandwidth-occupancy modeling."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: DramConfig,
+        line_bytes: int = 128,
+        name: str = "dram",
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.line_bytes = line_bytes
+        self.name = name
+        # earliest cycle at which each channel can start a new access
+        self._channel_free = [0] * config.channels
+        stats: StatsRegistry = sim.stats
+        self._accesses = stats.counter(f"{name}.accesses")
+        self._queue_delay = stats.accumulator(f"{name}.queue_delay")
+
+    def channel_of(self, addr: int) -> int:
+        """Line-interleaved channel mapping."""
+        return (addr // self.line_bytes) % self.config.channels
+
+    def access(
+        self,
+        addr: int,
+        is_write: bool,
+        on_done: Callable[[], None],
+        tenant_id: int = 0,
+    ) -> None:
+        """Perform a DRAM access; ``on_done`` fires at completion time."""
+        self._accesses.inc()
+        channel = self.channel_of(addr)
+        now = self.sim.now
+        start = max(now, self._channel_free[channel])
+        self._queue_delay.add(start - now)
+        self._channel_free[channel] = start + self.config.cycles_per_access
+        finish = start + self.config.access_latency
+        self.sim.at(finish, on_done)
+
+    def utilization_horizon(self) -> int:
+        """Latest busy cycle across channels (used by tests)."""
+        return max(self._channel_free)

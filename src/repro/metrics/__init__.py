@@ -1,0 +1,29 @@
+"""Evaluation metrics used throughout the paper's Section IV and VII.
+
+* :mod:`repro.metrics.ipc` — total IPC (throughput), weighted IPC and
+  the min/max-slowdown fairness metric.
+* :mod:`repro.metrics.interleave` — the interleaving measurement of
+  Tables III and V.
+* :mod:`repro.metrics.latency` — walk latencies normalized to the
+  stand-alone run (Figure 8).
+* :mod:`repro.metrics.sharing` — stolen-walk percentages (Table VI) and
+  the walker-share / TLB-share coupling of Figure 9.
+"""
+
+from repro.metrics.interleave import interleaving_of, mean_interleaving
+from repro.metrics.ipc import fairness, total_ipc, weighted_ipc
+from repro.metrics.latency import normalized_walk_latency, walk_latency_of
+from repro.metrics.sharing import steal_fraction, tlb_share, walker_share
+
+__all__ = [
+    "fairness",
+    "interleaving_of",
+    "mean_interleaving",
+    "normalized_walk_latency",
+    "steal_fraction",
+    "tlb_share",
+    "total_ipc",
+    "walk_latency_of",
+    "walker_share",
+    "weighted_ipc",
+]

@@ -1,0 +1,58 @@
+"""Throughput, weighted IPC and fairness (paper Sections IV and VII-A).
+
+All three metrics operate on :class:`~repro.tenancy.manager.RunResult`
+objects; weighted IPC and fairness additionally need the stand-alone IPC
+of each tenant — measured by executing that tenant alone on the baseline
+configuration, exactly as the paper defines IPC_SA.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.tenancy.manager import RunResult
+
+
+def total_ipc(result: RunResult) -> float:
+    """Throughput: the sum of per-tenant IPCs (paper: t_IPC^C).
+
+    For a cloud provider this is the utilization value the GPU delivers.
+    """
+    return sum(result.ipc_of(t) for t in result.tenant_ids)
+
+
+def weighted_ipc(result: RunResult, standalone_ipc: Mapping[int, float]) -> float:
+    """Weighted IPC: sum of IPC^C[i] / IPC^SA[i] (paper: w_IPC^C).
+
+    Ranges 0..n for n tenants; higher means tenants were slowed less.
+    """
+    total = 0.0
+    for t in result.tenant_ids:
+        sa = standalone_ipc[t]
+        if sa <= 0:
+            raise ValueError(f"stand-alone IPC for tenant {t} must be positive")
+        total += result.ipc_of(t) / sa
+    return total
+
+
+def slowdowns(result: RunResult, standalone_ipc: Mapping[int, float]) -> Dict[int, float]:
+    """Per-tenant slowdown S_i = IPC^C[i] / IPC^SA[i] (1 = no slowdown)."""
+    out = {}
+    for t in result.tenant_ids:
+        sa = standalone_ipc[t]
+        if sa <= 0:
+            raise ValueError(f"stand-alone IPC for tenant {t} must be positive")
+        out[t] = result.ipc_of(t) / sa
+    return out
+
+
+def fairness(result: RunResult, standalone_ipc: Mapping[int, float]) -> float:
+    """min(slowdown) / max(slowdown) — Eyerman & Eeckhout's metric.
+
+    1 is perfectly fair; 0 means one tenant made no progress at all.
+    """
+    s = slowdowns(result, standalone_ipc)
+    worst = max(s.values())
+    if worst == 0:
+        return 0.0
+    return min(s.values()) / worst

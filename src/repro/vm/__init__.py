@@ -1,0 +1,30 @@
+"""GPU virtual memory: page tables, TLBs, the page walk cache and walkers.
+
+This package models the translation path of Figure 1 in the paper:
+
+    coalesced access -> L1 TLB (per SM) -> shared L2 TLB
+        -> page walk subsystem (queues + walkers + page walk cache)
+        -> in-memory 4-level page table (cacheable in the L2 data cache)
+
+The walker-scheduling *policies* (baseline shared queue, static
+partitioning, DWS, DWS++) live in :mod:`repro.core`; this package defines
+the mechanism and the :class:`~repro.vm.walk.WalkRequest`/policy protocol
+they plug into.
+"""
+
+from repro.vm.address import AddressLayout
+from repro.vm.page_table import PageTable
+from repro.vm.pwc import PageWalkCache
+from repro.vm.subsystem import PageWalkSubsystem
+from repro.vm.tlb import Tlb
+from repro.vm.walk import WalkRequest, WalkSchedulingPolicy
+
+__all__ = [
+    "AddressLayout",
+    "PageTable",
+    "PageWalkCache",
+    "PageWalkSubsystem",
+    "Tlb",
+    "WalkRequest",
+    "WalkSchedulingPolicy",
+]

@@ -1,0 +1,101 @@
+"""Virtual address layout for a multi-level radix page table.
+
+The simulator uses a 48-bit virtual address space.  With 4 KB pages this
+is the familiar x86-64 layout: a 12-bit page offset and four 9-bit radix
+levels.  The paper's Figure 14 evaluates 64 KB pages, so the layout
+generalizes: the page offset takes ``page_size_bits`` and the remaining
+VPN bits split across ``depth`` levels, 9 bits per level from the bottom
+up, with the top level absorbing the remainder.
+
+Level numbering follows the walk order: level 0 is the *root* of the page
+table (walked first), level ``depth - 1`` is the leaf holding the PTE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+VIRTUAL_ADDRESS_BITS = 48
+LEVEL_BITS = 9
+PTE_BYTES = 8
+
+
+@dataclass(frozen=True)
+class AddressLayout:
+    """Bit-level geometry of virtual addresses for one page size."""
+
+    page_size_bits: int
+    depth: int = 4
+
+    def __post_init__(self) -> None:
+        if not 10 <= self.page_size_bits <= 24:
+            raise ValueError(f"implausible page size: 2^{self.page_size_bits}")
+        if self.vpn_bits < 1:
+            raise ValueError("page too large for a 48-bit address space")
+        # Large pages shorten the walk, exactly as on real hardware
+        # (x86 2 MB mappings skip the last level): clamp the depth so
+        # every level keeps a positive index width.
+        full, rem = divmod(self.vpn_bits, LEVEL_BITS)
+        max_depth = max(1, full + (1 if rem else 0))
+        if self.depth > max_depth:
+            object.__setattr__(self, "depth", max_depth)
+
+    @property
+    def page_size(self) -> int:
+        return 1 << self.page_size_bits
+
+    @property
+    def vpn_bits(self) -> int:
+        return VIRTUAL_ADDRESS_BITS - self.page_size_bits
+
+    @property
+    def level_widths(self) -> Tuple[int, ...]:
+        """Index width of each level, root (level 0) first.
+
+        Lower levels take :data:`LEVEL_BITS` bits each; the root absorbs
+        whatever remains (e.g. 4 KB pages: (9, 9, 9, 9); 64 KB pages:
+        (5, 9, 9, 9)).
+        """
+        widths: List[int] = []
+        remaining = self.vpn_bits
+        for _ in range(self.depth - 1):
+            widths.append(LEVEL_BITS)
+            remaining -= LEVEL_BITS
+        if remaining <= 0:
+            raise ValueError("page size leaves no bits for the root level")
+        widths.append(remaining)
+        return tuple(reversed(widths))
+
+    # ------------------------------------------------------------------
+    # Address dissection
+    # ------------------------------------------------------------------
+    def vpn(self, vaddr: int) -> int:
+        """Virtual page number of ``vaddr``."""
+        return vaddr >> self.page_size_bits
+
+    def page_offset(self, vaddr: int) -> int:
+        return vaddr & (self.page_size - 1)
+
+    def level_index(self, vpn: int, level: int) -> int:
+        """Radix index used at walk ``level`` (0 = root)."""
+        widths = self.level_widths
+        shift = sum(widths[level + 1:])
+        return (vpn >> shift) & ((1 << widths[level]) - 1)
+
+    def prefix(self, vpn: int, levels: int) -> int:
+        """The top ``levels`` radix indexes of ``vpn``, as one integer.
+
+        This is the tag a page-walk-cache entry stores: two VPNs share a
+        ``levels``-deep prefix iff their walks traverse the same page
+        table nodes down to (and including) level ``levels - 1``.
+        """
+        if not 0 <= levels <= self.depth:
+            raise ValueError(f"prefix depth {levels} out of range")
+        widths = self.level_widths
+        shift = sum(widths[levels:])
+        return vpn >> shift
+
+    def compose(self, vpn: int, offset: int = 0) -> int:
+        """Build a virtual address from a VPN and page offset."""
+        return (vpn << self.page_size_bits) | offset

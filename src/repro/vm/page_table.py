@@ -1,0 +1,112 @@
+"""A per-tenant multi-level radix page table held in simulated memory.
+
+Every page-table node occupies a real physical frame obtained from the
+:class:`~repro.mem.frames.FrameAllocator`, so the physical addresses a
+walker reads are genuine and page-table traffic contends with data
+traffic in the shared L2 cache and DRAM.
+
+Pages are mapped lazily: the first translation request for a VPN
+allocates any missing interior nodes and a data frame (GPU drivers
+populate page tables ahead of kernel launch; faults are not modeled, in
+line with the paper's simulator).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.mem.frames import FrameAllocator
+from repro.vm.address import PTE_BYTES, AddressLayout
+
+
+class _Node:
+    """One radix node: a frame plus its children (interior) or PTEs (leaf)."""
+
+    __slots__ = ("frame", "children")
+
+    def __init__(self, frame: int) -> None:
+        self.frame = frame
+        self.children: Dict[int, "_Node"] = {}
+
+
+class PageTable:
+    """Radix page table for a single tenant (virtual address space)."""
+
+    def __init__(
+        self,
+        tenant_id: int,
+        layout: AddressLayout,
+        frames: FrameAllocator,
+        node_frame_bytes: int = 4096,
+    ) -> None:
+        self.tenant_id = tenant_id
+        self.layout = layout
+        self.frames = frames
+        self._owner = f"pt.tenant{tenant_id}"
+        self._data_owner = f"data.tenant{tenant_id}"
+        # Node frames are 4 KB regardless of the data page size; with
+        # frame_bytes > 4 KB we still allocate a whole frame per node for
+        # simplicity (the allocator space is plentiful).
+        self._root = _Node(frames.allocate(self._owner))
+        self._translations: Dict[int, int] = {}  # vpn -> data frame
+        self._node_count = 1
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+    def ensure_mapped(self, vpn: int) -> int:
+        """Map ``vpn`` if needed; returns the data frame number."""
+        frame = self._translations.get(vpn)
+        if frame is None:
+            self._walk_alloc(vpn)
+            frame = self.frames.allocate(self._data_owner)
+            self._translations[vpn] = frame
+        return frame
+
+    def _walk_alloc(self, vpn: int) -> None:
+        node = self._root
+        # interior levels only; the leaf node holds the PTE itself
+        for level in range(self.layout.depth - 1):
+            idx = self.layout.level_index(vpn, level)
+            child = node.children.get(idx)
+            if child is None:
+                child = _Node(self.frames.allocate(self._owner))
+                node.children[idx] = child
+                self._node_count += 1
+            node = child
+
+    def translate(self, vpn: int) -> Optional[int]:
+        """Data frame for ``vpn``, or ``None`` if unmapped."""
+        return self._translations.get(vpn)
+
+    # ------------------------------------------------------------------
+    # Walker support
+    # ------------------------------------------------------------------
+    def walk_addresses(self, vpn: int) -> List[int]:
+        """Physical addresses a full walk reads, root PTE first.
+
+        One address per level: the PTE slot within each node that the
+        walk's radix index selects.  The page must already be mapped.
+        """
+        if vpn not in self._translations:
+            raise KeyError(f"vpn {vpn:#x} not mapped for tenant {self.tenant_id}")
+        addrs: List[int] = []
+        node = self._root
+        for level in range(self.layout.depth):
+            idx = self.layout.level_index(vpn, level)
+            base = self.frames.frame_to_addr(node.frame)
+            addrs.append(base + (idx * PTE_BYTES) % self.frames.frame_bytes)
+            if level < self.layout.depth - 1:
+                node = node.children[idx]
+        return addrs
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._translations)
+
+    @property
+    def node_count(self) -> int:
+        return self._node_count

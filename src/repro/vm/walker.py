@@ -1,0 +1,76 @@
+"""The page table walker: a small FSM issuing page-table memory accesses.
+
+A walker services one walk at a time.  Servicing consists of
+
+1. probing the page walk cache (``pwc_latency`` cycles) for the longest
+   prefix match,
+2. issuing the remaining ``depth - skip`` page-table reads *sequentially*
+   (each level's address depends on the previous level's PTE) through the
+   shared L2 data cache / DRAM, and
+3. filling the PWC and reporting completion to the subsystem.
+
+The walker also drives the per-tenant busy-occupancy samplers used for
+the walker-share half of Figure 9.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.engine.simulator import Simulator
+from repro.vm.walk import WalkRequest
+
+
+class Walker:
+    """A single page table walker owned by the walk subsystem."""
+
+    def __init__(self, walker_id: int, subsystem) -> None:
+        self.id = walker_id
+        self.subsystem = subsystem
+        self.sim: Simulator = subsystem.sim
+        self.current: Optional[WalkRequest] = None
+        # set while a dispatch with non-zero latency is in flight for us
+        self.reserved = False
+
+    @property
+    def busy(self) -> bool:
+        return self.current is not None
+
+    # ------------------------------------------------------------------
+    # Walk execution
+    # ------------------------------------------------------------------
+    def start(self, request: WalkRequest) -> None:
+        """Begin servicing ``request`` (assigned by the policy)."""
+        if self.busy:
+            raise RuntimeError(f"walker {self.id} is already busy")
+        self.current = request
+        request.walker_id = self.id
+        request.service_start = self.sim.now
+        self.subsystem.note_service_start(self, request)
+        pwc = self.subsystem.pwc
+        skip = pwc.probe(request.tenant_id, request.vpn)
+        addrs = self.subsystem.walk_addresses(request)
+        remaining = addrs[skip:]
+        if not remaining:  # pragma: no cover - probe() caps below depth
+            raise RuntimeError("PWC cannot skip the leaf level")
+        request.memory_accesses = len(remaining)
+        self.sim.after(self.subsystem.pwc_latency,
+                       self._issue_level, request, remaining, 0)
+
+    def _issue_level(self, request: WalkRequest, addrs, index: int) -> None:
+        if request is not self.current:  # pragma: no cover - defensive
+            raise RuntimeError("walker state corrupted")
+        if index >= len(addrs):
+            self._finish(request)
+            return
+        self.subsystem.memory.walker_access(
+            addrs[index],
+            lambda: self._issue_level(request, addrs, index + 1),
+            request.tenant_id,
+        )
+
+    def _finish(self, request: WalkRequest) -> None:
+        request.completion_time = self.sim.now
+        self.current = None
+        self.subsystem.pwc.fill(request.tenant_id, request.vpn)
+        self.subsystem.note_completion(self, request)

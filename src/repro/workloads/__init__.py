@@ -1,0 +1,32 @@
+"""Synthetic workload models standing in for the MAFIA benchmarks.
+
+The paper draws its applications from the MAFIA framework (Rodinia,
+Parboil, SHOC, CUDA SDK kernels) and classifies them purely by L2 TLB
+miss intensity — misses per million instructions (MPMI): Light (< 25),
+Medium (25–80), Heavy (> 80) (paper Table II).  We cannot run CUDA
+binaries, so each benchmark is modeled as a synthetic warp-stream
+generator reproducing the *memory-access archetype* that gives the real
+kernel its TLB behaviour: blocked reuse for MM, stencil sweeps for
+HS/LPS/SRAD, strided butterflies for FFT, per-warp disjoint working sets
+for BLK (the warp-scheduler-induced TLB thrash the paper describes),
+uniform random updates for GUPS, and so on.
+
+:mod:`repro.workloads.characterize` measures each model's actual MPMI on
+the baseline configuration so the Light/Medium/Heavy banding is checked
+by tests rather than assumed.
+"""
+
+from repro.workloads.base import Workload, WorkloadSpec
+from repro.workloads.pairs import WORKLOAD_PAIRS, pair_class, pairs_in_class
+from repro.workloads.suite import BENCHMARKS, benchmark, benchmark_names
+
+__all__ = [
+    "BENCHMARKS",
+    "WORKLOAD_PAIRS",
+    "Workload",
+    "WorkloadSpec",
+    "benchmark",
+    "benchmark_names",
+    "pair_class",
+    "pairs_in_class",
+]

@@ -1,0 +1,86 @@
+"""Workload specification and the stream-building workload class."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional
+
+from repro.gpu.warp import WarpOp
+from repro.workloads.patterns import PATTERNS
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Static description of one benchmark model.
+
+    ``category`` is the *intended* paper band (L/M/H); the measured band
+    is verified by :mod:`repro.workloads.characterize`.  ``ops_per_warp``
+    is the number of memory operations one warp performs in a nominal
+    (scale=1.0) execution; the harness scales it to trade fidelity for
+    run time.
+    """
+
+    name: str
+    category: str  # "L", "M" or "H"
+    pattern: str
+    footprint_bytes: int
+    mean_compute: int
+    ops_per_warp: int
+    pattern_args: Dict[str, object]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.category not in ("L", "M", "H"):
+            raise ValueError(f"category must be L/M/H, got {self.category!r}")
+        if self.pattern not in PATTERNS:
+            raise ValueError(f"unknown pattern {self.pattern!r}")
+        if self.footprint_bytes <= 0 or self.ops_per_warp <= 0:
+            raise ValueError("footprint and ops_per_warp must be positive")
+
+
+class Workload:
+    """A runnable workload: spec + scale, producing fresh warp streams."""
+
+    def __init__(self, spec: WorkloadSpec, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.spec = spec
+        self.scale = scale
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def category(self) -> str:
+        return self.spec.category
+
+    @property
+    def ops_per_warp(self) -> int:
+        return max(1, int(self.spec.ops_per_warp * self.scale))
+
+    def build_streams(self, num_warps: int, rng) -> List[Iterator[WarpOp]]:
+        """Fresh warp instruction streams for one execution.
+
+        ``rng`` is a :class:`~repro.engine.rng.DeterministicRng` (or any
+        object with a ``stream(name)`` method returning random.Random).
+        """
+        pattern = PATTERNS[self.spec.pattern]
+        streams = []
+        for warp_id in range(num_warps):
+            warp_rng = rng.stream(f"warp{warp_id}")
+            streams.append(
+                pattern(
+                    warp_id, num_warps, self.spec.footprint_bytes,
+                    self.ops_per_warp, self.spec.mean_compute, warp_rng,
+                    **self.spec.pattern_args,
+                )
+            )
+        return streams
+
+    def scaled(self, scale: float) -> "Workload":
+        return Workload(self.spec, scale)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Workload({self.name}, {self.category}, scale={self.scale})"

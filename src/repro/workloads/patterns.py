@@ -1,0 +1,193 @@
+"""Access-pattern primitives from which the benchmark models are built.
+
+Every pattern is a generator factory: given a warp's identity, the
+workload parameters and a random stream, it yields
+:class:`~repro.gpu.warp.WarpOp` records.  Addresses are byte addresses in
+the tenant's virtual address space; page behaviour falls out of the
+configured page size, so the same pattern runs unchanged under the 64 KB
+pages of Figure 14.
+
+Patterns are deliberately simple and parameterized — the goal is
+controllable TLB-miss intensity with archetypal structure (see the
+package docstring), not functional emulation of the kernels.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.gpu.warp import WarpOp
+
+#: virtual byte offset where workload heaps start (clear of page 0)
+HEAP_BASE = 1 << 30
+
+PAGE_4K = 4096
+LINE = 128
+
+
+def _gap(rng: random.Random, mean: int) -> int:
+    """Compute-instruction gap: mean +/- 50%, never negative."""
+    if mean <= 0:
+        return 0
+    return max(0, int(rng.uniform(0.5, 1.5) * mean))
+
+
+def streaming(warp_id: int, num_warps: int, footprint: int, ops: int,
+              mean_compute: int, rng: random.Random,
+              stride: int = LINE) -> Iterator[WarpOp]:
+    """Sequential sweep: each warp streams a contiguous slice.
+
+    High spatial locality; page changes only every ``page/stride``
+    accesses.  Models stencil and dense-linear-algebra sweeps.
+    """
+    slice_bytes = max(stride, footprint // max(1, num_warps))
+    base = HEAP_BASE + warp_id * slice_bytes
+    for i in range(ops):
+        addr = base + (i * stride) % slice_bytes
+        yield WarpOp(_gap(rng, mean_compute), [addr])
+
+
+def blocked_reuse(warp_id: int, num_warps: int, footprint: int, ops: int,
+                  mean_compute: int, rng: random.Random,
+                  block_bytes: int = 8 * PAGE_4K,
+                  reuse: int = 24) -> Iterator[WarpOp]:
+    """Tiled access: dwell on a small block, reuse it, move to the next.
+
+    Models blocked matrix multiply (MM): touches few pages at a time and
+    revisits them heavily, so TLB misses are rare after each tile warmup.
+    """
+    blocks = max(1, footprint // block_bytes)
+    block = warp_id % blocks
+    i = 0
+    while i < ops:
+        base = HEAP_BASE + block * block_bytes
+        for r in range(min(reuse, ops - i)):
+            addr = base + rng.randrange(0, block_bytes, LINE)
+            yield WarpOp(_gap(rng, mean_compute), [addr])
+            i += 1
+        block = (block + num_warps) % blocks
+
+    # falls through when ops exhausted
+
+
+def strided(warp_id: int, num_warps: int, footprint: int, ops: int,
+            mean_compute: int, rng: random.Random,
+            stride: int = 3 * PAGE_4K + LINE) -> Iterator[WarpOp]:
+    """Large-stride sweep (FFT butterflies, 3DS pattern updates).
+
+    Each access lands on a different page but the sequence revisits
+    pages periodically, giving moderate TLB pressure.
+    """
+    base = HEAP_BASE + (warp_id * 7919 * LINE) % footprint
+    for i in range(ops):
+        addr = HEAP_BASE + (base - HEAP_BASE + i * stride) % footprint
+        yield WarpOp(_gap(rng, mean_compute), [addr])
+
+
+def uniform_random(warp_id: int, num_warps: int, footprint: int, ops: int,
+                   mean_compute: int, rng: random.Random,
+                   divergence: int = 1) -> Iterator[WarpOp]:
+    """Uniformly random accesses over the whole footprint (GUPS, QTC).
+
+    ``divergence`` > 1 models SIMD lanes scattering across pages, which
+    defeats the coalescer and multiplies translation requests.
+    """
+    for _ in range(ops):
+        addrs = [HEAP_BASE + rng.randrange(0, footprint, LINE)
+                 for _ in range(divergence)]
+        yield WarpOp(_gap(rng, mean_compute), addrs)
+
+
+def hotspot(warp_id: int, num_warps: int, footprint: int, ops: int,
+            mean_compute: int, rng: random.Random,
+            hot_fraction: float = 0.1, hot_probability: float = 0.8) -> Iterator[WarpOp]:
+    """Skewed accesses: most hit a small hot region (tables, LUTs).
+
+    Models JPEG/LIB-style kernels mixing streaming data with hot lookup
+    tables: the hot region stays TLB-resident, the cold tail does not.
+    """
+    hot_bytes = max(PAGE_4K, int(footprint * hot_fraction))
+    for _ in range(ops):
+        if rng.random() < hot_probability:
+            addr = HEAP_BASE + rng.randrange(0, hot_bytes, LINE)
+        else:
+            addr = HEAP_BASE + rng.randrange(0, footprint, LINE)
+        yield WarpOp(_gap(rng, mean_compute), [addr])
+
+
+def per_warp_disjoint(warp_id: int, num_warps: int, footprint: int, ops: int,
+                      mean_compute: int, rng: random.Random,
+                      region_bytes: int = 64 * PAGE_4K) -> Iterator[WarpOp]:
+    """Each warp works a private, distant region (BLK).
+
+    Within a warp the locality is excellent (good cache behaviour), but
+    co-scheduled warps drag disjoint page sets into the shared TLB —
+    the warp-scheduler-induced thrash the paper observes for BLK.
+    """
+    regions = max(1, footprint // region_bytes)
+    base = HEAP_BASE + (warp_id % regions) * region_bytes
+    pages_in_region = region_bytes // PAGE_4K
+    for i in range(ops):
+        # march through the region page by page, touching a random line
+        page = (i * 3 + warp_id) % pages_in_region
+        addr = base + page * PAGE_4K + rng.randrange(0, PAGE_4K, LINE)
+        yield WarpOp(_gap(rng, mean_compute), [addr])
+
+
+def stencil(warp_id: int, num_warps: int, footprint: int, ops: int,
+            mean_compute: int, rng: random.Random,
+            row_bytes: int = 2 * PAGE_4K) -> Iterator[WarpOp]:
+    """2D/3D stencil sweep: each access touches a point and neighbours.
+
+    Neighbour rows usually sit on nearby pages, so translation pressure
+    stays low while cache traffic is realistic (HS, LPS, SRAD).
+    """
+    rows = max(3, footprint // row_bytes)
+    rows_per_warp = max(1, rows // max(1, num_warps))
+    first_row = warp_id * rows_per_warp
+    for i in range(ops):
+        row = first_row + (i // 8) % rows_per_warp
+        col = (i * LINE * 4) % row_bytes
+        center = HEAP_BASE + (row % rows) * row_bytes + col
+        above = HEAP_BASE + ((row + 1) % rows) * row_bytes + col
+        yield WarpOp(_gap(rng, mean_compute), [center, above])
+
+
+#: virtual byte offset of the random "tail" region used by with_tail
+TAIL_BASE = 1 << 40
+
+
+def with_tail(warp_id: int, num_warps: int, footprint: int, ops: int,
+              mean_compute: int, rng: random.Random,
+              base_pattern: str, tail_bytes: int,
+              tail_probability: float, **base_args) -> Iterator[WarpOp]:
+    """Mix a base pattern with sparse random accesses to a huge tail.
+
+    This is how the Medium band is modeled: the base working set stays
+    TLB-resident while a small fraction of operations scatter into a
+    region far larger than the TLB, producing a steady, moderate stream
+    of L2 TLB misses (irregular lookups into big side structures —
+    JPEG's coefficient tables, LIB's path state, SRAD's neighbour
+    indirection).
+    """
+    base = PATTERNS[base_pattern](warp_id, num_warps, footprint, ops,
+                                  mean_compute, rng, **base_args)
+    for op in base:
+        if rng.random() < tail_probability:
+            addr = TAIL_BASE + rng.randrange(0, tail_bytes, LINE)
+            yield WarpOp(op.compute, [addr], op.is_write)
+        else:
+            yield op
+
+
+PATTERNS = {
+    "streaming": streaming,
+    "blocked_reuse": blocked_reuse,
+    "strided": strided,
+    "uniform_random": uniform_random,
+    "hotspot": hotspot,
+    "per_warp_disjoint": per_warp_disjoint,
+    "stencil": stencil,
+    "with_tail": with_tail,
+}

@@ -1,0 +1,160 @@
+"""The 13 benchmark models of paper Table II.
+
+Each entry names the MAFIA benchmark it stands in for, the paper's
+Light/Medium/Heavy band, and the access-pattern archetype plus parameters
+that reproduce that band on the baseline configuration (verified by the
+characterization tests in ``tests/workloads``).
+
+Calibration notes (see DESIGN.md):
+
+* **Light** models keep their working set within the 1024-entry L2 TLB,
+  so steady-state misses come only from the small irregular tails.
+* **Medium** models mix a TLB-resident base pattern with a sparse random
+  *tail* into a region far larger than the TLB — the archetype of
+  streaming kernels with big side tables — tuned so warm-execution MPMI
+  lands in the 25–80 band.
+* **Heavy** models sweep or randomly address footprints of thousands of
+  pages, missing the TLB on most operations.
+
+MPMI is measured on a *warm* execution (the second completed execution
+of the tenant): the paper's MPMI is steady-state over executions that
+run orders of magnitude longer than our scaled traces, so first-touch
+cold misses would otherwise swamp the classification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.base import Workload, WorkloadSpec
+
+KB = 1024
+MB = 1024 * KB
+
+_SPECS: List[WorkloadSpec] = [
+    # ----------------------------- Light (MPMI < 25) ------------------
+    # Low compute gaps (~40) keep memory ops frequent enough that TLB
+    # thrash by a co-runner actually stalls the SMs (the paper's light
+    # tenants lose IPC under contention); standalone MPMI stays Light
+    # because the working set is L2-TLB-resident and tails are tiny.
+    WorkloadSpec(
+        name="MM", category="L", pattern="blocked_reuse",
+        footprint_bytes=2560 * KB, mean_compute=45, ops_per_warp=220,
+        pattern_args={"block_bytes": 32 * KB, "reuse": 16},
+        description="Blocked matrix multiplication (Parboil): tile reuse",
+    ),
+    WorkloadSpec(
+        name="HS", category="L", pattern="with_tail",
+        footprint_bytes=2 * MB, mean_compute=40, ops_per_warp=230,
+        pattern_args={"base_pattern": "stencil", "row_bytes": 8 * KB,
+                      "tail_bytes": 64 * MB, "tail_probability": 0.0002},
+        description="HotSpot chip-temperature stencil (Rodinia)",
+    ),
+    WorkloadSpec(
+        name="RAY", category="L", pattern="with_tail",
+        footprint_bytes=1280 * KB, mean_compute=55, ops_per_warp=200,
+        pattern_args={"base_pattern": "hotspot", "hot_fraction": 0.3,
+                      "hot_probability": 0.9,
+                      "tail_bytes": 64 * MB, "tail_probability": 0.0004},
+        description="Ray tracing: hot BVH levels + sparse scene fetches",
+    ),
+    WorkloadSpec(
+        name="FFT", category="L", pattern="with_tail",
+        footprint_bytes=2 * MB, mean_compute=38, ops_per_warp=230,
+        pattern_args={"base_pattern": "strided", "stride": 16 * KB + 128,
+                      "tail_bytes": 64 * MB, "tail_probability": 0.0006},
+        description="FFT butterflies (Parboil): periodic strides",
+    ),
+    WorkloadSpec(
+        name="LPS", category="L", pattern="with_tail",
+        footprint_bytes=2304 * KB, mean_compute=40, ops_per_warp=220,
+        pattern_args={"base_pattern": "stencil", "row_bytes": 16 * KB,
+                      "tail_bytes": 64 * MB, "tail_probability": 0.0008},
+        description="3D Laplace solver (CUDA SDK)",
+    ),
+    # ----------------------------- Medium (25 < MPMI < 80) ------------
+    WorkloadSpec(
+        name="JPEG", category="M", pattern="with_tail",
+        footprint_bytes=2 * MB, mean_compute=130, ops_per_warp=150,
+        pattern_args={"base_pattern": "hotspot", "hot_fraction": 0.2,
+                      "hot_probability": 0.9,
+                      "tail_bytes": 96 * MB, "tail_probability": 0.004},
+        description="JPEG encode/decode: streaming blocks + hot tables",
+    ),
+    WorkloadSpec(
+        name="LIB", category="M", pattern="with_tail",
+        footprint_bytes=2560 * KB, mean_compute=125, ops_per_warp=150,
+        pattern_args={"base_pattern": "hotspot", "hot_fraction": 0.25,
+                      "hot_probability": 0.85,
+                      "tail_bytes": 128 * MB, "tail_probability": 0.0055},
+        description="LIBOR Monte-Carlo swaption portfolio (CUDA SDK)",
+    ),
+    WorkloadSpec(
+        name="SRAD", category="M", pattern="with_tail",
+        footprint_bytes=2 * MB, mean_compute=115, ops_per_warp=150,
+        pattern_args={"base_pattern": "stencil", "row_bytes": 32 * KB,
+                      "tail_bytes": 128 * MB, "tail_probability": 0.006},
+        description="Speckle-reducing anisotropic diffusion (Rodinia)",
+    ),
+    WorkloadSpec(
+        name="3DS", category="M", pattern="with_tail",
+        footprint_bytes=2 * MB, mean_compute=110, ops_per_warp=150,
+        pattern_args={"base_pattern": "strided", "stride": 48 * KB + 128,
+                      "tail_bytes": 128 * MB, "tail_probability": 0.008},
+        description="3DS pattern-driven array updates (CUDA SDK)",
+    ),
+    # ----------------------------- Heavy (MPMI > 80) ------------------
+    # All four are page-walk-throughput-bound (random footprints far
+    # beyond the TLB and the page walk cache), but their compute gaps
+    # spread them across the intensity spectrum: BLK/QTC lose real IPC
+    # when their walker bandwidth is halved (making static partitioning
+    # degrade throughput, Figure 11), while SAD/GUPS generate walk
+    # storms that starve co-runners (making stealing pay off, Figure 5).
+    WorkloadSpec(
+        name="BLK", category="H", pattern="per_warp_disjoint",
+        footprint_bytes=512 * MB, mean_compute=420, ops_per_warp=20,
+        pattern_args={"region_bytes": 4 * MB},
+        description="Black-Scholes: cache-friendly but disjoint per-warp "
+                    "working sets thrash the shared TLB",
+    ),
+    WorkloadSpec(
+        name="QTC", category="H", pattern="uniform_random",
+        footprint_bytes=768 * MB, mean_compute=350, ops_per_warp=22,
+        pattern_args={"divergence": 2},
+        description="Quality-threshold clustering (SHOC): random gathers",
+    ),
+    WorkloadSpec(
+        name="SAD", category="H", pattern="uniform_random",
+        footprint_bytes=1024 * MB, mean_compute=240, ops_per_warp=25,
+        pattern_args={"divergence": 2},
+        description="Sum of absolute differences (Parboil): scattered "
+                    "block matching over large frames",
+    ),
+    WorkloadSpec(
+        name="GUPS", category="H", pattern="uniform_random",
+        footprint_bytes=2048 * MB, mean_compute=120, ops_per_warp=20,
+        pattern_args={"divergence": 4},
+        description="Giga-updates-per-second: divergent random updates",
+    ),
+]
+
+BENCHMARKS: Dict[str, WorkloadSpec] = {spec.name: spec for spec in _SPECS}
+
+
+def benchmark_names() -> List[str]:
+    return [spec.name for spec in _SPECS]
+
+
+def benchmark(name: str, scale: float = 1.0) -> Workload:
+    """A runnable instance of a Table II benchmark model."""
+    try:
+        spec = BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {', '.join(BENCHMARKS)}"
+        ) from None
+    return Workload(spec, scale)
+
+
+def benchmarks_in_category(category: str) -> List[str]:
+    return [s.name for s in _SPECS if s.category == category]

@@ -1,0 +1,99 @@
+"""Recording and replaying warp traces.
+
+The synthetic suite models the paper's benchmarks, but the simulator is
+trace-driven at heart: anything that yields
+:class:`~repro.gpu.warp.WarpOp` streams can run as a tenant.  This
+module provides a stable on-disk format so users can
+
+* capture a synthetic workload once and replay it exactly
+  (:func:`record_workload` / :func:`load_trace`), or
+* convert real memory traces (from a binary-instrumentation tool or a
+  full simulator) into runnable tenants.
+
+Format: one JSON object per line —
+``{"warp": 3, "compute": 17, "addrs": [81920], "write": false}`` —
+with a header line carrying the trace name and warp count.  The format
+is deliberately line-oriented so gigabyte traces can stream.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, List, Sequence, Union
+
+from repro.gpu.warp import WarpOp
+from repro.workloads.base import Workload
+
+FORMAT_VERSION = 1
+
+
+def save_trace(streams: Sequence[Sequence[WarpOp]], path: Union[str, Path],
+               name: str = "trace") -> int:
+    """Write warp streams to ``path``; returns the number of ops written."""
+    path = Path(path)
+    ops_written = 0
+    with path.open("w") as handle:
+        header = {"format": FORMAT_VERSION, "name": name,
+                  "warps": len(streams)}
+        handle.write(json.dumps(header) + "\n")
+        for warp_id, stream in enumerate(streams):
+            for op in stream:
+                record = {"warp": warp_id, "compute": op.compute,
+                          "addrs": list(op.addrs), "write": op.is_write}
+                handle.write(json.dumps(record) + "\n")
+                ops_written += 1
+    return ops_written
+
+
+def record_workload(workload: Workload, num_warps: int, rng,
+                    path: Union[str, Path]) -> int:
+    """Materialize one execution of ``workload`` into a trace file."""
+    streams = [list(s) for s in workload.build_streams(num_warps, rng)]
+    return save_trace(streams, path, name=workload.name)
+
+
+class TraceWorkload:
+    """A tenant that replays a recorded trace file.
+
+    The trace's warps are dealt round-robin onto however many warp slots
+    the launch requests, so a trace recorded at one GPU size replays on
+    another (warps merge, order within each recorded warp is preserved).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        with self.path.open() as handle:
+            header = json.loads(handle.readline())
+        if header.get("format") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format {header.get('format')!r} in {path}"
+            )
+        self.name = header["name"]
+        self.recorded_warps = header["warps"]
+
+    def _read_ops(self) -> List[List[WarpOp]]:
+        per_warp: List[List[WarpOp]] = [[] for _ in range(self.recorded_warps)]
+        with self.path.open() as handle:
+            handle.readline()  # header
+            for line in handle:
+                record = json.loads(line)
+                per_warp[record["warp"]].append(
+                    WarpOp(record["compute"], record["addrs"],
+                           record["write"])
+                )
+        return per_warp
+
+    def build_streams(self, num_warps: int, rng) -> List[Iterator[WarpOp]]:
+        if num_warps <= 0:
+            raise ValueError("num_warps must be positive")
+        recorded = self._read_ops()
+        slots: List[List[WarpOp]] = [[] for _ in range(num_warps)]
+        for warp_id, ops in enumerate(recorded):
+            slots[warp_id % num_warps].extend(ops)
+        return [iter(ops) for ops in slots]
+
+
+def load_trace(path: Union[str, Path]) -> TraceWorkload:
+    """Open a trace file as a runnable workload."""
+    return TraceWorkload(path)

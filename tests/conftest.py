@@ -1,0 +1,7 @@
+"""Shared pytest configuration: the `slow` marker."""
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running simulation tests (deselect with -m 'not slow')"
+    )

@@ -1,0 +1,147 @@
+"""Additional edge-case and property tests for the core policies."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dws import DwsPolicy
+from repro.core.dwspp import (
+    AGGRESSIVE_SCHEDULE,
+    DEFAULT_SCHEDULE,
+    DwsPlusParams,
+    DwsPlusPolicy,
+)
+from repro.core.mask import MaskController
+from repro.core.structures import partition_walkers
+from repro.vm.walk import WalkRequest
+
+
+class TestPartitionWalkersProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(num_walkers=st.integers(1, 64),
+           num_tenants=st.integers(1, 8))
+    def test_partition_is_complete_and_disjoint(self, num_walkers, num_tenants):
+        tenants = list(range(num_tenants))
+        assignment = partition_walkers(num_walkers, tenants)
+        all_walkers = sorted(w for ws in assignment.values() for w in ws)
+        assert all_walkers == list(range(num_walkers))
+
+    @settings(max_examples=60, deadline=None)
+    @given(num_walkers=st.integers(1, 64),
+           num_tenants=st.integers(1, 8))
+    def test_partition_is_balanced(self, num_walkers, num_tenants):
+        assignment = partition_walkers(num_walkers, range(num_tenants))
+        sizes = [len(ws) for ws in assignment.values()]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_partition_ignores_tenant_id_values(self):
+        a = partition_walkers(8, [0, 1])
+        b = partition_walkers(8, [5, 9])
+        assert a[0] == b[5] and a[1] == b[9]
+
+
+class TestScheduleProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(ratio=st.floats(min_value=1.0, max_value=100.0,
+                           allow_nan=False, allow_infinity=False))
+    def test_default_schedule_monotone_in_ratio(self, ratio):
+        """A higher rate skew never makes stealing easier."""
+        params = DwsPlusParams()
+        t1 = params.diff_thres_for_ratio(ratio)
+        t2 = params.diff_thres_for_ratio(ratio * 1.5)
+        v1 = t1 if t1 is not None else math.inf
+        v2 = t2 if t2 is not None else math.inf
+        assert v2 >= v1
+
+    def test_infinite_ratio_handled(self):
+        assert DwsPlusParams().diff_thres_for_ratio(math.inf) is None
+        assert DwsPlusParams(
+            schedule=AGGRESSIVE_SCHEDULE,
+            initial_diff_thres=0.3,
+        ).diff_thres_for_ratio(math.inf) == 0.3
+
+    def test_default_schedule_is_table_iv(self):
+        bounds = [b for b, _ in DEFAULT_SCHEDULE]
+        assert bounds == [1.5, 2.0, 3.0, 4.0, math.inf]
+
+
+class TestDwsPlusEpochEdgeCases:
+    def test_single_tenant_never_steals_despite_pending(self):
+        p = DwsPlusPolicy(2, 4, [0], params=DwsPlusParams(epoch_length=4))
+        for i in range(4):
+            p.on_arrival(WalkRequest(0, i, 0))
+        assert p.epochs_completed == 1
+        # with one tenant the ratio degenerates to 1.0 (threshold 0.4),
+        # but there is no other tenant to steal from: the despite-pending
+        # gate must stay closed regardless
+        assert not p._allow_steal_despite_pending(0, 0)
+        got = p.select(0)
+        assert got is not None and not got.stolen
+
+    def test_multiple_epochs_retune(self):
+        p = DwsPlusPolicy(4, 16, [0, 1], params=DwsPlusParams(epoch_length=4))
+        # epoch 1: balanced -> 0.4
+        for i, tenant in enumerate((0, 1, 0, 1)):
+            p.on_arrival(WalkRequest(tenant, 100 + i, 0))
+        assert p.diff_thres == 0.4
+        # drain queues, then epoch 2: skewed 3:1 -> 0.8
+        for w in range(4):
+            r = p.select(w)
+            while r is not None:
+                p.on_complete(w, r)
+                r = p.select(w)
+        for i, tenant in enumerate((0, 0, 0, 1)):
+            p.on_arrival(WalkRequest(tenant, 200 + i, 0))
+        assert p.epochs_completed == 2
+        assert p.diff_thres == 0.8
+
+    def test_forbid_consecutive_steals_ablation_flag(self):
+        params = DwsPlusParams(forbid_consecutive_steals=False)
+        p = DwsPlusPolicy(2, 8, [0, 1], params=params)
+        p.diff_thres = 0.1
+        p.on_arrival(WalkRequest(0, 1, 0))  # owner has one queued
+        for i in range(4):
+            p.on_arrival(WalkRequest(1, 10 + i, 0))
+        first = p.select(0)
+        assert first.stolen
+        p.on_complete(0, first)
+        second = p.select(0)
+        # with the rule disabled, a second consecutive steal is allowed
+        assert second.stolen
+
+
+class TestDwsVictimSelection:
+    def test_no_victim_when_others_empty(self):
+        p = DwsPolicy(4, 8, [0, 1, 2])
+        assert p._choose_victim(0) is None
+
+    def test_victim_is_most_loaded(self):
+        p = DwsPolicy(6, 12, [0, 1, 2])
+        p.on_arrival(WalkRequest(1, 1, 0))
+        for i in range(2):
+            p.on_arrival(WalkRequest(2, 10 + i, 0))
+        assert p._choose_victim(0) == 2
+
+
+class TestMaskSequences:
+    @settings(max_examples=40, deadline=None)
+    @given(hits=st.lists(st.tuples(st.integers(0, 1), st.booleans()),
+                         min_size=1, max_size=200))
+    def test_tokens_never_negative_and_bounded(self, hits):
+        m = MaskController([0, 1], epoch_lookups=16,
+                           total_tokens_per_epoch=8)
+        for tenant, hit in hits:
+            m.note_l2_tlb_lookup(tenant, hit)
+            m.allow_l2_fill(tenant)
+            assert m.tokens_of(0) >= 0
+            assert m.tokens_of(1) >= 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(1, 400))
+    def test_epoch_count_matches_lookup_volume(self, n):
+        m = MaskController([0], epoch_lookups=16)
+        for i in range(n):
+            m.note_l2_tlb_lookup(0, hit=bool(i % 2))
+        assert m.epochs_completed == n // 16

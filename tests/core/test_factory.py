@@ -1,0 +1,44 @@
+"""Tests for policy construction from PolicySpec."""
+
+import pytest
+
+from repro.core.dws import DwsPolicy
+from repro.core.dwspp import DwsPlusParams, DwsPlusPolicy
+from repro.core.factory import build_mask_controller, build_policy
+from repro.core.shared import SharedQueuePolicy
+from repro.core.static_partition import StaticPartitionPolicy
+from repro.engine.config import PolicySpec
+
+
+@pytest.mark.parametrize("name,cls", [
+    ("baseline", SharedQueuePolicy),
+    ("static", StaticPartitionPolicy),
+    ("dws", DwsPolicy),
+    ("dwspp", DwsPlusPolicy),
+    ("mask", SharedQueuePolicy),
+    ("mask+dws", DwsPolicy),
+])
+def test_factory_builds_expected_class(name, cls):
+    policy = build_policy(PolicySpec(name=name), num_walkers=4,
+                          queue_entries=8, tenant_ids=[0, 1])
+    assert isinstance(policy, cls)
+
+
+def test_dwspp_preset_selection():
+    spec = PolicySpec(name="dwspp", params={"preset": "aggressive"})
+    policy = build_policy(spec, 4, 8, [0, 1])
+    assert policy.params.diff_thres_for_ratio(100.0) == 0.3
+
+
+def test_dwspp_explicit_params_object():
+    params = DwsPlusParams(epoch_length=50)
+    spec = PolicySpec(name="dwspp", params={"params": params})
+    policy = build_policy(spec, 4, 8, [0, 1])
+    assert policy.params.epoch_length == 50
+
+
+def test_mask_controller_only_for_mask_specs():
+    assert build_mask_controller(PolicySpec("baseline"), [0, 1]) is None
+    assert build_mask_controller(PolicySpec("dws"), [0, 1]) is None
+    assert build_mask_controller(PolicySpec("mask"), [0, 1]) is not None
+    assert build_mask_controller(PolicySpec("mask+dws"), [0, 1]) is not None

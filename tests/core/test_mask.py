@@ -1,0 +1,69 @@
+"""Tests for the simplified MASK comparator."""
+
+from repro.core.mask import MaskController
+
+
+def make_mask(epoch=20, tokens=10):
+    return MaskController([0, 1], epoch_lookups=epoch,
+                          total_tokens_per_epoch=tokens)
+
+
+class TestTokens:
+    def test_initial_tokens_split_equally(self):
+        m = make_mask(tokens=10)
+        assert m.tokens_of(0) == 5
+        assert m.tokens_of(1) == 5
+
+    def test_fill_spends_token(self):
+        m = make_mask(tokens=4)
+        assert m.allow_l2_fill(0)
+        assert m.allow_l2_fill(0)
+        assert not m.allow_l2_fill(0)  # tenant 0 exhausted its 2 tokens
+        assert m.allow_l2_fill(1)      # tenant 1 unaffected
+
+    def test_epoch_reallocates_by_hit_rate_utility(self):
+        m = make_mask(epoch=20, tokens=10)
+        # tenant 0 hits 100%, tenant 1 hits 0%: tokens should skew to 0
+        for _ in range(10):
+            m.note_l2_tlb_lookup(0, hit=True)
+        for _ in range(10):
+            m.note_l2_tlb_lookup(1, hit=False)
+        assert m.epochs_completed == 1
+        assert m.tokens_of(0) > m.tokens_of(1)
+        assert m.tokens_of(1) >= 1  # floor of one token
+
+    def test_no_utility_resets_equal(self):
+        m = make_mask(epoch=10, tokens=10)
+        for _ in range(10):
+            m.note_l2_tlb_lookup(0, hit=False)
+        assert m.tokens_of(0) == 5
+        assert m.tokens_of(1) == 5
+
+
+class TestPteBypass:
+    def test_low_walker_hit_rate_enables_bypass(self):
+        m = make_mask(epoch=10)
+        for _ in range(10):
+            m.note_walker_cache_access(0, hit=False)
+            m.note_l2_tlb_lookup(0, hit=True)
+        assert m.pte_bypass(0)
+        assert not m.pte_bypass(1)  # no accesses -> assumed cache-friendly
+
+    def test_high_walker_hit_rate_keeps_caching(self):
+        m = make_mask(epoch=10)
+        for _ in range(10):
+            m.note_walker_cache_access(0, hit=True)
+            m.note_l2_tlb_lookup(0, hit=True)
+        assert not m.pte_bypass(0)
+
+
+class TestDynamicTenants:
+    def test_unknown_tenant_learned_on_the_fly(self):
+        m = make_mask()
+        m.note_l2_tlb_lookup(7, hit=True)
+        assert 7 in m.tenant_ids
+
+    def test_validation(self):
+        import pytest
+        with pytest.raises(ValueError):
+            MaskController([0], epoch_lookups=0)

@@ -1,0 +1,333 @@
+"""Behavioural tests for the walker-scheduling policies.
+
+These drive the policies directly through the WalkSchedulingPolicy
+protocol (no simulator), checking queueing, partitioning and stealing
+decisions step by step.
+"""
+
+import pytest
+
+from repro.core.dws import DwsPolicy
+from repro.core.dwspp import DwsPlusParams, DwsPlusPolicy
+from repro.core.shared import SharedQueuePolicy
+from repro.core.static_partition import StaticPartitionPolicy
+from repro.vm.walk import WalkRequest
+
+
+def walk(tenant, vpn=0, t=0):
+    return WalkRequest(tenant, vpn, t)
+
+
+class TestSharedQueuePolicy:
+    def test_fifo_across_tenants(self):
+        p = SharedQueuePolicy(num_walkers=2, queue_entries=4)
+        a, b, c = walk(0), walk(1), walk(0)
+        for r in (a, b, c):
+            assert p.on_arrival(r)
+        assert p.select(0) is a
+        assert p.select(1) is b
+        assert p.select(0) is c
+        assert p.select(1) is None
+
+    def test_capacity_backpressure(self):
+        p = SharedQueuePolicy(2, 2)
+        assert p.on_arrival(walk(0))
+        assert p.on_arrival(walk(0))
+        assert not p.on_arrival(walk(1))
+
+    def test_pending_counts(self):
+        p = SharedQueuePolicy(2, 8)
+        p.on_arrival(walk(0))
+        p.on_arrival(walk(0))
+        p.on_arrival(walk(1))
+        assert p.pending_for(0) == 2
+        assert p.pending_for(1) == 1
+        assert p.pending_total() == 3
+
+
+def make_partitioned(cls, num_walkers=4, queue_entries=8, tenants=(0, 1), **kw):
+    return cls(num_walkers, queue_entries, tenants, **kw)
+
+
+class TestPartitionedArrivalRouting:
+    def test_arrival_goes_to_owned_least_loaded_walker(self):
+        p = make_partitioned(DwsPolicy)
+        # tenants 0 and 1 each own 2 of 4 walkers (round robin: 0,2 / 1,3)
+        assert p.twm.owned_walkers(0) == [0, 2]
+        assert p.twm.owned_walkers(1) == [1, 3]
+        r = walk(0)
+        p.on_arrival(r)
+        assert p.queued_for(0) == 1
+        assert p.queued_for(1) == 0
+        p.check_invariants()
+
+    def test_arrivals_balance_across_owned_queues(self):
+        p = make_partitioned(DwsPolicy)
+        for _ in range(4):
+            p.on_arrival(walk(0))
+        assert len(p._queues[0]) == 2
+        assert len(p._queues[2]) == 2
+        assert len(p._queues[1]) == len(p._queues[3]) == 0
+
+    def test_per_tenant_backpressure(self):
+        p = make_partitioned(DwsPolicy, num_walkers=2, queue_entries=4)
+        # tenant 0 owns walker 0 only: queue capacity 2
+        assert p.on_arrival(walk(0))
+        assert p.on_arrival(walk(0))
+        assert not p.on_arrival(walk(0))  # tenant 0 full
+        assert p.on_arrival(walk(1))      # tenant 1 unaffected
+
+    def test_unregistered_tenant_rejected(self):
+        p = make_partitioned(DwsPolicy)
+        with pytest.raises(ValueError):
+            p.on_arrival(walk(5))
+
+    def test_pend_walks_tracks_unfinished(self):
+        p = make_partitioned(DwsPolicy)
+        r = walk(0)
+        p.on_arrival(r)
+        assert p.twm.pend_walks(0) == 1
+        got = p.select(0)
+        assert got is r
+        assert p.twm.pend_walks(0) == 1  # still in service
+        p.on_complete(0, r)
+        assert p.twm.pend_walks(0) == 0
+
+
+class TestStaticPartitioning:
+    def test_never_steals(self):
+        p = make_partitioned(StaticPartitionPolicy)
+        p.on_arrival(walk(1))
+        # walker 0 (owned by tenant 0) must idle despite tenant 1's queue
+        assert p.select(0) is None
+        # walker 1 (owned by tenant 1) services it
+        assert p.select(1) is not None
+
+    def test_serves_sibling_queue_of_same_owner(self):
+        p = make_partitioned(StaticPartitionPolicy)
+        for _ in range(3):
+            p.on_arrival(walk(0))  # queues of walkers 0 and 2
+        # walker 2 can pick up even if its own queue is shorter
+        first = p.select(2)
+        assert first is not None and first.tenant_id == 0
+
+
+class TestDwsStealing:
+    def test_steals_when_owner_idle(self):
+        p = make_partitioned(DwsPolicy)
+        victim_walk = walk(1)
+        p.on_arrival(victim_walk)
+        got = p.select(0)  # tenant-0 walker, owner has nothing queued
+        assert got is victim_walk
+        assert got.stolen
+        assert p.fwa.is_stolen(0)
+
+    def test_never_steals_past_owner_queued_walk(self):
+        p = make_partitioned(DwsPolicy)
+        own = walk(0)
+        other = walk(1)
+        p.on_arrival(other)
+        p.on_arrival(own)
+        got = p.select(0)
+        assert got is own
+        assert not got.stolen
+        assert not p.fwa.is_stolen(0)
+
+    def test_steal_targets_tenant_with_most_queued(self):
+        p = DwsPolicy(num_walkers=6, queue_entries=12, tenant_ids=[0, 1, 2])
+        p.on_arrival(walk(1))
+        for _ in range(3):
+            p.on_arrival(walk(2))
+        got = p.select(0)  # tenant-0 walker steals
+        assert got.tenant_id == 2
+
+    def test_is_stolen_resets_on_owner_walk(self):
+        p = make_partitioned(DwsPolicy)
+        p.on_arrival(walk(1))
+        stolen = p.select(0)
+        assert p.fwa.is_stolen(0)
+        p.on_complete(0, stolen)
+        p.on_arrival(walk(0))
+        own = p.select(0)
+        assert own.tenant_id == 0
+        assert not p.fwa.is_stolen(0)
+
+    def test_select_returns_none_when_nothing_anywhere(self):
+        p = make_partitioned(DwsPolicy)
+        assert p.select(0) is None
+
+    def test_fwa_consistency_through_random_ops(self):
+        p = make_partitioned(DwsPolicy, num_walkers=4, queue_entries=16)
+        import random
+        rng = random.Random(42)
+        in_service = []
+        for _ in range(300):
+            action = rng.random()
+            if action < 0.5:
+                p.on_arrival(walk(rng.randint(0, 1)))
+            elif action < 0.8:
+                r = p.select(rng.randint(0, 3))
+                if r is not None:
+                    in_service.append(r)
+            elif in_service:
+                r = in_service.pop(rng.randrange(len(in_service)))
+                p.on_complete(0, r)
+            p.check_invariants()
+
+
+class TestDwsPlusParams:
+    def test_default_schedule_matches_table_iv(self):
+        params = DwsPlusParams.default()
+        assert params.diff_thres_for_ratio(1.0) == 0.4
+        assert params.diff_thres_for_ratio(1.5) == 0.4
+        assert params.diff_thres_for_ratio(1.8) == 0.6
+        assert params.diff_thres_for_ratio(2.5) == 0.8
+        assert params.diff_thres_for_ratio(3.5) == 0.9
+        assert params.diff_thres_for_ratio(10.0) is None  # no stealing
+        assert params.queue_thres == 0.51
+
+    def test_conservative_matches_table_vii(self):
+        params = DwsPlusParams.conservative()
+        assert params.queue_thres == 0.17
+        assert params.diff_thres_for_ratio(1.0) == 0.4
+
+    def test_aggressive_matches_table_vii(self):
+        params = DwsPlusParams.aggressive()
+        assert params.queue_thres == 0.51
+        for r in (1.0, 2.5, 100.0):
+            assert params.diff_thres_for_ratio(r) == 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DwsPlusParams(epoch_length=0)
+        with pytest.raises(ValueError):
+            DwsPlusParams(queue_thres=0)
+        with pytest.raises(ValueError):
+            DwsPlusParams(schedule=((2.0, 0.4), (1.0, 0.6)))
+
+
+class TestDwsPlusStealing:
+    def make(self, **params_kw):
+        params = DwsPlusParams(**params_kw) if params_kw else DwsPlusParams()
+        return DwsPlusPolicy(num_walkers=4, queue_entries=8,
+                             tenant_ids=[0, 1], params=params)
+
+    def test_steals_despite_pending_when_imbalance_large(self):
+        p = self.make()
+        p.diff_thres = 0.3
+        p.on_arrival(walk(0))          # own pend 1
+        for _ in range(4):             # other pend 4: imbalance 3/8 > 0.3
+            p.on_arrival(walk(1))
+        got = p.select(0)
+        assert got.tenant_id == 1 and got.stolen
+
+    def test_no_steal_when_imbalance_below_threshold(self):
+        p = self.make()
+        p.diff_thres = 0.4
+        p.on_arrival(walk(0))
+        for _ in range(3):             # imbalance 2/8 = 0.25 < 0.4
+            p.on_arrival(walk(1))
+        got = p.select(0)
+        assert got.tenant_id == 0
+
+    def test_no_consecutive_steals(self):
+        p = self.make()
+        p.diff_thres = 0.1
+        p.on_arrival(walk(0))
+        for _ in range(4):
+            p.on_arrival(walk(1))
+        first = p.select(0)
+        assert first.stolen
+        p.on_complete(0, first)
+        second = p.select(0)           # is_stolen bit forbids a second steal
+        assert second.tenant_id == 0
+
+    def test_queue_thres_forbids_steal(self):
+        p = self.make(queue_thres=0.4)
+        p.diff_thres = 0.1
+        # fill walker 0's own queue above 40% (capacity 2 -> 1 occupied = 0.5)
+        p.on_arrival(walk(0))
+        for _ in range(4):
+            p.on_arrival(walk(1))
+        got = p.select(0)
+        assert got.tenant_id == 0
+
+    def test_diff_thres_none_disables_despite_pending_steal(self):
+        p = self.make()
+        p.diff_thres = None
+        p.on_arrival(walk(0))
+        for _ in range(4):
+            p.on_arrival(walk(1))
+        got = p.select(0)
+        assert got.tenant_id == 0
+
+    def test_owner_idle_steal_still_works(self):
+        p = self.make()
+        p.diff_thres = None  # even with stealing "off", utilization steal is on
+        p.on_arrival(walk(1))
+        got = p.select(0)
+        assert got.tenant_id == 1 and got.stolen
+
+    def test_epoch_updates_diff_thres_from_rate_ratio(self):
+        p = DwsPlusPolicy(4, 8, [0, 1], params=DwsPlusParams(epoch_length=10))
+        # 5 arrivals tenant 0, 5 arrivals tenant 1 -> ratio 1.0 -> 0.4
+        arrivals = [walk(0) for _ in range(5)] + [walk(1) for _ in range(5)]
+        for i, r in enumerate(arrivals):
+            accepted = p.on_arrival(r)
+            # drain queues so capacity never blocks the epoch accounting
+            if accepted:
+                got = p.select(p.twm.owned_walkers(r.tenant_id)[0])
+                if got:
+                    p.on_complete(0, got)
+        assert p.epochs_completed == 1
+        assert p.diff_thres == 0.4
+
+    def test_epoch_skewed_rates_raise_threshold(self):
+        p = DwsPlusPolicy(4, 16, [0, 1], params=DwsPlusParams(epoch_length=10))
+        for i in range(10):
+            tenant = 0 if i < 8 else 1  # ratio 8/2 = 4 -> 0.9
+            accepted = p.on_arrival(walk(tenant))
+            if accepted:
+                got = p.select(p.twm.owned_walkers(tenant)[0])
+                if got:
+                    p.on_complete(0, got)
+        assert p.epochs_completed == 1
+        assert p.diff_thres == 0.9
+
+    def test_epoch_one_sided_rates_disable_stealing(self):
+        p = DwsPlusPolicy(4, 16, [0, 1], params=DwsPlusParams(epoch_length=10))
+        for _ in range(10):
+            accepted = p.on_arrival(walk(0))
+            if accepted:
+                got = p.select(0)
+                if got:
+                    p.on_complete(0, got)
+        assert p.diff_thres is None  # ratio inf -> no stealing tier
+
+
+class TestDynamicTenantChanges:
+    def test_adding_a_tenant_repartitions(self):
+        p = DwsPolicy(8, 16, [0])
+        assert len(p.twm.owned_walkers(0)) == 8
+        p.on_tenant_set_changed([0, 1])
+        assert len(p.twm.owned_walkers(0)) == 4
+        assert len(p.twm.owned_walkers(1)) == 4
+
+    def test_removing_a_tenant_frees_walkers(self):
+        p = DwsPolicy(8, 16, [0, 1])
+        p.on_tenant_set_changed([0])
+        assert len(p.twm.owned_walkers(0)) == 8
+        assert p.twm.owned_walkers(1) == []
+
+    def test_queued_walks_survive_repartition(self):
+        p = DwsPolicy(8, 16, [0, 1])
+        p.on_arrival(walk(0))
+        p.on_tenant_set_changed([0, 1, 2])
+        # the queued walk is still serviceable
+        served = [p.select(w) for w in range(8)]
+        assert any(r is not None and r.tenant_id == 0 for r in served)
+
+    def test_exceeding_design_max_rejected(self):
+        p = DwsPolicy(8, 16, [0, 1], max_tenants=2)
+        with pytest.raises(ValueError):
+            p.on_tenant_set_changed([0, 1, 2])

@@ -1,0 +1,196 @@
+"""Property-based tests: policy invariants under arbitrary event orders.
+
+Hypothesis drives random interleavings of arrivals, selections and
+completions through each policy and checks the structural invariants
+that every policy must maintain regardless of schedule:
+
+* FWA free-slot counters always mirror the ground-truth queues,
+* PEND_WALKS counts exactly the unfinished walks,
+* no request is ever lost or duplicated,
+* capacity is never exceeded,
+* Static never crosses tenants; DWS crosses only via stealing.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dws import DwsPolicy
+from repro.core.dwspp import DwsPlusParams, DwsPlusPolicy
+from repro.core.shared import SharedQueuePolicy
+from repro.core.static_partition import StaticPartitionPolicy
+from repro.vm.walk import WalkRequest
+
+NUM_WALKERS = 4
+QUEUE_ENTRIES = 8
+TENANTS = (0, 1)
+
+
+def make_policy(kind):
+    if kind == "shared":
+        return SharedQueuePolicy(NUM_WALKERS, QUEUE_ENTRIES)
+    if kind == "static":
+        return StaticPartitionPolicy(NUM_WALKERS, QUEUE_ENTRIES, TENANTS)
+    if kind == "dws":
+        return DwsPolicy(NUM_WALKERS, QUEUE_ENTRIES, TENANTS)
+    if kind == "dwspp":
+        return DwsPlusPolicy(NUM_WALKERS, QUEUE_ENTRIES, TENANTS,
+                             params=DwsPlusParams(epoch_length=13))
+    raise AssertionError(kind)
+
+
+# an operation script: (op_kind, argument)
+#   0 = arrival from tenant arg%2
+#   1 = select on walker arg%NUM_WALKERS
+#   2 = complete the oldest in-service walk
+operations = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 1000)),
+    min_size=1, max_size=200,
+)
+
+PARTITIONED = ("static", "dws", "dwspp")
+ALL_KINDS = ("shared",) + PARTITIONED
+
+
+class Harness:
+    """Replays an operation script against a policy, tracking truth."""
+
+    def __init__(self, kind):
+        self.kind = kind
+        self.policy = make_policy(kind)
+        self.accepted = []
+        self.rejected = 0
+        self.in_service = []
+        self.completed = []
+        self.vpn = 0
+
+    def step(self, op, arg):
+        policy = self.policy
+        if op == 0:
+            self.vpn += 1
+            request = WalkRequest(arg % 2, self.vpn, 0)
+            if policy.on_arrival(request):
+                self.accepted.append(request)
+            else:
+                self.rejected += 1
+        elif op == 1:
+            walker = arg % NUM_WALKERS
+            request = policy.select(walker)
+            if request is not None:
+                self.in_service.append((walker, request))
+        else:
+            if self.in_service:
+                walker, request = self.in_service.pop(0)
+                policy.on_complete(walker, request)
+                self.completed.append(request)
+
+    def check(self):
+        policy = self.policy
+        queued = policy.pending_total()
+        # conservation: accepted = queued + in-service + completed
+        assert queued + len(self.in_service) + len(self.completed) == len(
+            self.accepted
+        )
+        assert queued <= QUEUE_ENTRIES
+        if self.kind in PARTITIONED:
+            policy.check_invariants()
+            for tenant in TENANTS:
+                unfinished = (
+                    policy.queued_for(tenant)
+                    + sum(1 for _, r in self.in_service
+                          if r.tenant_id == tenant)
+                )
+                assert policy.twm.pend_walks(tenant) == unfinished
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+@settings(max_examples=40, deadline=None)
+@given(script=operations)
+def test_policy_structural_invariants(kind, script):
+    harness = Harness(kind)
+    for op, arg in script:
+        harness.step(op, arg)
+        harness.check()
+
+
+@settings(max_examples=40, deadline=None)
+@given(script=operations)
+def test_static_never_crosses_tenants(script):
+    harness = Harness("static")
+    for op, arg in script:
+        harness.step(op, arg)
+    for walker, request in harness.in_service:
+        assert harness.policy.wtm.owner_of(walker) == request.tenant_id
+        assert not request.stolen
+
+
+@settings(max_examples=40, deadline=None)
+@given(script=operations)
+def test_dws_cross_tenant_service_is_always_a_steal(script):
+    harness = Harness("dws")
+    serviced = []
+    for op, arg in script:
+        before = len(harness.in_service)
+        harness.step(op, arg)
+        if op == 1 and len(harness.in_service) > before:
+            serviced.append(harness.in_service[-1])
+    for walker, request in serviced:
+        owner = harness.policy.wtm.owner_of(walker)
+        if owner != request.tenant_id:
+            assert request.stolen
+        else:
+            assert not request.stolen
+
+
+@settings(max_examples=40, deadline=None)
+@given(script=operations)
+def test_dws_steals_only_when_owner_has_nothing_queued(script):
+    """The defining DWS rule, checked at every select."""
+    policy = make_policy("dws")
+    vpn = 0
+    in_service = []
+    for op, arg in script:
+        if op == 0:
+            vpn += 1
+            policy.on_arrival(WalkRequest(arg % 2, vpn, 0))
+        elif op == 1:
+            walker = arg % NUM_WALKERS
+            owner = policy.wtm.owner_of(walker)
+            owner_queued_before = policy.queued_for(owner)
+            request = policy.select(walker)
+            if request is not None:
+                in_service.append((walker, request))
+                if request.stolen:
+                    assert owner_queued_before == 0
+        else:
+            if in_service:
+                walker, request = in_service.pop(0)
+                policy.on_complete(walker, request)
+
+
+@settings(max_examples=40, deadline=None)
+@given(script=operations)
+def test_dwspp_never_steals_twice_consecutively(script):
+    policy = make_policy("dwspp")
+    last_was_steal = {w: False for w in range(NUM_WALKERS)}
+    vpn = 0
+    in_service = []
+    for op, arg in script:
+        if op == 0:
+            vpn += 1
+            policy.on_arrival(WalkRequest(arg % 2, vpn, 0))
+        elif op == 1:
+            walker = arg % NUM_WALKERS
+            owner = policy.wtm.owner_of(walker)
+            owner_had_queued = policy.queued_for(owner) > 0
+            request = policy.select(walker)
+            if request is not None:
+                if request.stolen and owner_had_queued:
+                    # a despite-pending steal must not follow a steal
+                    assert not last_was_steal[walker]
+                last_was_steal[walker] = request.stolen
+                in_service.append((walker, request))
+        else:
+            if in_service:
+                walker, request = in_service.pop(0)
+                policy.on_complete(walker, request)

@@ -1,0 +1,157 @@
+"""Tests for the FWA/TWM/WTM hardware structures of Figure 4."""
+
+import pytest
+
+from repro.core.structures import (
+    FreeWalkerArray,
+    TenantWalkerMap,
+    WalkerTenantMap,
+    partition_walkers,
+)
+
+
+class TestFreeWalkerArray:
+    def test_initial_free_slots(self):
+        fwa = FreeWalkerArray(num_walkers=4, per_walker_queue=12)
+        assert all(fwa.free_slots(w) == 12 for w in range(4))
+        assert all(fwa.occupied(w) == 0 for w in range(4))
+
+    def test_consume_release_roundtrip(self):
+        fwa = FreeWalkerArray(2, 3)
+        fwa.consume_slot(0)
+        fwa.consume_slot(0)
+        assert fwa.free_slots(0) == 1
+        assert fwa.occupied(0) == 2
+        fwa.release_slot(0)
+        assert fwa.free_slots(0) == 2
+
+    def test_underflow_overflow_guards(self):
+        fwa = FreeWalkerArray(1, 1)
+        fwa.consume_slot(0)
+        with pytest.raises(ValueError):
+            fwa.consume_slot(0)
+        fwa.release_slot(0)
+        with pytest.raises(ValueError):
+            fwa.release_slot(0)
+
+    def test_is_stolen_bit(self):
+        fwa = FreeWalkerArray(2, 4)
+        assert not fwa.is_stolen(0)
+        fwa.set_stolen(0, True)
+        assert fwa.is_stolen(0)
+        assert not fwa.is_stolen(1)
+
+    def test_state_bits_default_config(self):
+        # 16 walkers, 12-slot queues: 4 bits free-count + 1 is_stolen each
+        fwa = FreeWalkerArray(16, 12)
+        assert fwa.state_bits() == 16 * 5  # 80 bits, matching the paper
+
+
+class TestTenantWalkerMap:
+    def test_ownership_bitmap(self):
+        twm = TenantWalkerMap(max_tenants=2, num_walkers=8, queue_entries=96)
+        twm.set_owners(0, [0, 1, 2, 3])
+        twm.set_owners(1, [4, 5, 6, 7])
+        assert twm.owned_walkers(0) == [0, 1, 2, 3]
+        assert twm.owns(1, 5)
+        assert not twm.owns(1, 2)
+
+    def test_pend_walks_counting(self):
+        twm = TenantWalkerMap(2, 8, 96)
+        twm.set_owners(0, [0])
+        twm.inc_pend(0)
+        twm.inc_pend(0)
+        twm.dec_pend(0)
+        assert twm.pend_walks(0) == 1
+
+    def test_pend_underflow_raises(self):
+        twm = TenantWalkerMap(2, 8, 96)
+        twm.set_owners(0, [0])
+        with pytest.raises(ValueError):
+            twm.dec_pend(0)
+
+    def test_epoch_counters_reset(self):
+        twm = TenantWalkerMap(2, 8, 96)
+        twm.set_owners(0, [0])
+        twm.set_owners(1, [1])
+        twm.inc_enq_epoch(0)
+        twm.inc_enq_epoch(0)
+        twm.inc_enq_epoch(1)
+        assert twm.enq_epoch(0) == 2
+        twm.reset_epoch()
+        assert twm.enq_epoch(0) == 0
+        assert twm.enq_epoch(1) == 0
+
+    def test_enq_epoch_saturates_at_counter_width(self):
+        twm = TenantWalkerMap(2, 8, 96, epoch_bits=2)
+        twm.set_owners(0, [0])
+        for _ in range(10):
+            twm.inc_enq_epoch(0)
+        assert twm.enq_epoch(0) == 3  # 2-bit counter saturates
+
+    def test_clear_tenant(self):
+        twm = TenantWalkerMap(2, 8, 96)
+        twm.set_owners(0, [0, 1])
+        twm.clear_tenant(0)
+        assert twm.owned_walkers(0) == []
+        assert twm.tenants == []
+
+    def test_walker_id_range_checked(self):
+        twm = TenantWalkerMap(2, 4, 48)
+        with pytest.raises(ValueError):
+            twm.set_owners(0, [4])
+
+
+class TestWalkerTenantMap:
+    def test_owner_roundtrip(self):
+        wtm = WalkerTenantMap(num_walkers=4, max_tenants=2)
+        wtm.set_owner(2, 1)
+        assert wtm.owner_of(2) == 1
+        assert wtm.owner_of(0) == 0
+
+    def test_rejects_tenant_beyond_design_max(self):
+        wtm = WalkerTenantMap(4, 2)
+        with pytest.raises(ValueError):
+            wtm.set_owner(0, 2)
+
+
+class TestStateBitsAccounting:
+    def test_total_state_is_a_couple_hundred_bits(self):
+        """Paper Section VI-A: ~192 bits at the default configuration
+        (16 walkers, 2 tenants, 192 queue entries).  Our field widths
+        give 176; the claim 'couple of hundred bits' holds."""
+        fwa = FreeWalkerArray(16, 12)
+        twm = TenantWalkerMap(max_tenants=2, num_walkers=16, queue_entries=192)
+        wtm = WalkerTenantMap(16, max_tenants=4)
+        total = fwa.state_bits() + twm.state_bits() + wtm.state_bits()
+        assert fwa.state_bits() == 80
+        assert wtm.state_bits() == 32
+        assert total <= 256
+
+    def test_twm_grows_linearly_wtm_logarithmically_with_tenants(self):
+        twm2 = TenantWalkerMap(2, 16, 192).state_bits()
+        twm8 = TenantWalkerMap(8, 16, 192).state_bits()
+        assert twm8 == 4 * twm2
+        wtm2 = WalkerTenantMap(16, 2).state_bits()
+        wtm4 = WalkerTenantMap(16, 4).state_bits()
+        wtm8 = WalkerTenantMap(16, 8).state_bits()
+        assert wtm2 == 16 and wtm4 == 32 and wtm8 == 48
+
+
+class TestPartitionWalkers:
+    def test_two_tenants_equal_split(self):
+        assignment = partition_walkers(16, [0, 1])
+        assert len(assignment[0]) == len(assignment[1]) == 8
+        assert sorted(assignment[0] + assignment[1]) == list(range(16))
+
+    def test_three_tenants_round_robin_remainder(self):
+        assignment = partition_walkers(16, [0, 1, 2])
+        sizes = sorted(len(v) for v in assignment.values())
+        assert sizes == [5, 5, 6]
+
+    def test_single_tenant_gets_everything(self):
+        assignment = partition_walkers(8, [3])
+        assert assignment[3] == list(range(8))
+
+    def test_empty_tenants(self):
+        assert partition_walkers(8, []) == {}

@@ -1,0 +1,86 @@
+"""Tests for configuration dataclasses and variant derivation."""
+
+import pytest
+
+from repro.engine.config import GpuConfig, PolicySpec, TlbConfig, config_key
+
+
+class TestBaseline:
+    def test_matches_paper_table1(self):
+        cfg = GpuConfig.baseline()
+        assert cfg.sm.num_sms == 30
+        assert cfg.sm.l1_tlb.entries == 32
+        assert cfg.sm.l1_tlb.mshr_entries == 12
+        assert cfg.l2_tlb.entries == 1024
+        assert cfg.l2_tlb.associativity == 16
+        assert cfg.walkers.num_walkers == 16
+        assert cfg.walkers.queue_entries == 192
+        assert cfg.walkers.pwc_entries == 128
+        assert cfg.sm.l1_cache.size_bytes == 16 * 1024
+        assert cfg.l2_cache.size_bytes == 2 * 1024 * 1024
+        assert cfg.l2_cache.banks == 16
+        assert cfg.dram.channels == 16
+        assert cfg.page_size == 4096
+
+    def test_per_walker_queue_split(self):
+        cfg = GpuConfig.baseline()
+        assert cfg.walkers.per_walker_queue == 12  # 192 / 16
+
+
+class TestVariants:
+    def test_with_policy(self):
+        cfg = GpuConfig.baseline().with_policy("dws")
+        assert cfg.policy.name == "dws"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            PolicySpec(name="bogus")
+
+    def test_separate_tlb_flags(self):
+        cfg = GpuConfig.baseline().with_separate_tlb()
+        assert cfg.separate_l2_tlb and not cfg.separate_walkers
+        cfg2 = GpuConfig.baseline().with_separate_tlb_and_walkers()
+        assert cfg2.separate_l2_tlb and cfg2.separate_walkers
+
+    def test_l2_tlb_sweep(self):
+        for entries in (512, 1024, 2048):
+            cfg = GpuConfig.baseline().with_l2_tlb_entries(entries)
+            assert cfg.l2_tlb.entries == entries
+
+    def test_walker_sweep_scales_queue(self):
+        cfg = GpuConfig.baseline().with_walker_count(24)
+        assert cfg.walkers.num_walkers == 24
+        assert cfg.walkers.queue_entries == 288  # 12 slots per walker
+
+    def test_page_size_variants(self):
+        assert GpuConfig.baseline().with_page_size_bits(16).page_size == 64 * 1024
+        with pytest.raises(ValueError):
+            GpuConfig.baseline().with_page_size_bits(13)
+
+    def test_variants_do_not_mutate_original(self):
+        base = GpuConfig.baseline()
+        base.with_policy("dws").with_l2_tlb_entries(2048)
+        assert base.policy.name == "baseline"
+        assert base.l2_tlb.entries == 1024
+
+
+class TestValidation:
+    def test_tlb_divisibility(self):
+        with pytest.raises(ValueError):
+            TlbConfig(entries=10, associativity=4, hit_latency=1, mshr_entries=4)
+
+    def test_tlb_positive(self):
+        with pytest.raises(ValueError):
+            TlbConfig(entries=0, associativity=1, hit_latency=1, mshr_entries=1)
+
+
+def test_config_key_identity_and_difference():
+    a = GpuConfig.baseline()
+    b = GpuConfig.baseline()
+    assert config_key(a) == config_key(b)
+    assert config_key(a) != config_key(a.with_policy("dws"))
+
+
+def test_describe_mentions_policy_and_resources():
+    text = GpuConfig.baseline().with_policy("dwspp").describe()
+    assert "dwspp" in text and "16 PTWs" in text

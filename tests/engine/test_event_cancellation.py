@@ -1,0 +1,46 @@
+"""Tests for event cancellation through the simulator."""
+
+from repro.engine.simulator import Simulator
+
+
+def test_cancelled_event_never_fires():
+    sim = Simulator()
+    fired = []
+    event = sim.at(10, lambda: fired.append("cancelled"))
+    sim.at(20, lambda: fired.append("kept"))
+    event.cancel()
+    sim.drain()
+    assert fired == ["kept"]
+    assert sim.now == 20
+
+
+def test_cancel_from_within_an_earlier_event():
+    sim = Simulator()
+    fired = []
+    later = sim.at(10, lambda: fired.append("later"))
+    sim.at(5, later.cancel)
+    sim.drain()
+    assert fired == []
+
+
+def test_cancelled_events_do_not_stall_run_until():
+    sim = Simulator()
+    e1 = sim.at(3, lambda: None)
+    e1.cancel()
+    sim.run(until=100)
+    assert sim.now == 100
+
+
+def test_rescheduling_pattern():
+    """The common timeout idiom: cancel and re-arm."""
+    sim = Simulator()
+    fired = []
+    timeout = sim.at(50, lambda: fired.append("old"))
+
+    def rearm():
+        timeout.cancel()
+        sim.at(70, lambda: fired.append("new"))
+
+    sim.at(10, rearm)
+    sim.drain()
+    assert fired == ["new"]

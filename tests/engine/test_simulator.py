@@ -1,0 +1,84 @@
+"""Unit tests for the simulator kernel."""
+
+import pytest
+
+from repro.engine.simulator import SimulationError, Simulator
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.at(10, lambda: seen.append(sim.now))
+    sim.drain()
+    assert seen == [10]
+    assert sim.now == 10
+
+
+def test_after_schedules_relative_to_now():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append(("first", sim.now))
+        sim.after(5, lambda: order.append(("second", sim.now)))
+
+    sim.at(3, first)
+    sim.drain()
+    assert order == [("first", 3), ("second", 8)]
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    sim.at(5, lambda: None)
+    sim.drain()
+    with pytest.raises(SimulationError):
+        sim.at(2, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.after(-1, lambda: None)
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator()
+    fired = []
+    sim.at(5, lambda: fired.append(5))
+    sim.at(50, lambda: fired.append(50))
+    sim.run(until=20)
+    assert fired == [5]
+    assert sim.now == 20
+    assert len(sim.events) == 1
+
+
+def test_stop_when_predicate_halts_run():
+    sim = Simulator()
+    count = []
+    for t in range(1, 10):
+        sim.at(t, lambda: count.append(1))
+    sim.run(stop_when=lambda: len(count) >= 3)
+    assert len(count) == 3
+
+
+def test_run_returns_event_count():
+    sim = Simulator()
+    for t in range(4):
+        sim.at(t, lambda: None)
+    assert sim.run() == 4
+
+
+def test_events_pass_args():
+    sim = Simulator()
+    got = []
+    sim.at(1, got.append, "payload")
+    sim.drain()
+    assert got == ["payload"]
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    for t in range(10):
+        sim.at(t, lambda: None)
+    assert sim.run(max_events=4) == 4
+    assert len(sim.events) == 6

@@ -1,0 +1,134 @@
+"""Unit and property tests for the stats primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.stats import (
+    Accumulator,
+    Counter,
+    Histogram,
+    OccupancySampler,
+    StatsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("c")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestAccumulator:
+    def test_mean_over_values(self):
+        a = Accumulator("a")
+        for v in (1.0, 2.0, 3.0):
+            a.add(v)
+        assert a.mean == pytest.approx(2.0)
+        assert a.min == 1.0 and a.max == 3.0
+
+    def test_empty_mean_is_zero(self):
+        assert Accumulator("a").mean == 0.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
+    def test_mean_matches_arithmetic_mean(self, values):
+        a = Accumulator("a")
+        for v in values:
+            a.add(v)
+        assert a.mean == pytest.approx(sum(values) / len(values))
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram("h", [1, 10, 100])
+        for v in (0, 1, 5, 50, 500):
+            h.add(v)
+        assert h.buckets == [2, 1, 1, 1]
+        assert h.count == 5
+
+    def test_cdf(self):
+        h = Histogram("h", [1, 10])
+        for v in (0, 2, 20, 30):
+            h.add(v)
+        assert h.fraction_at_or_below(1) == pytest.approx(0.25)
+        assert h.fraction_at_or_below(10) == pytest.approx(0.5)
+
+    def test_requires_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [])
+
+    def test_cdf_requires_known_edge(self):
+        h = Histogram("h", [1])
+        with pytest.raises(ValueError):
+            h.fraction_at_or_below(2)
+
+
+class TestOccupancySampler:
+    def test_time_weighted_mean(self):
+        # level 2 for 10 cycles, then level 4 for 10 cycles -> mean 3
+        s = OccupancySampler("s", start_time=0, level=2)
+        s.update(10, 4)
+        assert s.mean(now=20) == pytest.approx(3.0)
+
+    def test_mean_with_no_elapsed_time(self):
+        s = OccupancySampler("s", start_time=5, level=7)
+        assert s.mean(now=5) == 7
+
+    def test_rejects_time_reversal(self):
+        s = OccupancySampler("s")
+        s.update(10, 1)
+        with pytest.raises(ValueError):
+            s.update(5, 2)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 100), st.floats(0, 50)),
+            min_size=1, max_size=20,
+        )
+    )
+    def test_mean_bounded_by_extremes(self, steps):
+        s = OccupancySampler("s", start_time=0, level=1.0)
+        now = 0
+        levels = [1.0]
+        for dt, level in steps:
+            now += dt
+            s.update(now, level)
+            levels.append(level)
+        m = s.mean(now=now + 1)
+        assert min(levels) - 1e-9 <= m <= max(levels) + 1e-9
+
+
+class TestStatsRegistry:
+    def test_lazy_creation_and_identity(self):
+        r = StatsRegistry()
+        c1 = r.counter("x")
+        c2 = r.counter("x")
+        assert c1 is c2
+
+    def test_kind_conflict_raises(self):
+        r = StatsRegistry()
+        r.counter("x")
+        with pytest.raises(TypeError):
+            r.accumulator("x")
+
+    def test_snapshot_flattens(self):
+        r = StatsRegistry()
+        r.counter("tlb.hits").inc(3)
+        r.accumulator("walk.latency").add(100)
+        snap = r.snapshot()
+        assert snap["tlb.hits"] == 3
+        assert snap["walk.latency.mean"] == 100
+        assert snap["walk.latency.count"] == 1
+
+    def test_names_prefix_filter(self):
+        r = StatsRegistry()
+        r.counter("a.one")
+        r.counter("b.two")
+        assert r.names("a.") == ["a.one"]

@@ -1,0 +1,106 @@
+"""Tests for the structured tracer and its walk-subsystem integration."""
+
+import pytest
+
+from repro.engine.config import GpuConfig
+from repro.engine.trace import TraceRecord, Tracer
+from repro.gpu.warp import WarpOp
+from repro.tenancy.manager import MultiTenantManager
+from repro.tenancy.tenant import Tenant
+
+
+class TestTracerUnit:
+    def test_emit_and_query(self):
+        t = Tracer()
+        t.emit(5, "walk.start", walker=1)
+        t.emit(7, "walk.complete", walker=1)
+        assert len(t) == 2
+        assert t.count("walk.start") == 1
+        assert t.records("walk.complete")[0].time == 7
+        assert t.last().kind == "walk.complete"
+        assert t.last("walk.start").time == 5
+
+    def test_kind_filtering(self):
+        t = Tracer(kinds={"walk.steal"})
+        t.emit(1, "walk.start")
+        t.emit(2, "walk.steal")
+        assert len(t) == 1
+        assert t.records()[0].kind == "walk.steal"
+        assert not t.wants("walk.start")
+
+    def test_ring_buffer_drops_oldest(self):
+        t = Tracer(capacity=3)
+        for i in range(5):
+            t.emit(i, "x")
+        assert len(t) == 3
+        assert [r.time for r in t.records()] == [2, 3, 4]
+        assert t.dropped == 2
+        assert t.emitted == 5
+
+    def test_clear(self):
+        t = Tracer(capacity=2)
+        t.emit(1, "x")
+        t.clear()
+        assert len(t) == 0 and t.dropped == 0
+        assert t.last() is None
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_record_repr_includes_fields(self):
+        rec = TraceRecord(3, "walk.start", {"walker": 2})
+        assert "walk.start" in repr(rec) and "walker=2" in repr(rec)
+
+
+class StormWorkload:
+    """Enough distinct pages from one tenant to force queueing/stealing."""
+
+    name = "storm"
+
+    def build_streams(self, num_warps, rng):
+        return [
+            iter([WarpOp(0, [(1 + w * 997 + i * 131) << 12])
+                  for i in range(20)])
+            for w in range(num_warps)
+        ]
+
+
+class QuietWorkload:
+    name = "quiet"
+
+    def build_streams(self, num_warps, rng):
+        return [iter([WarpOp(50, [0x5000])]) for _ in range(num_warps)]
+
+
+class TestSubsystemTracing:
+    def run_traced(self, policy="dws"):
+        cfg = (GpuConfig.baseline(num_sms=4).with_walker_count(4)
+               .with_policy(policy))
+        manager = MultiTenantManager(
+            cfg, [Tenant(0, StormWorkload()), Tenant(1, QuietWorkload())],
+            warps_per_sm=3,
+        )
+        tracer = Tracer()
+        manager.gpu.walk_subsystem_for(0).tracer = tracer
+        result = manager.run()
+        return tracer, result
+
+    def test_walk_lifecycle_recorded(self):
+        tracer, result = self.run_traced()
+        enq = tracer.count("walk.enqueue")
+        done = tracer.count("walk.complete")
+        starts = tracer.count("walk.start") + tracer.count("walk.steal")
+        assert enq == done == starts > 0
+
+    def test_steal_records_only_under_stealing_policies(self):
+        dws_tracer, _ = self.run_traced("dws")
+        static_tracer, _ = self.run_traced("static")
+        assert dws_tracer.count("walk.steal") > 0
+        assert static_tracer.count("walk.steal") == 0
+
+    def test_complete_records_carry_latency(self):
+        tracer, _ = self.run_traced()
+        for rec in tracer.records("walk.complete"):
+            assert rec.fields["latency"] > 0
+            assert 1 <= rec.fields["accesses"] <= 4

@@ -1,0 +1,64 @@
+"""Tests for warps and the coalescer."""
+
+import pytest
+
+from repro.gpu.coalescer import Coalescer
+from repro.gpu.warp import Warp, WarpOp
+from repro.vm.address import AddressLayout
+
+
+class TestWarpOp:
+    def test_instruction_counting(self):
+        assert WarpOp(compute=5, addrs=[0x100]).instructions == 6
+        assert WarpOp(compute=5).instructions == 5  # pure compute
+
+    def test_rejects_negative_compute(self):
+        with pytest.raises(ValueError):
+            WarpOp(compute=-1)
+
+
+class TestWarp:
+    def test_stream_exhaustion_sets_done(self):
+        warp = Warp(0, tenant_id=1, stream=iter([WarpOp(1), WarpOp(2)]))
+        assert warp.next_op().compute == 1
+        assert warp.next_op().compute == 2
+        assert not warp.done
+        assert warp.next_op() is None
+        assert warp.done
+
+
+class TestCoalescer:
+    layout = AddressLayout(page_size_bits=12)
+
+    def make(self):
+        return Coalescer(self.layout, line_bytes=128)
+
+    def test_same_line_coalesces_to_one(self):
+        c = self.make()
+        addrs = [0x1000 + i * 4 for i in range(32)]  # one 128B line
+        assert c.coalesce(addrs) == [(1, 0x1000)]
+
+    def test_same_page_different_lines_one_page(self):
+        c = self.make()
+        addrs = [0x1000, 0x1080, 0x1100]
+        result = c.coalesce(addrs)
+        assert len(result) == 1          # one page entry
+        assert result[0][0] == 1
+
+    def test_divergent_access_hits_many_pages(self):
+        c = self.make()
+        addrs = [0x1000, 0x5000, 0x9000]
+        pages = [p for p, _ in c.coalesce(addrs)]
+        assert pages == [1, 5, 9]
+
+    def test_representative_is_line_aligned(self):
+        c = self.make()
+        [(page, rep)] = c.coalesce([0x10A7])
+        assert rep % 128 == 0
+        assert self.layout.vpn(rep) == page
+
+    def test_unique_counts(self):
+        c = self.make()
+        addrs = [0x1000, 0x1004, 0x1080, 0x2000]
+        assert c.unique_lines(addrs) == 3
+        assert c.unique_pages(addrs) == 2

@@ -1,0 +1,38 @@
+"""Tests for the ASCII bar rendering."""
+
+from repro.harness.reporting import ExperimentResult, format_bars
+
+
+def make_result():
+    r = ExperimentResult("fig5", "demo", columns=["pair", "dws"])
+    r.add_row(pair="A.B", dws=2.0)
+    r.add_row(pair="C.D", dws=0.5)
+    r.add_row(pair="note", dws="n/a")  # non-numeric rows skipped
+    return r
+
+
+def test_bars_contain_labels_and_values():
+    text = format_bars(make_result(), "dws")
+    assert "A.B" in text and "C.D" in text
+    assert "2.000" in text and "0.500" in text
+
+
+def test_bar_lengths_scale_with_values():
+    text = format_bars(make_result(), "dws", width=20)
+    lines = text.splitlines()[1:]
+    hashes = {line.split()[0]: line.count("#") for line in lines}
+    # the column max fills the bar (one cell may be the baseline tick)
+    assert hashes["A.B"] >= 19
+    assert 0 < hashes["C.D"] < hashes["A.B"]
+
+
+def test_baseline_tick_present():
+    text = format_bars(make_result(), "dws", baseline=1.0)
+    for line in text.splitlines()[1:]:
+        assert "|" in line
+
+
+def test_empty_column_handled():
+    r = ExperimentResult("x", "t", columns=["pair", "v"])
+    r.add_row(pair="only", v="text")
+    assert "no numeric values" in format_bars(r, "v")

@@ -1,0 +1,59 @@
+"""Tests for experiment-construction helpers."""
+
+import pytest
+
+from repro.harness.experiments import (
+    CLASS_ORDER,
+    _append_class_means,
+    _pairs,
+    _sorted_by_class,
+)
+from repro.harness.reporting import ExperimentResult
+from repro.workloads.pairs import WORKLOAD_PAIRS
+
+
+class TestPairsHelper:
+    def test_default_is_all_45(self):
+        assert _pairs(None) == list(WORKLOAD_PAIRS)
+
+    def test_subset_passthrough(self):
+        assert _pairs(["HS.MM"]) == ["HS.MM"]
+
+
+class TestSortedByClass:
+    def test_orders_ll_first_hh_last(self):
+        mixed = ["GUPS.SAD", "HS.MM", "BLK.3DS", "3DS.FFT"]
+        ordered = _sorted_by_class(mixed)
+        assert ordered == ["HS.MM", "3DS.FFT", "BLK.3DS", "GUPS.SAD"]
+
+    def test_class_order_constant(self):
+        assert CLASS_ORDER == ("LL", "ML", "MM", "HL", "HM", "HH")
+
+
+class TestAppendClassMeans:
+    def make_result(self):
+        r = ExperimentResult("x", "t", columns=["pair", "class", "v"])
+        r.add_row(pair="HS.MM", **{"class": "LL"}, v=1.0)
+        r.add_row(pair="FFT.HS", **{"class": "LL"}, v=4.0)
+        r.add_row(pair="GUPS.SAD", **{"class": "HH"}, v=2.0)
+        return r
+
+    def test_class_gmeans_added(self):
+        r = self.make_result()
+        _append_class_means(r, ["v"])
+        ll = r.row_for(pair="gmean[LL]")
+        assert ll["v"] == pytest.approx(2.0)  # gmean(1, 4)
+        hh = r.row_for(pair="gmean[HH]")
+        assert hh["v"] == pytest.approx(2.0)
+
+    def test_overall_gmean_excludes_class_rows(self):
+        r = self.make_result()
+        _append_class_means(r, ["v"])
+        overall = r.row_for(pair="gmean[all]")
+        assert overall["v"] == pytest.approx((1.0 * 4.0 * 2.0) ** (1 / 3))
+
+    def test_empty_classes_skipped(self):
+        r = self.make_result()
+        _append_class_means(r, ["v"])
+        names = {row["pair"] for row in r.rows}
+        assert "gmean[HM]" not in names

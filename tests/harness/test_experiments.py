@@ -1,0 +1,126 @@
+"""Tests for experiment definitions at a tiny scale.
+
+These check the shape of each experiment's output (columns, rows,
+normalizations), not the paper's magnitudes; the benchmarks reproduce
+the magnitudes at full scale.
+"""
+
+import pytest
+
+from repro.harness import Session
+from repro.harness.experiments import (
+    ALL_EXPERIMENTS,
+    fig2_motivation_throughput,
+    fig5_throughput,
+    fig9_share_coupling,
+    fig10_aggressiveness,
+    fig11_alternatives,
+    fig13_multi_tenant,
+    fig14_large_pages,
+    table3_interleaving_baseline,
+    table6_stealing,
+)
+
+PAIRS = ["HS.MM", "GUPS.JPEG"]  # one agnostic, one VM-sensitive
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session(scale=0.15, warps_per_sm=2)
+
+
+def test_all_experiments_registered():
+    assert set(ALL_EXPERIMENTS) == {
+        "fig2", "fig3", "table3", "fig5", "fig6", "fig7", "table5",
+        "table6", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+        "fig14",
+    }
+
+
+class TestFig2:
+    def test_baseline_column_normalized_to_one(self, session):
+        res = fig2_motivation_throughput(session, pairs=PAIRS)
+        for row in res.rows:
+            if not str(row["pair"]).startswith("gmean"):
+                assert row["baseline"] == 1.0
+
+    def test_class_and_overall_gmeans_present(self, session):
+        res = fig2_motivation_throughput(session, pairs=PAIRS)
+        names = [r["pair"] for r in res.rows]
+        assert "gmean[all]" in names
+        assert "gmean[LL]" in names and "gmean[HM]" in names
+
+
+class TestFig5:
+    def test_columns(self, session):
+        res = fig5_throughput(session, pairs=PAIRS)
+        assert res.columns == ["pair", "class", "baseline", "dws", "dwspp"]
+
+    def test_vm_sensitive_note(self, session):
+        res = fig5_throughput(session, pairs=PAIRS)
+        assert any("VM-sensitive" in n for n in res.notes)
+
+
+class TestTables:
+    def test_table3_has_mean_rows_per_class(self, session):
+        res = table3_interleaving_baseline(session)
+        means = [r for r in res.rows if r["pair"] == "arith. mean"]
+        assert len(means) == 6  # one per class
+
+    def test_table6_reports_percentages(self, session):
+        res = table6_stealing(session)
+        for row in res.rows:
+            assert 0 <= row["tenant1_pct"] <= 100
+            assert 0 <= row["tenant2_pct"] <= 100
+        configs = {r["config"] for r in res.rows}
+        assert configs == {"dws", "dwspp"}
+
+
+class TestFig9:
+    def test_shares_are_fractions(self, session):
+        res = fig9_share_coupling(session, pairs=("GUPS.JPEG",))
+        assert len(res.rows) == 4  # 2 configs x 2 tenants
+        for row in res.rows:
+            assert 0 <= row["pw_share"] <= 1
+            assert 0 <= row["tlb_share"] <= 1
+
+
+class TestFig10:
+    def test_has_both_metrics_per_class(self, session):
+        res = fig10_aggressiveness(session, pairs=PAIRS)
+        metrics = {(r["class"], r["metric"]) for r in res.rows}
+        assert ("All", "fairness") in metrics
+        assert ("All", "throughput") in metrics
+
+    def test_fairness_rows_bounded(self, session):
+        res = fig10_aggressiveness(session, pairs=PAIRS)
+        for row in res.rows:
+            if row["metric"] == "fairness":
+                for col in ("baseline", "dws", "dwspp"):
+                    assert 0 <= row[col] <= 1.0 + 1e-9
+
+
+class TestFig11:
+    def test_all_five_configs(self, session):
+        res = fig11_alternatives(session, pairs=PAIRS)
+        assert res.columns == ["class", "baseline", "static", "mask",
+                               "dws", "mask_dws"]
+        all_row = res.row_for(**{"class": "All"})
+        assert all_row["baseline"] == pytest.approx(1.0)
+
+
+class TestFig13:
+    def test_three_and_four_tenants(self, session):
+        res = fig13_multi_tenant(session, combos=("QTC.MM.HS",
+                                                  "BLK.QTC.JPEG.FFT"))
+        assert [r["tenants"] for r in res.rows] == [3, 4]
+        for row in res.rows:
+            assert row["dws"] > 0 and row["dwspp"] > 0
+
+
+class TestFig14:
+    def test_large_page_runs_complete(self, session):
+        res = fig14_large_pages(session, pairs=("GUPS.JPEG",))
+        row = res.row_for(pair="GUPS.JPEG")
+        assert row["baseline"] == 1.0
+        assert row["dws"] > 0

@@ -1,0 +1,63 @@
+"""Tests for the parallel batch runner."""
+
+import pytest
+
+from repro.engine.config import GpuConfig
+from repro.harness.parallel import Job, pair_jobs, run_jobs
+
+SCALE = 0.05
+
+
+def tiny_job(label, pair="HS.MM", policy="baseline", seed=0):
+    return Job(label=label, names=tuple(pair.split(".")),
+               config=GpuConfig.baseline(num_sms=2).with_policy(policy),
+               scale=SCALE, warps_per_sm=2, seed=seed)
+
+
+class TestJobConstruction:
+    def test_job_requires_names(self):
+        with pytest.raises(ValueError):
+            Job(label="x", names=(), config=GpuConfig.baseline())
+
+    def test_pair_jobs_grid(self):
+        configs = {"base": GpuConfig.baseline(),
+                   "dws": GpuConfig.baseline().with_policy("dws")}
+        jobs = pair_jobs(["HS.MM", "FFT.HS"], configs, scale=SCALE)
+        assert len(jobs) == 4
+        assert {j.label for j in jobs} == {
+            "HS.MM/base", "HS.MM/dws", "FFT.HS/base", "FFT.HS/dws",
+        }
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            run_jobs([tiny_job("same"), tiny_job("same")], workers=1)
+
+
+class TestSerialExecution:
+    def test_results_keyed_by_label(self):
+        results = run_jobs([tiny_job("a"), tiny_job("b", policy="dws")],
+                           workers=1)
+        assert set(results) == {"a", "b"}
+        for r in results.values():
+            assert r.total_cycles > 0
+            assert all(t.completed_executions >= 1
+                       for t in r.tenants.values())
+
+    def test_single_job_shortcut(self):
+        results = run_jobs([tiny_job("solo")], workers=8)
+        assert "solo" in results
+
+
+class TestParallelMatchesSerial:
+    def test_process_pool_reproduces_serial_results(self):
+        jobs = [tiny_job("a"), tiny_job("b", pair="FFT.HS")]
+        serial = run_jobs(jobs, workers=1)
+        try:
+            parallel = run_jobs(jobs, workers=2)
+        except (OSError, PermissionError):
+            pytest.skip("process creation not permitted in this environment")
+        for label in serial:
+            assert (serial[label].total_cycles
+                    == parallel[label].total_cycles)
+            assert (serial[label].tenants[0].instructions
+                    == parallel[label].tenants[0].instructions)

@@ -1,0 +1,42 @@
+"""Tests for the Markdown report generator."""
+
+import pytest
+
+from repro.harness.report import generate_report, render_markdown
+from repro.harness.reporting import ExperimentResult
+from repro.harness.runner import Session
+
+
+class TestRenderMarkdown:
+    def make_result(self):
+        r = ExperimentResult("figX", "demo", columns=["pair", "value"])
+        r.add_row(pair="A.B", value=1.234)
+        r.notes.append("shape holds")
+        return r
+
+    def test_contains_table_and_notes(self):
+        text = render_markdown([self.make_result()], title="T")
+        assert "# T" in text
+        assert "## figX: demo" in text
+        assert "| pair | value |" in text
+        assert "| A.B | 1.234 |" in text
+        assert "> shape holds" in text
+
+    def test_multiple_sections(self):
+        results = [self.make_result(), self.make_result()]
+        text = render_markdown(results)
+        assert text.count("## figX") == 2
+
+
+class TestGenerateReport:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            generate_report(Session(scale=0.1), experiments=["fig99"])
+
+    def test_single_experiment_report(self):
+        session = Session(scale=0.1, warps_per_sm=2)
+        text = generate_report(session, experiments=["fig5"],
+                               pairs=["HS.MM"])
+        assert "fig5" in text
+        assert "HS.MM" in text
+        assert "gmean[all]" in text

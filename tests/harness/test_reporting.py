@@ -1,0 +1,68 @@
+"""Tests for experiment-result containers and table rendering."""
+
+import math
+
+import pytest
+
+from repro.harness.reporting import (
+    ExperimentResult,
+    arithmetic_mean,
+    format_table,
+    geomean,
+)
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        assert geomean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([0.0, 4.0]) == pytest.approx(4.0)
+
+    def test_empty_is_zero(self):
+        assert geomean([]) == 0.0
+
+    def test_matches_closed_form(self):
+        vals = [1.5, 2.5, 0.75]
+        expected = math.prod(vals) ** (1 / 3)
+        assert geomean(vals) == pytest.approx(expected)
+
+
+def test_arithmetic_mean():
+    assert arithmetic_mean([1, 2, 3]) == 2.0
+    assert arithmetic_mean([]) == 0.0
+
+
+class TestExperimentResult:
+    def make(self):
+        r = ExperimentResult("figX", "demo", columns=["pair", "class", "v"])
+        r.add_row(pair="A.B", **{"class": "HL"}, v=1.5)
+        r.add_row(pair="C.D", **{"class": "HH"}, v=2.0)
+        return r
+
+    def test_column_extraction(self):
+        r = self.make()
+        assert r.column("v") == [1.5, 2.0]
+
+    def test_column_filter(self):
+        r = self.make()
+        assert r.column("v", where={"class": "HL"}) == [1.5]
+
+    def test_row_for(self):
+        r = self.make()
+        assert r.row_for(pair="C.D")["v"] == 2.0
+        with pytest.raises(KeyError):
+            r.row_for(pair="nope")
+
+    def test_format_table_contains_all_cells(self):
+        r = self.make()
+        text = format_table(r)
+        assert "figX" in text
+        for token in ("pair", "class", "A.B", "HL", "1.500", "2.000"):
+            assert token in text
+
+    def test_format_table_notes(self):
+        r = self.make()
+        r.notes.append("shape holds")
+        assert "note: shape holds" in format_table(r)

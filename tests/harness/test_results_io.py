@@ -1,0 +1,63 @@
+"""Tests for JSON results export."""
+
+import json
+
+import pytest
+
+from repro.engine.config import GpuConfig
+from repro.gpu.warp import WarpOp
+from repro.harness.results_io import (
+    export_results,
+    load_results,
+    result_to_dict,
+)
+from repro.tenancy.manager import MultiTenantManager
+from repro.tenancy.tenant import Tenant
+
+
+class MiniWorkload:
+    name = "mini"
+
+    def build_streams(self, num_warps, rng):
+        return [iter([WarpOp(2, [(w + 1) << 12])]) for w in range(num_warps)]
+
+
+@pytest.fixture(scope="module")
+def result():
+    cfg = GpuConfig.baseline(num_sms=2).with_policy("dws")
+    return MultiTenantManager(cfg, [Tenant(0, MiniWorkload())],
+                              warps_per_sm=2).run()
+
+
+def test_result_to_dict_fields(result):
+    d = result_to_dict(result)
+    assert d["policy"] == "dws"
+    assert d["total_cycles"] == result.total_cycles
+    tenant = d["tenants"]["0"]
+    assert tenant["workload"] == "mini"
+    assert tenant["ipc"] == pytest.approx(result.ipc_of(0))
+    assert tenant["executions"][0]["instructions"] > 0
+    assert "pws.completed.tenant0" in d["stats"]
+
+
+def test_export_is_valid_json(result, tmp_path):
+    path = tmp_path / "runs.json"
+    export_results({"dws": result}, path)
+    payload = json.loads(path.read_text())
+    assert payload["format"] == 1
+    assert "dws" in payload["runs"]
+
+
+def test_roundtrip(result, tmp_path):
+    path = tmp_path / "runs.json"
+    export_results({"a": result, "b": result}, path)
+    loaded = load_results(path)
+    assert set(loaded) == {"a", "b"}
+    assert loaded["a"]["total_cycles"] == result.total_cycles
+
+
+def test_bad_format_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"format": 9, "runs": {}}))
+    with pytest.raises(ValueError):
+        load_results(path)

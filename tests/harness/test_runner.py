@@ -1,0 +1,66 @@
+"""Tests for the caching session runner."""
+
+import pytest
+
+from repro.engine.config import GpuConfig
+from repro.harness.runner import Session
+
+
+@pytest.fixture(scope="module")
+def session():
+    # tiny scale keeps harness tests quick
+    return Session(scale=0.15, warps_per_sm=2)
+
+
+class TestRunCaching:
+    def test_same_pair_same_config_cached(self, session):
+        cfg = GpuConfig.baseline()
+        r1 = session.run_pair("HS.MM", cfg)
+        n = session.cached_runs
+        r2 = session.run_pair("HS.MM", cfg)
+        assert r1 is r2
+        assert session.cached_runs == n
+
+    def test_different_policy_not_cached_together(self, session):
+        r1 = session.run_pair("HS.MM", GpuConfig.baseline())
+        r2 = session.run_pair("HS.MM", GpuConfig.baseline().with_policy("dws"))
+        assert r1 is not r2
+
+    def test_run_names_matches_run_pair(self, session):
+        r1 = session.run_pair("HS.MM", GpuConfig.baseline())
+        r2 = session.run_names(["HS", "MM"], GpuConfig.baseline())
+        assert r1 is r2
+
+
+class TestStandalone:
+    def test_standalone_measurement_fields(self, session):
+        m = session.standalone("HS")
+        assert m.workload == "HS"
+        assert m.ipc > 0
+        assert m.walk_latency > 0
+
+    def test_standalone_cached(self, session):
+        m1 = session.standalone("HS")
+        m2 = session.standalone("HS")
+        assert m1 is m2
+
+    def test_standalone_strips_policy_and_separation(self, session):
+        base = session.standalone("HS")
+        dws = session.standalone("HS", GpuConfig.baseline().with_policy("dws"))
+        sep = session.standalone(
+            "HS", GpuConfig.baseline().with_separate_tlb_and_walkers()
+        )
+        # all three normalize to the same baseline stand-alone run
+        assert base is dws is sep
+
+    def test_standalone_ipcs_keyed_by_tenant_index(self, session):
+        ipcs = session.standalone_ipcs(["HS", "MM"])
+        assert set(ipcs) == {0, 1}
+        assert all(v > 0 for v in ipcs.values())
+
+    def test_resource_variant_standalone_is_distinct(self, session):
+        base = session.standalone("HS")
+        small = session.standalone(
+            "HS", GpuConfig.baseline().with_l2_tlb_entries(512)
+        )
+        assert small is not base

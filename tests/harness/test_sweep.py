@@ -1,0 +1,77 @@
+"""Tests for the generic parameter sweep."""
+
+import pytest
+
+from repro.engine.config import GpuConfig
+from repro.harness.runner import Session
+from repro.harness.sweep import Sweep, axis
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session(scale=0.1, warps_per_sm=2)
+
+
+class TestAxis:
+    def test_axis_requires_values(self):
+        with pytest.raises(ValueError):
+            axis("x", [], lambda c, v: c)
+
+
+class TestSweepConstruction:
+    def test_duplicate_axis_rejected(self, session):
+        sweep = Sweep(session)
+        sweep.add_axis(axis("policy", ["dws"], lambda c, v: c.with_policy(v)))
+        with pytest.raises(ValueError):
+            sweep.add_axis(axis("policy", ["static"],
+                                lambda c, v: c.with_policy(v)))
+
+    def test_run_without_axes_rejected(self, session):
+        with pytest.raises(ValueError):
+            Sweep(session).run(["HS.MM"])
+
+    def test_configurations_cross_product(self, session):
+        sweep = Sweep(session)
+        sweep.add_axis(axis("walkers", [8, 16],
+                            lambda c, v: c.with_walker_count(v)))
+        sweep.add_axis(axis("policy", ["baseline", "dws", "static"],
+                            lambda c, v: c.with_policy(v)))
+        combos = sweep.configurations()
+        assert len(combos) == 6
+        settings = {(c["settings"]["walkers"], c["settings"]["policy"])
+                    for c in combos}
+        assert (8, "dws") in settings and (16, "static") in settings
+
+    def test_config_transform_applied(self, session):
+        sweep = Sweep(session)
+        sweep.add_axis(axis("walkers", [8], lambda c, v: c.with_walker_count(v)))
+        combo = sweep.configurations()[0]
+        assert combo["config"].walkers.num_walkers == 8
+
+
+class TestSweepRun:
+    def test_rows_per_combo_and_pair(self, session):
+        sweep = Sweep(session)
+        sweep.add_axis(axis("policy", ["baseline", "dws"],
+                            lambda c, v: c.with_policy(v)))
+        result = sweep.run(["HS.MM"])
+        assert len(result.rows) == 2
+        assert all(r["total_ipc"] > 0 for r in result.rows)
+        assert result.columns == ["policy", "pair", "total_ipc"]
+
+    def test_with_fairness_adds_columns(self, session):
+        sweep = Sweep(session)
+        sweep.add_axis(axis("policy", ["baseline"],
+                            lambda c, v: c.with_policy(v)))
+        result = sweep.run(["HS.MM"], with_fairness=True)
+        row = result.rows[0]
+        assert 0 <= row["fairness"] <= 1
+        assert row["weighted_ipc"] > 0
+
+    def test_base_config_respected(self, session):
+        base = GpuConfig.baseline().with_l2_tlb_entries(512)
+        sweep = Sweep(session, base_config=base)
+        sweep.add_axis(axis("policy", ["baseline"],
+                            lambda c, v: c.with_policy(v)))
+        combo = sweep.configurations()[0]
+        assert combo["config"].l2_tlb.entries == 512

@@ -1,0 +1,87 @@
+"""Tests for the run validator, including corruption detection."""
+
+import pytest
+
+from repro.engine.config import GpuConfig
+from repro.gpu.warp import WarpOp
+from repro.harness.validate import validate_result
+from repro.tenancy.manager import MultiTenantManager
+from repro.tenancy.tenant import Tenant
+
+
+class TinyWorkload:
+    def __init__(self, name, pages=10):
+        self.name = name
+        self.pages = pages
+
+    def build_streams(self, num_warps, rng):
+        return [
+            iter([WarpOp(3, [(p + 1 + w * 50) << 12])
+                  for p in range(self.pages)])
+            for w in range(num_warps)
+        ]
+
+
+@pytest.fixture(scope="module", params=["baseline", "static", "dws", "dwspp"])
+def clean_result(request):
+    cfg = GpuConfig.baseline(num_sms=4).with_policy(request.param)
+    manager = MultiTenantManager(
+        cfg,
+        [Tenant(0, TinyWorkload("a", 30)), Tenant(1, TinyWorkload("b", 5))],
+        warps_per_sm=2,
+    )
+    return manager.run()
+
+
+class TestCleanRunsValidate:
+    def test_no_violations(self, clean_result):
+        report = validate_result(clean_result)
+        assert report.ok, report.violations
+        assert report.checks_run > 10
+
+    def test_raise_if_failed_noop_on_clean(self, clean_result):
+        validate_result(clean_result).raise_if_failed()
+
+
+class TestCorruptionDetected:
+    def corrupt(self, result, **stat_overrides):
+        result.stats.update(stat_overrides)
+        return validate_result(result)
+
+    def make_result(self):
+        cfg = GpuConfig.baseline(num_sms=4)
+        manager = MultiTenantManager(
+            cfg, [Tenant(0, TinyWorkload("a"))], warps_per_sm=2,
+        )
+        return manager.run()
+
+    def test_lost_walk_detected(self):
+        result = self.make_result()
+        result.stats["pws.completed.tenant0"] -= 1
+        report = validate_result(result)
+        assert not report.ok
+        assert any("enqueued" in v for v in report.violations)
+
+    def test_bogus_share_detected(self):
+        result = self.make_result()
+        result.stats["pws.walker_share.tenant0"] = 1.7
+        report = validate_result(result)
+        assert any("not a fraction" in v for v in report.violations)
+
+    def test_impossible_stolen_count_detected(self):
+        result = self.make_result()
+        result.stats["pws.stolen.tenant0"] = 10_000.0
+        report = validate_result(result)
+        assert any("stolen" in v for v in report.violations)
+
+    def test_instruction_accounting_detected(self):
+        result = self.make_result()
+        result.tenants[0].instructions += 5
+        report = validate_result(result)
+        assert any("instructions" in v for v in report.violations)
+
+    def test_raise_if_failed_raises(self):
+        result = self.make_result()
+        result.stats["pws.walker_share.tenant0"] = -3.0
+        with pytest.raises(AssertionError):
+            validate_result(result).raise_if_failed()

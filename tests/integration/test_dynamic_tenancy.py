@@ -1,0 +1,110 @@
+"""Tests for dynamic tenant arrival/departure (paper Section VI-C)."""
+
+import pytest
+
+from repro.engine.config import GpuConfig
+from repro.engine.rng import DeterministicRng
+from repro.engine.simulator import Simulator
+from repro.gpu.gpu import Gpu
+from repro.gpu.warp import WarpOp
+
+
+def stream_of_pages(pages, compute=1):
+    return iter([WarpOp(compute, [p << 12]) for p in pages])
+
+
+def make_gpu(policy="dws", num_sms=4):
+    sim = Simulator()
+    cfg = (GpuConfig.baseline(num_sms=num_sms).with_walker_count(4)
+           .with_policy(policy))
+    gpu = Gpu(sim, cfg, tenant_ids=[0, 1])
+    return sim, gpu
+
+
+class TestArrival:
+    def test_sole_tenant_owns_all_walkers(self):
+        sim, gpu = make_gpu()
+        gpu.add_tenant(0)
+        policy = gpu.walk_subsystem_for(0).policy
+        assert policy.twm.owned_walkers(0) == [0, 1, 2, 3]
+
+    def test_arrival_repartitions_equally(self):
+        sim, gpu = make_gpu()
+        gpu.add_tenant(0)
+        gpu.add_tenant(1)
+        policy = gpu.walk_subsystem_for(0).policy
+        assert len(policy.twm.owned_walkers(0)) == 2
+        assert len(policy.twm.owned_walkers(1)) == 2
+
+    def test_inflight_walks_survive_arrival(self):
+        sim, gpu = make_gpu()
+        gpu.add_tenant(0)
+        gpu.launch_warps(0, [stream_of_pages(range(1, 40))
+                             for _ in range(4)])
+        sim.run(until=300)  # walks in flight and queued
+        pws = gpu.walk_subsystem_for(0)
+        assert pws.inflight_walks > 0
+        gpu.add_tenant(1)  # repartition mid-flight
+        sim.drain()
+        enq = sim.stats.counter("pws.walks.tenant0").value
+        done = sim.stats.counter("pws.completed.tenant0").value
+        assert enq == done > 0  # nothing lost or stuck
+
+
+class TestDeparture:
+    def test_departure_returns_walkers(self):
+        sim, gpu = make_gpu()
+        gpu.add_tenant(0)
+        gpu.add_tenant(1)
+        gpu.walk_subsystem_for(1).unregister_tenant(1)
+        policy = gpu.walk_subsystem_for(0).policy
+        assert policy.twm.owned_walkers(0) == [0, 1, 2, 3]
+        assert policy.twm.owned_walkers(1) == []
+
+    def test_departed_tenants_tlb_entries_invalidated(self):
+        sim, gpu = make_gpu()
+        gpu.add_tenant(0)
+        gpu.add_tenant(1)
+        gpu.launch_warps(1, [stream_of_pages(range(1, 10))])
+        sim.drain()
+        tlb = gpu.l2_tlb_for(1)
+        assert tlb.resident(1) > 0
+        tlb.invalidate_tenant(1)
+        assert tlb.resident(1) == 0
+
+    def test_remaining_tenant_uses_reclaimed_walkers(self):
+        sim, gpu = make_gpu()
+        gpu.add_tenant(0)
+        gpu.add_tenant(1)
+        gpu.walk_subsystem_for(1).unregister_tenant(1)
+        # after departure, tenant 0's burst spreads over all 4 walkers
+        gpu.launch_warps(0, [stream_of_pages(range(1 + 50 * w, 40 + 50 * w))
+                             for w in range(4)])
+        sim.drain()
+        pws = gpu.walk_subsystem_for(0)
+        serving_walkers = [
+            w for w in range(4) if pws._starts_by_tenant[w].get(0, 0) > 0
+        ]
+        assert len(serving_walkers) > 2  # more than the old half-partition
+
+
+class TestSequenceStability:
+    @pytest.mark.parametrize("policy", ["static", "dws", "dwspp"])
+    def test_arrive_depart_cycle_conserves_walks(self, policy):
+        sim, gpu = make_gpu(policy)
+        gpu.add_tenant(0)
+        gpu.launch_warps(0, [stream_of_pages(range(1, 60), compute=3)
+                             for _ in range(3)])
+        sim.run(until=200)
+        gpu.add_tenant(1)
+        finished = []
+        gpu.tenants[1].on_complete = lambda: finished.append(sim.now)
+        gpu.launch_warps(1, [stream_of_pages(range(1000, 1020))])
+        # a tenant departs only after finishing its execution
+        sim.run(stop_when=lambda: bool(finished))
+        gpu.walk_subsystem_for(1).unregister_tenant(1)
+        sim.drain()
+        for t in (0, 1):
+            enq = sim.stats.counter(f"pws.walks.tenant{t}").value
+            done = sim.stats.counter(f"pws.completed.tenant{t}").value
+            assert enq == done

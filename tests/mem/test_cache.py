@@ -1,0 +1,171 @@
+"""Unit and property tests for the non-blocking cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.config import CacheConfig
+from repro.engine.simulator import Simulator
+from repro.mem.cache import Cache
+
+
+class InstantMemory:
+    """A lower level that answers after a fixed latency and records traffic."""
+
+    def __init__(self, sim, latency=50):
+        self.sim = sim
+        self.latency = latency
+        self.reads = []
+        self.writes = []
+
+    def access(self, addr, is_write, on_done, tenant_id=0):
+        (self.writes if is_write else self.reads).append(addr)
+        self.sim.after(self.latency, on_done)
+
+
+def make_cache(size=1024, line=64, assoc=2, mshrs=4, hit_latency=3, lower_latency=50):
+    sim = Simulator()
+    lower = InstantMemory(sim, lower_latency)
+    cache = Cache(
+        sim,
+        CacheConfig(size_bytes=size, line_bytes=line, associativity=assoc,
+                    hit_latency=hit_latency, mshr_entries=mshrs),
+        lower, name="c",
+    )
+    return sim, cache, lower
+
+
+def run_access(sim, cache, addr, is_write=False):
+    done = []
+    cache.access(addr, is_write, lambda: done.append(sim.now))
+    sim.drain()
+    return done[0]
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        sim, cache, lower = make_cache()
+        t_miss = run_access(sim, cache, 0x100)
+        assert t_miss >= 50  # went to lower level
+        t_hit = run_access(sim, cache, 0x100) - t_miss
+        assert t_hit == 3  # hit latency only
+        assert sim.stats.counter("c.hits").value == 1
+        assert sim.stats.counter("c.misses").value == 1
+
+    def test_same_line_different_offset_hits(self):
+        sim, cache, lower = make_cache(line=64)
+        run_access(sim, cache, 0x100)
+        run_access(sim, cache, 0x100 + 63)
+        assert sim.stats.counter("c.hits").value == 1
+
+    def test_miss_fetches_line_address_from_lower(self):
+        sim, cache, lower = make_cache(line=64)
+        run_access(sim, cache, 0x1A7)
+        assert lower.reads == [0x180]  # aligned to line
+
+
+class TestMshr:
+    def test_concurrent_same_line_misses_merge(self):
+        sim, cache, lower = make_cache()
+        done = []
+        cache.access(0x200, False, lambda: done.append("a"))
+        cache.access(0x210, False, lambda: done.append("b"))  # same line
+        sim.drain()
+        assert sorted(done) == ["a", "b"]
+        assert len(lower.reads) == 1
+        assert sim.stats.counter("c.mshr_merges").value == 1
+
+    def test_mshr_full_applies_backpressure(self):
+        sim, cache, lower = make_cache(mshrs=2, line=64)
+        done = []
+        for i in range(4):  # 4 distinct lines, only 2 MSHRs
+            cache.access(i * 64, False, lambda i=i: done.append(i))
+        assert sim.stats.counter("c.mshr_stalls").value == 2
+        sim.drain()
+        assert sorted(done) == [0, 1, 2, 3]  # everything eventually completes
+        assert len(lower.reads) == 4
+
+    def test_outstanding_misses_tracked(self):
+        sim, cache, lower = make_cache(mshrs=4, line=64)
+        for i in range(3):
+            cache.access(i * 64, False, lambda: None)
+        assert cache.outstanding_misses == 3
+        sim.drain()
+        assert cache.outstanding_misses == 0
+
+
+class TestEvictionWriteback:
+    def test_lru_eviction_within_set(self):
+        # direct-mapped-like: 1 set, 2 ways
+        sim, cache, lower = make_cache(size=128, line=64, assoc=2)
+        run_access(sim, cache, 0 * 64)
+        run_access(sim, cache, 1 * 64)
+        run_access(sim, cache, 0 * 64)   # touch line 0 -> line 1 is LRU
+        run_access(sim, cache, 2 * 64)   # evicts line 1
+        assert cache.contains(0 * 64)
+        assert not cache.contains(1 * 64)
+        assert cache.contains(2 * 64)
+
+    def test_dirty_eviction_writes_back(self):
+        sim, cache, lower = make_cache(size=128, line=64, assoc=2)
+        run_access(sim, cache, 0 * 64, is_write=True)
+        run_access(sim, cache, 1 * 64)
+        run_access(sim, cache, 2 * 64)  # evicts dirty line 0
+        assert 0 in lower.writes
+        assert sim.stats.counter("c.writebacks").value == 1
+
+    def test_clean_eviction_no_writeback(self):
+        sim, cache, lower = make_cache(size=128, line=64, assoc=2)
+        for i in range(3):
+            run_access(sim, cache, i * 64)
+        assert lower.writes == []
+
+
+class TestCapacityInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=120))
+    def test_never_exceeds_capacity_or_associativity(self, line_ids):
+        sim, cache, lower = make_cache(size=512, line=64, assoc=2)  # 4 sets
+        for lid in line_ids:
+            cache.access(lid * 64, False, lambda: None)
+            sim.drain()
+        assert cache.resident_lines() <= 8
+        for s in cache._sets:
+            assert len(s) <= 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 31), min_size=1, max_size=60),
+           st.integers(1, 8))
+    def test_all_accesses_complete(self, line_ids, mshrs):
+        sim, cache, lower = make_cache(size=512, line=64, assoc=2, mshrs=mshrs)
+        done = []
+        for lid in line_ids:
+            cache.access(lid * 64, False, lambda: done.append(1))
+        sim.drain()
+        assert len(done) == len(line_ids)
+
+
+def test_banked_cache_serializes_same_bank():
+    sim = Simulator()
+    lower = InstantMemory(sim, latency=0)
+    cache = Cache(
+        sim,
+        CacheConfig(size_bytes=4096, line_bytes=64, associativity=2,
+                    hit_latency=5, mshr_entries=8, banks=2),
+        lower, name="b", bank_cycles=10,
+    )
+    # warm two lines in the same bank (line ids 0 and 2 -> bank 0)
+    done = []
+    cache.access(0 * 64, False, lambda: done.append(1))
+    cache.access(2 * 64, False, lambda: done.append(1))
+    sim.drain()
+    # let the warmup's bank occupancy fully drain before measuring
+    sim.at(sim.now + 100, lambda: None)
+    sim.drain()
+    t0 = sim.now
+    hits = []
+    cache.access(0 * 64, False, lambda: hits.append(sim.now - t0))
+    cache.access(2 * 64, False, lambda: hits.append(sim.now - t0))
+    sim.drain()
+    assert hits[0] == 5           # first hit: pure hit latency
+    assert hits[1] == 15          # second waits out bank occupancy

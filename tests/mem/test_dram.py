@@ -1,0 +1,57 @@
+"""Unit tests for the DRAM channel model."""
+
+from repro.engine.config import DramConfig
+from repro.engine.simulator import Simulator
+from repro.mem.dram import Dram
+
+
+def make_dram(channels=2, latency=100, occ=4):
+    sim = Simulator()
+    dram = Dram(sim, DramConfig(channels=channels, access_latency=latency,
+                                cycles_per_access=occ))
+    return sim, dram
+
+
+def test_single_access_completes_after_latency():
+    sim, dram = make_dram()
+    done = []
+    dram.access(0, False, lambda: done.append(sim.now))
+    sim.drain()
+    assert done == [100]
+
+
+def test_same_channel_accesses_serialize_by_occupancy():
+    sim, dram = make_dram(channels=1, latency=100, occ=10)
+    done = []
+    dram.access(0, False, lambda: done.append(sim.now))
+    dram.access(0, False, lambda: done.append(sim.now))
+    dram.access(0, False, lambda: done.append(sim.now))
+    sim.drain()
+    assert done == [100, 110, 120]
+
+
+def test_different_channels_proceed_in_parallel():
+    sim, dram = make_dram(channels=2, latency=100, occ=10)
+    done = []
+    dram.access(0, False, lambda: done.append(sim.now))      # channel 0
+    dram.access(128, False, lambda: done.append(sim.now))    # channel 1
+    sim.drain()
+    assert done == [100, 100]
+
+
+def test_channel_mapping_is_line_interleaved():
+    sim, dram = make_dram(channels=4)
+    assert dram.channel_of(0) == 0
+    assert dram.channel_of(128) == 1
+    assert dram.channel_of(128 * 4) == 0
+    assert dram.channel_of(130) == 1  # within-line offsets map identically
+
+
+def test_stats_recorded():
+    sim, dram = make_dram(channels=1, occ=10)
+    for _ in range(3):
+        dram.access(0, False, lambda: None)
+    sim.drain()
+    assert sim.stats.counter("dram.accesses").value == 3
+    # second and third access waited 10 and 20 cycles
+    assert sim.stats.accumulator("dram.queue_delay").total == 30

@@ -1,0 +1,45 @@
+"""Tests for the physical frame allocator."""
+
+import pytest
+
+from repro.mem.frames import FrameAllocator, OutOfMemoryError
+
+
+def test_sequential_allocation():
+    fa = FrameAllocator(total_frames=10)
+    assert fa.allocate() == 0
+    assert fa.allocate(count=3) == 1
+    assert fa.allocate() == 4
+    assert fa.allocated_frames == 5
+
+
+def test_out_of_memory_raises():
+    fa = FrameAllocator(total_frames=2)
+    fa.allocate(count=2)
+    with pytest.raises(OutOfMemoryError):
+        fa.allocate()
+
+
+def test_owner_accounting():
+    fa = FrameAllocator(total_frames=100)
+    fa.allocate(owner="tenant0", count=5)
+    fa.allocate(owner="tenant1", count=7)
+    fa.allocate(owner="tenant0")
+    assert fa.allocated_to("tenant0") == 6
+    assert fa.allocated_to("tenant1") == 7
+    assert fa.allocated_to("nobody") == 0
+
+
+def test_frame_to_addr_uses_frame_bytes():
+    fa = FrameAllocator(total_frames=10, frame_bytes=65536)
+    f = fa.allocate()
+    g = fa.allocate()
+    assert fa.frame_to_addr(f) == 0
+    assert fa.frame_to_addr(g) == 65536
+
+
+def test_invalid_args_rejected():
+    with pytest.raises(ValueError):
+        FrameAllocator(total_frames=0)
+    with pytest.raises(ValueError):
+        FrameAllocator(total_frames=1).allocate(count=0)

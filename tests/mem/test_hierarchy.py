@@ -1,0 +1,67 @@
+"""Integration tests for the assembled memory hierarchy."""
+
+from repro.engine.config import GpuConfig
+from repro.engine.simulator import Simulator
+from repro.mem.hierarchy import MemoryHierarchy
+
+
+def make_hierarchy(num_sms=2):
+    sim = Simulator()
+    cfg = GpuConfig.baseline(num_sms=num_sms)
+    return sim, MemoryHierarchy(sim, cfg), cfg
+
+
+def test_one_l1_per_sm():
+    sim, mh, cfg = make_hierarchy(num_sms=4)
+    assert len(mh.l1s) == 4
+
+
+def test_data_access_fills_l1_and_l2():
+    sim, mh, cfg = make_hierarchy()
+    done = []
+    mh.data_access(0, 0x4000, False, lambda: done.append(sim.now))
+    sim.drain()
+    assert done and done[0] > cfg.dram.access_latency  # went all the way down
+    assert mh.l1s[0].contains(0x4000)
+    assert mh.l2.contains(0x4000)
+
+
+def test_second_sm_misses_l1_hits_l2():
+    sim, mh, cfg = make_hierarchy()
+    mh.data_access(0, 0x4000, False, lambda: None)
+    sim.drain()
+    dram_before = sim.stats.counter("dram.accesses").value
+    mh.data_access(1, 0x4000, False, lambda: None)
+    sim.drain()
+    assert sim.stats.counter("dram.accesses").value == dram_before  # L2 hit
+
+
+def test_walker_access_bypasses_l1():
+    sim, mh, cfg = make_hierarchy()
+    done = []
+    mh.walker_access(0x8000, lambda: done.append(sim.now))
+    sim.drain()
+    assert done
+    assert mh.l2.contains(0x8000)
+    assert not mh.l1s[0].contains(0x8000)
+
+
+def test_walker_hits_l2_after_data_fill():
+    sim, mh, cfg = make_hierarchy()
+    mh.data_access(0, 0xA000, False, lambda: None)
+    sim.drain()
+    t0 = sim.now
+    done = []
+    mh.walker_access(0xA000, lambda: done.append(sim.now - t0))
+    sim.drain()
+    # L2 hit: no DRAM latency involved
+    assert done[0] < cfg.dram.access_latency
+
+
+def test_interconnect_delay_applies_to_l1_miss_path():
+    sim, mh, cfg = make_hierarchy()
+    done = []
+    mh.data_access(0, 0xC000, False, lambda: done.append(sim.now))
+    sim.drain()
+    assert done[0] >= (cfg.sm.l1_cache.hit_latency + cfg.interconnect_latency
+                       + cfg.l2_cache.hit_latency + cfg.dram.access_latency)

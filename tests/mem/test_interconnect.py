@@ -1,0 +1,74 @@
+"""Tests for the SM-to-L2 interconnect model."""
+
+import pytest
+
+from repro.engine.simulator import Simulator
+from repro.mem.interconnect import Interconnect
+
+
+class InstantLower:
+    def __init__(self, sim):
+        self.sim = sim
+        self.arrivals = []
+
+    def access(self, addr, is_write, on_done, tenant_id=0):
+        self.arrivals.append((self.sim.now, addr))
+        on_done()
+
+
+def make(latency=20, ports=2, occupancy=4):
+    sim = Simulator()
+    lower = InstantLower(sim)
+    noc = Interconnect(sim, lower, latency=latency, ports=ports,
+                       cycles_per_transfer=occupancy, line_bytes=128)
+    return sim, noc, lower
+
+
+def test_fixed_latency_applied():
+    sim, noc, lower = make(latency=20)
+    done = []
+    noc.access(0, False, lambda: done.append(sim.now))
+    sim.drain()
+    assert lower.arrivals[0][0] == 20
+    assert done == [20]
+
+
+def test_same_port_serializes_by_occupancy():
+    sim, noc, lower = make(latency=10, ports=1, occupancy=5)
+    for _ in range(3):
+        noc.access(0, False, lambda: None)
+    sim.drain()
+    assert [t for t, _ in lower.arrivals] == [10, 15, 20]
+
+
+def test_different_ports_flow_in_parallel():
+    sim, noc, lower = make(latency=10, ports=2, occupancy=5)
+    noc.access(0, False, lambda: None)       # port 0
+    noc.access(128, False, lambda: None)     # port 1
+    sim.drain()
+    assert [t for t, _ in lower.arrivals] == [10, 10]
+
+
+def test_port_mapping_line_interleaved():
+    sim, noc, lower = make(ports=4)
+    assert noc.port_of(0) == 0
+    assert noc.port_of(128) == 1
+    assert noc.port_of(128 * 4) == 0
+    assert noc.port_of(130) == 1
+
+
+def test_stats_recorded():
+    sim, noc, lower = make(ports=1, occupancy=10)
+    for _ in range(2):
+        noc.access(0, False, lambda: None)
+    sim.drain()
+    assert sim.stats.counter("noc.transfers").value == 2
+    assert sim.stats.accumulator("noc.queue_delay").total == 10
+
+
+def test_invalid_parameters_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Interconnect(sim, None, latency=-1)
+    with pytest.raises(ValueError):
+        Interconnect(sim, None, latency=0, ports=0)

@@ -1,0 +1,138 @@
+"""Tests for the evaluation metrics over synthetic RunResults."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.config import GpuConfig
+from repro.metrics import (
+    fairness,
+    interleaving_of,
+    mean_interleaving,
+    normalized_walk_latency,
+    steal_fraction,
+    tlb_share,
+    total_ipc,
+    walk_latency_of,
+    walker_share,
+    weighted_ipc,
+)
+from repro.metrics.ipc import slowdowns
+from repro.metrics.latency import queue_latency_of
+from repro.tenancy.manager import RunResult, TenantRunStats
+
+
+def make_result(ipcs, stats=None):
+    tenants = {}
+    for t, ipc in enumerate(ipcs):
+        s = TenantRunStats(t, f"wl{t}")
+        s.instructions = int(ipc * 1000)
+        s.cycles = 1000
+        s.completed_executions = 1
+        tenants[t] = s
+    return RunResult(config=GpuConfig.baseline(), tenants=tenants,
+                     total_cycles=1000, stats=stats or {})
+
+
+class TestTotalIpc:
+    def test_sums_tenant_ipcs(self):
+        r = make_result([2.0, 3.0])
+        assert total_ipc(r) == pytest.approx(5.0)
+
+    @given(st.lists(st.floats(0.01, 100), min_size=1, max_size=4))
+    def test_total_is_sum_of_components(self, ipcs):
+        r = make_result(ipcs)
+        components = [r.ipc_of(t) for t in r.tenant_ids]
+        assert total_ipc(r) == pytest.approx(sum(components))
+        assert total_ipc(r) >= max(components)
+
+
+class TestWeightedIpc:
+    def test_no_slowdown_gives_n(self):
+        r = make_result([2.0, 3.0])
+        assert weighted_ipc(r, {0: 2.0, 1: 3.0}) == pytest.approx(2.0)
+
+    def test_half_speed_gives_half(self):
+        r = make_result([1.0, 1.5])
+        assert weighted_ipc(r, {0: 2.0, 1: 3.0}) == pytest.approx(1.0)
+
+    def test_zero_standalone_rejected(self):
+        r = make_result([1.0])
+        with pytest.raises(ValueError):
+            weighted_ipc(r, {0: 0.0})
+
+    @given(st.lists(st.tuples(st.floats(0.01, 10), st.floats(0.01, 10)),
+                    min_size=1, max_size=4))
+    def test_bounded_by_n_when_no_speedup(self, pairs):
+        # co-run IPC <= standalone IPC for every tenant
+        ipcs = [min(c, s) for c, s in pairs]
+        standalone = {t: s for t, (_, s) in enumerate(pairs)}
+        r = make_result(ipcs)
+        assert weighted_ipc(r, standalone) <= len(pairs) + 1e-9
+
+
+class TestFairness:
+    def test_equal_slowdowns_perfectly_fair(self):
+        r = make_result([1.0, 2.0])
+        assert fairness(r, {0: 2.0, 1: 4.0}) == pytest.approx(1.0)
+
+    def test_unequal_slowdowns(self):
+        r = make_result([1.0, 1.0])  # slowdowns 0.5 and 0.25
+        assert fairness(r, {0: 2.0, 1: 4.0}) == pytest.approx(0.5)
+
+    def test_stalled_tenant_gives_zero(self):
+        r = make_result([0.0, 2.0])
+        assert fairness(r, {0: 1.0, 1: 2.0}) == 0.0
+
+    @given(st.lists(st.tuples(st.floats(0.01, 10), st.floats(0.01, 10)),
+                    min_size=2, max_size=4))
+    def test_fairness_in_unit_interval(self, pairs):
+        r = make_result([c for c, _ in pairs])
+        standalone = {t: s for t, (_, s) in enumerate(pairs)}
+        f = fairness(r, standalone)
+        assert 0.0 <= f <= 1.0 + 1e-9
+
+    def test_slowdowns_helper(self):
+        r = make_result([1.0, 3.0])
+        s = slowdowns(r, {0: 2.0, 1: 3.0})
+        assert s == {0: pytest.approx(0.5), 1: pytest.approx(1.0)}
+
+
+class TestStatBackedMetrics:
+    def make(self):
+        stats = {
+            "pws.interleave.tenant0.mean": 20.0,
+            "pws.interleave.tenant1.mean": 60.0,
+            "pws.walk_latency.tenant0.mean": 500.0,
+            "pws.queue_latency.tenant0.mean": 350.0,
+            "pws.completed.tenant0": 100.0,
+            "pws.stolen.tenant0": 25.0,
+            "pws.walker_share.tenant0": 0.6,
+            "l2tlb.tlb_share.tenant0": 0.7,
+        }
+        return make_result([1.0, 1.0], stats)
+
+    def test_interleaving(self):
+        r = self.make()
+        assert interleaving_of(r, 0) == 20.0
+        assert interleaving_of(r, 1) == 60.0
+        assert mean_interleaving(r) == pytest.approx(40.0)
+
+    def test_walk_latency(self):
+        r = self.make()
+        assert walk_latency_of(r, 0) == 500.0
+        assert queue_latency_of(r, 0) == 350.0
+        assert normalized_walk_latency(r, 0, standalone_latency=250.0) == 2.0
+        with pytest.raises(ValueError):
+            normalized_walk_latency(r, 0, standalone_latency=0.0)
+
+    def test_steal_fraction(self):
+        r = self.make()
+        assert steal_fraction(r, 0) == pytest.approx(0.25)
+        assert steal_fraction(r, 1) == 0.0  # no completions recorded
+
+    def test_shares(self):
+        r = self.make()
+        assert walker_share(r, 0) == 0.6
+        assert tlb_share(r, 0) == 0.7
+        assert walker_share(r, 1) == 0.0

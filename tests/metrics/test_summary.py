@@ -1,0 +1,79 @@
+"""Tests for the RunSummary aggregation."""
+
+import pytest
+
+from repro.engine.config import GpuConfig
+from repro.gpu.warp import WarpOp
+from repro.metrics.summary import summarize
+from repro.tenancy.manager import MultiTenantManager
+from repro.tenancy.tenant import Tenant
+
+
+class PageTouches:
+    def __init__(self, name, pages):
+        self.name = name
+        self.pages = pages
+
+    def build_streams(self, num_warps, rng):
+        return [
+            iter([WarpOp(2, [(p + w * 100) << 12]) for p in self.pages])
+            for w in range(num_warps)
+        ]
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    cfg = GpuConfig.baseline(num_sms=4).with_policy("dws")
+    manager = MultiTenantManager(
+        cfg,
+        [Tenant(0, PageTouches("a", range(1, 30))),
+         Tenant(1, PageTouches("b", range(1, 6)))],
+        warps_per_sm=2,
+    )
+    return manager.run()
+
+
+class TestSummarize:
+    def test_per_tenant_fields_populated(self, run_result):
+        summary = summarize(run_result)
+        assert summary.policy == "dws"
+        assert summary.total_cycles == run_result.total_cycles
+        assert len(summary.tenants) == 2
+        a = summary.tenant(0)
+        assert a.workload == "a"
+        assert a.ipc > 0
+        assert a.walks > 0
+        assert a.walk_latency > 0
+        assert 0 <= a.stolen_fraction <= 1
+        assert 0 <= a.tlb_share <= 1
+
+    def test_total_ipc_is_sum(self, run_result):
+        summary = summarize(run_result)
+        assert summary.total_ipc == pytest.approx(
+            sum(t.ipc for t in summary.tenants))
+
+    def test_relative_metrics_need_standalone(self, run_result):
+        summary = summarize(run_result)
+        assert summary.weighted_ipc is None
+        assert summary.fairness is None
+        with_sa = summarize(run_result, standalone_ipc={0: 10.0, 1: 10.0})
+        assert with_sa.weighted_ipc is not None
+        assert 0 <= with_sa.fairness <= 1
+
+    def test_unknown_tenant_raises(self, run_result):
+        with pytest.raises(KeyError):
+            summarize(run_result).tenant(9)
+
+
+class TestSeparateSubsystems:
+    def test_summary_handles_s_tlb_ptw_naming(self):
+        cfg = GpuConfig.baseline(num_sms=4).with_separate_tlb_and_walkers()
+        manager = MultiTenantManager(
+            cfg,
+            [Tenant(0, PageTouches("a", range(1, 10))),
+             Tenant(1, PageTouches("b", range(1, 10)))],
+            warps_per_sm=2,
+        )
+        summary = summarize(manager.run())
+        for t in summary.tenants:
+            assert t.walks > 0  # found the per-tenant subsystem stats

@@ -1,0 +1,153 @@
+"""Tests for the multi-tenant manager and its relaunch methodology."""
+
+import pytest
+
+from repro.engine.config import GpuConfig
+from repro.gpu.warp import WarpOp
+from repro.tenancy.manager import MultiTenantManager
+from repro.tenancy.tenant import Tenant
+
+
+class ToyWorkload:
+    """A tiny deterministic workload for manager tests.
+
+    ``length`` controls execution time: each warp performs ``length``
+    memory ops on private pages with a small compute gap.
+    """
+
+    def __init__(self, name, length=5, compute=10, pages=8):
+        self.name = name
+        self.length = length
+        self.compute = compute
+        self.pages = pages
+
+    def build_streams(self, num_warps, rng):
+        streams = []
+        for w in range(num_warps):
+            ops = [
+                WarpOp(self.compute, [((w * self.pages + i) % 64 + 1) << 12])
+                for i in range(self.length)
+            ]
+            streams.append(iter(ops))
+        return streams
+
+
+def small_cfg():
+    return GpuConfig.baseline(num_sms=4)
+
+
+class TestBasicRun:
+    def test_single_tenant_completes(self):
+        m = MultiTenantManager(small_cfg(), [Tenant(0, ToyWorkload("a"))],
+                               warps_per_sm=2)
+        result = m.run()
+        assert result.tenants[0].completed_executions == 1
+        assert result.tenants[0].instructions > 0
+        assert result.tenants[0].ipc > 0
+        assert result.total_cycles > 0
+
+    def test_two_tenants_both_complete(self):
+        m = MultiTenantManager(
+            small_cfg(),
+            [Tenant(0, ToyWorkload("a")), Tenant(1, ToyWorkload("b"))],
+            warps_per_sm=2,
+        )
+        result = m.run()
+        assert all(result.tenants[t].completed_executions >= 1 for t in (0, 1))
+
+    def test_duplicate_tenant_ids_rejected(self):
+        with pytest.raises(ValueError):
+            MultiTenantManager(
+                small_cfg(),
+                [Tenant(0, ToyWorkload("a")), Tenant(0, ToyWorkload("b"))],
+            )
+
+    def test_no_tenants_rejected(self):
+        with pytest.raises(ValueError):
+            MultiTenantManager(small_cfg(), [])
+
+    def test_min_executions_validated(self):
+        with pytest.raises(ValueError):
+            MultiTenantManager(small_cfg(), [Tenant(0, ToyWorkload("a"))],
+                               min_executions=0)
+
+
+class TestRelaunchMethodology:
+    def test_fast_tenant_relaunches_until_slow_finishes(self):
+        m = MultiTenantManager(
+            small_cfg(),
+            [Tenant(0, ToyWorkload("fast", length=2)),
+             Tenant(1, ToyWorkload("slow", length=60))],
+            warps_per_sm=2,
+        )
+        result = m.run()
+        assert result.tenants[1].completed_executions == 1
+        assert result.tenants[0].completed_executions > 1
+
+    def test_stats_cover_completed_executions_only(self):
+        """The fast tenant's recorded cycles exclude its unfinished tail."""
+        m = MultiTenantManager(
+            small_cfg(),
+            [Tenant(0, ToyWorkload("fast", length=2)),
+             Tenant(1, ToyWorkload("slow", length=60))],
+            warps_per_sm=2,
+        )
+        result = m.run()
+        fast = result.tenants[0]
+        assert fast.cycles <= result.total_cycles
+        assert len(fast.executions) == fast.completed_executions
+        assert sum(e.instructions for e in fast.executions) == fast.instructions
+        assert sum(e.cycles for e in fast.executions) == fast.cycles
+
+    def test_min_executions_runs_more(self):
+        m = MultiTenantManager(small_cfg(), [Tenant(0, ToyWorkload("a"))],
+                               warps_per_sm=2, min_executions=3)
+        result = m.run()
+        assert result.tenants[0].completed_executions == 3
+
+    def test_per_execution_misses_drop_once_warm(self):
+        m = MultiTenantManager(small_cfg(), [Tenant(0, ToyWorkload("a"))],
+                               warps_per_sm=2, min_executions=2)
+        result = m.run()
+        execs = result.tenants[0].executions
+        assert execs[0].l2_tlb_misses > 0       # cold first touch
+        assert execs[1].l2_tlb_misses <= execs[0].l2_tlb_misses
+
+    def test_determinism_same_seed(self):
+        def run():
+            m = MultiTenantManager(
+                small_cfg(),
+                [Tenant(0, ToyWorkload("a")), Tenant(1, ToyWorkload("b", length=9))],
+                warps_per_sm=2, seed=42,
+            )
+            r = m.run()
+            return (r.total_cycles, r.tenants[0].instructions,
+                    r.tenants[1].instructions)
+
+        assert run() == run()
+
+
+class TestResultApi:
+    def test_share_stats_flattened(self):
+        m = MultiTenantManager(
+            small_cfg(),
+            [Tenant(0, ToyWorkload("a")), Tenant(1, ToyWorkload("b"))],
+            warps_per_sm=2,
+        )
+        result = m.run()
+        assert "pws.walker_share.tenant0" in result.stats
+        assert "l2tlb.tlb_share.tenant0" in result.stats
+
+    def test_stat_default(self):
+        m = MultiTenantManager(small_cfg(), [Tenant(0, ToyWorkload("a"))],
+                               warps_per_sm=2)
+        result = m.run()
+        assert result.stat("no.such.stat", -1.0) == -1.0
+
+    def test_tenant_ids_sorted(self):
+        m = MultiTenantManager(
+            small_cfg(),
+            [Tenant(1, ToyWorkload("b")), Tenant(0, ToyWorkload("a"))],
+            warps_per_sm=2,
+        )
+        assert m.run().tenant_ids == [0, 1]

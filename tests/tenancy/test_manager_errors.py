@@ -1,0 +1,70 @@
+"""Error-path tests for the multi-tenant manager."""
+
+import pytest
+
+from repro.engine.config import GpuConfig
+from repro.gpu.warp import WarpOp
+from repro.tenancy.manager import MultiTenantManager
+from repro.tenancy.tenant import Tenant
+
+
+class NeverEndingWorkload:
+    """Long enough that a tiny max_events budget cannot finish it."""
+
+    name = "endless"
+
+    def build_streams(self, num_warps, rng):
+        return [
+            iter([WarpOp(1, [(i + 1) << 12]) for i in range(5000)])
+            for _ in range(num_warps)
+        ]
+
+
+class EmptyWorkload:
+    name = "empty"
+
+    def build_streams(self, num_warps, rng):
+        return []
+
+
+class ZeroOpWorkload:
+    """Streams exist but contain no operations: warps retire at once."""
+
+    name = "noop"
+
+    def build_streams(self, num_warps, rng):
+        return [iter([]) for _ in range(num_warps)]
+
+
+def test_max_events_exhaustion_raises_clearly():
+    manager = MultiTenantManager(
+        GpuConfig.baseline(num_sms=2),
+        [Tenant(0, NeverEndingWorkload())],
+        warps_per_sm=2, max_events=500,
+    )
+    with pytest.raises(RuntimeError, match="max_events"):
+        manager.run()
+
+
+def test_workload_with_no_streams_rejected():
+    manager = MultiTenantManager(
+        GpuConfig.baseline(num_sms=2), [Tenant(0, EmptyWorkload())],
+        warps_per_sm=2,
+    )
+    with pytest.raises(ValueError, match="no warp streams"):
+        manager.run()
+
+
+def test_zero_op_streams_complete_immediately():
+    manager = MultiTenantManager(
+        GpuConfig.baseline(num_sms=2), [Tenant(0, ZeroOpWorkload())],
+        warps_per_sm=2,
+    )
+    result = manager.run()
+    assert result.tenants[0].completed_executions == 1
+    assert result.tenants[0].instructions == 0
+
+
+def test_negative_tenant_id_rejected():
+    with pytest.raises(ValueError):
+        Tenant(-1, ZeroOpWorkload())

@@ -1,0 +1,81 @@
+"""Tests for three- and four-tenant runs (paper Section VII-F plumbing)."""
+
+import pytest
+
+from repro.engine.config import GpuConfig
+from repro.gpu.warp import WarpOp
+from repro.metrics import total_ipc
+from repro.tenancy.manager import MultiTenantManager
+from repro.tenancy.tenant import Tenant
+
+
+class SmallWorkload:
+    def __init__(self, name, pages=12, compute=5):
+        self.name = name
+        self.pages = pages
+        self.compute = compute
+
+    def build_streams(self, num_warps, rng):
+        return [
+            iter([WarpOp(self.compute, [(1 + w * 64 + p) << 12])
+                  for p in range(self.pages)])
+            for w in range(num_warps)
+        ]
+
+
+def run_n_tenants(n, policy="dws", num_sms=8, walkers=None):
+    cfg = GpuConfig.baseline(num_sms=num_sms).with_policy(policy)
+    if walkers is not None:
+        cfg = cfg.with_walker_count(walkers)
+    tenants = [Tenant(i, SmallWorkload(f"wl{i}", pages=8 + 4 * i))
+               for i in range(n)]
+    return MultiTenantManager(cfg, tenants, warps_per_sm=2).run()
+
+
+class TestThreeAndFourTenants:
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_all_tenants_complete(self, n):
+        result = run_n_tenants(n)
+        assert len(result.tenant_ids) == n
+        for t in result.tenant_ids:
+            assert result.tenants[t].completed_executions >= 1
+            assert result.ipc_of(t) > 0
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_sm_partition_covers_gpu(self, n):
+        cfg = GpuConfig.baseline(num_sms=8)
+        manager = MultiTenantManager(
+            cfg, [Tenant(i, SmallWorkload(f"w{i}")) for i in range(n)],
+            warps_per_sm=2,
+        )
+        covered = sorted(
+            sm for t in range(n) for sm in manager.gpu.tenants[t].sm_ids
+        )
+        assert covered == list(range(8))
+
+    def test_equal_walker_split_with_three_tenants(self):
+        # 15 walkers divide evenly among 3 tenants (the paper's trick)
+        result = run_n_tenants(3, walkers=15)
+        assert result.config.walkers.num_walkers == 15
+
+    @pytest.mark.parametrize("policy", ["baseline", "static", "dws", "dwspp"])
+    def test_walk_conservation_at_n_tenants(self, policy):
+        result = run_n_tenants(3, policy=policy)
+        for t in result.tenant_ids:
+            assert (result.stat(f"pws.walks.tenant{t}")
+                    == result.stat(f"pws.completed.tenant{t}"))
+
+    def test_total_ipc_aggregates_all_tenants(self):
+        result = run_n_tenants(4)
+        assert total_ipc(result) == pytest.approx(
+            sum(result.ipc_of(t) for t in result.tenant_ids))
+
+
+class TestWalkerShareBound:
+    def test_shares_sum_to_at_most_one(self):
+        result = run_n_tenants(3)
+        total_share = sum(
+            result.stat(f"pws.walker_share.tenant{t}")
+            for t in result.tenant_ids
+        )
+        assert total_share <= 1.0 + 1e-9

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "GUPS.MM"])
+        assert args.policy == "dws"
+        assert args.scale == 0.5
+
+    def test_experiment_id_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestListCommand:
+    def test_lists_benchmarks_and_pairs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for token in ("GUPS", "MM", "HL:", "HH:", "45"):
+            assert token in out
+
+
+class TestCharacterizeCommand:
+    def test_single_benchmark(self, capsys):
+        rc = main(["characterize", "MM", "--scale", "0.1", "--warps", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MM" in out and "MPMI" in out
+
+    def test_unknown_benchmark_errors(self, capsys):
+        rc = main(["characterize", "NOPE", "--scale", "0.1"])
+        assert rc == 2
+
+
+class TestRunCommand:
+    def test_run_pair_prints_metrics(self, capsys):
+        rc = main(["run", "HS.MM", "--scale", "0.1", "--warps", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for token in ("total IPC", "weighted IPC", "fairness", "tenant 0",
+                      "tenant 1"):
+            assert token in out
+
+
+class TestCompareCommand:
+    def test_compare_prints_all_policies(self, capsys):
+        rc = main(["compare", "HS.MM", "--scale", "0.1", "--warps", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for policy in ("baseline", "static", "dws", "dwspp"):
+            assert policy in out
+
+
+class TestExperimentCommand:
+    def test_experiment_with_pair_subset(self, capsys):
+        rc = main(["experiment", "fig5", "--pairs", "HS.MM",
+                   "--scale", "0.1", "--warps", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "HS.MM" in out
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, capsys):
+        rc = main(["report", "--experiments", "fig5", "--pairs", "HS.MM",
+                   "--scale", "0.1", "--warps", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "## fig5" in out and "| pair |" in out
+
+    def test_report_to_file(self, capsys, tmp_path):
+        target = tmp_path / "report.md"
+        rc = main(["report", "--experiments", "fig5", "--pairs", "HS.MM",
+                   "--scale", "0.1", "--warps", "2",
+                   "--output", str(target)])
+        assert rc == 0
+        assert "## fig5" in target.read_text()
+        assert "wrote" in capsys.readouterr().out

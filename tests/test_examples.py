@@ -1,0 +1,83 @@
+"""Smoke tests: every example script runs end-to-end at tiny scale.
+
+Examples are the first thing a new user touches; these tests keep them
+from rotting.  Each runs in-process with a patched ``sys.argv`` so the
+scripts' argparse sees a minimal-work configuration.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+pytestmark = pytest.mark.slow  # each takes a few seconds of simulation
+
+
+def run_example(name, *argv):
+    old_argv = sys.argv
+    sys.argv = [name] + list(argv)
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_example_files_exist():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert scripts == [
+        "capacity_planning.py",
+        "cloud_consolidation.py",
+        "dynamic_tenants.py",
+        "fairness_tuning.py",
+        "quickstart.py",
+        "seed_stability.py",
+        "walk_trace_analysis.py",
+    ]
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py", "--scale", "0.1")
+    out = capsys.readouterr().out
+    assert "DWS throughput speedup" in out
+
+
+def test_cloud_consolidation(capsys):
+    run_example("cloud_consolidation.py", "--scale", "0.08")
+    out = capsys.readouterr().out
+    assert "verdict" in out and ("pack" in out or "isolate" in out)
+
+
+def test_fairness_tuning(capsys):
+    run_example("fairness_tuning.py", "--scale", "0.08", "--pair", "GUPS.MM")
+    out = capsys.readouterr().out
+    assert "dws++ aggressive" in out
+
+
+def test_capacity_planning(capsys):
+    run_example("capacity_planning.py", "--scale", "0.08", "--pair",
+                "GUPS.MM")
+    out = capsys.readouterr().out
+    assert "16 walkers" in out
+
+
+def test_dynamic_tenants(capsys):
+    run_example("dynamic_tenants.py")
+    out = capsys.readouterr().out
+    assert "tenant 1 arrives" in out
+    assert "no walk was lost" in out
+
+
+def test_walk_trace_analysis(capsys):
+    run_example("walk_trace_analysis.py", "--scale", "0.1")
+    out = capsys.readouterr().out
+    assert "traced" in out and "walk latency" in out
+
+
+def test_seed_stability(capsys):
+    run_example("seed_stability.py", "--scale", "0.05", "--seeds", "2",
+                "--pair", "GUPS.MM")
+    out = capsys.readouterr().out
+    assert "mean speedup" in out and "direction" in out

@@ -1,0 +1,53 @@
+"""The README's public API surface: imports and the documented flow."""
+
+import repro
+from repro import (
+    DwsPlusParams,
+    GpuConfig,
+    MultiTenantManager,
+    PolicySpec,
+    RunResult,
+    Session,
+    Tenant,
+    WORKLOAD_PAIRS,
+    benchmark,
+)
+
+
+def test_version_string():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_names_importable():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_readme_quickstart_flow():
+    """The exact flow the README shows, at tiny scale."""
+    from repro.metrics import interleaving_of, total_ipc
+
+    config = GpuConfig.baseline(num_sms=4).with_policy("dws")
+    tenants = [Tenant(0, benchmark("GUPS", scale=0.05)),
+               Tenant(1, benchmark("JPEG", scale=0.05))]
+    result = MultiTenantManager(config, tenants, warps_per_sm=2).run()
+    assert isinstance(result, RunResult)
+    assert total_ipc(result) > 0
+    assert interleaving_of(result, 1) >= 0
+
+
+def test_workload_pairs_export():
+    assert len(WORKLOAD_PAIRS) == 45
+    assert "GUPS.SAD" in WORKLOAD_PAIRS
+
+
+def test_policyspec_and_params_compose():
+    spec = PolicySpec(name="dwspp", params={"params": DwsPlusParams()})
+    cfg = GpuConfig.baseline()
+    assert cfg.with_policy("dwspp").policy.name == "dwspp"
+    assert spec.name == "dwspp"
+
+
+def test_session_export_is_harness_session():
+    from repro.harness.runner import Session as HarnessSession
+    assert Session is HarnessSession

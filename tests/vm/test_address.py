@@ -1,0 +1,103 @@
+"""Unit and property tests for the virtual address layout."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vm.address import VIRTUAL_ADDRESS_BITS, AddressLayout
+
+
+class TestLayout4K:
+    layout = AddressLayout(page_size_bits=12)
+
+    def test_x86_like_geometry(self):
+        assert self.layout.page_size == 4096
+        assert self.layout.vpn_bits == 36
+        assert self.layout.level_widths == (9, 9, 9, 9)
+
+    def test_vpn_and_offset(self):
+        vaddr = (0x123456 << 12) | 0xABC
+        assert self.layout.vpn(vaddr) == 0x123456
+        assert self.layout.page_offset(vaddr) == 0xABC
+
+    def test_level_indices_partition_vpn(self):
+        vpn = 0b110000000_101010101_000000001_111111111
+        assert self.layout.level_index(vpn, 0) == 0b110000000
+        assert self.layout.level_index(vpn, 1) == 0b101010101
+        assert self.layout.level_index(vpn, 2) == 0b000000001
+        assert self.layout.level_index(vpn, 3) == 0b111111111
+
+    def test_prefix_depths(self):
+        vpn = 0x123456789
+        assert self.layout.prefix(vpn, 0) == 0
+        assert self.layout.prefix(vpn, 4) == vpn
+        assert self.layout.prefix(vpn, 1) == vpn >> 27
+        assert self.layout.prefix(vpn, 3) == vpn >> 9
+
+
+class TestLayout64K:
+    layout = AddressLayout(page_size_bits=16)
+
+    def test_geometry(self):
+        assert self.layout.page_size == 64 * 1024
+        assert self.layout.vpn_bits == 32
+        assert self.layout.level_widths == (5, 9, 9, 9)
+        assert sum(self.layout.level_widths) == 32
+
+
+class TestLayout2M:
+    layout = AddressLayout(page_size_bits=21)
+
+    def test_depth_clamps_to_three_levels(self):
+        """2 MB pages walk a 3-level radix, as on real hardware."""
+        assert self.layout.depth == 3
+        assert self.layout.level_widths == (9, 9, 9)
+        assert sum(self.layout.level_widths) == self.layout.vpn_bits
+
+    def test_dissection_roundtrip(self):
+        vaddr = (0xABCDE << 21) | 0x12345
+        assert self.layout.vpn(vaddr) == 0xABCDE
+        assert self.layout.compose(0xABCDE, 0x12345) == vaddr
+
+
+class TestValidation:
+    def test_rejects_absurd_page_sizes(self):
+        with pytest.raises(ValueError):
+            AddressLayout(page_size_bits=8)
+        with pytest.raises(ValueError):
+            AddressLayout(page_size_bits=30)
+
+    def test_prefix_depth_range(self):
+        layout = AddressLayout(page_size_bits=12)
+        with pytest.raises(ValueError):
+            layout.prefix(0, 5)
+
+
+@given(st.integers(0, (1 << 48) - 1), st.sampled_from([12, 16]))
+def test_compose_inverts_dissect(vaddr, bits):
+    layout = AddressLayout(page_size_bits=bits)
+    vpn = layout.vpn(vaddr)
+    off = layout.page_offset(vaddr)
+    assert layout.compose(vpn, off) == vaddr
+
+
+@given(st.integers(0, (1 << 36) - 1))
+def test_level_indices_reassemble_vpn(vpn):
+    layout = AddressLayout(page_size_bits=12)
+    rebuilt = 0
+    for level in range(4):
+        rebuilt = (rebuilt << 9) | layout.level_index(vpn, level)
+    assert rebuilt == vpn
+
+
+@given(st.integers(0, (1 << 36) - 1), st.integers(0, (1 << 36) - 1))
+def test_shared_prefix_iff_same_walk_path(vpn_a, vpn_b):
+    """Two VPNs share a depth-k prefix iff their first k level indexes match."""
+    layout = AddressLayout(page_size_bits=12)
+    for depth in range(1, 4):
+        same_prefix = layout.prefix(vpn_a, depth) == layout.prefix(vpn_b, depth)
+        same_path = all(
+            layout.level_index(vpn_a, lv) == layout.level_index(vpn_b, lv)
+            for lv in range(depth)
+        )
+        assert same_prefix == same_path

@@ -1,0 +1,113 @@
+"""Tests for the radix page table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.frames import FrameAllocator
+from repro.vm.address import PTE_BYTES, AddressLayout
+from repro.vm.page_table import PageTable
+
+
+def make_pt(page_bits=12, tenant=0):
+    layout = AddressLayout(page_size_bits=page_bits)
+    frames = FrameAllocator(total_frames=1 << 20, frame_bytes=layout.page_size)
+    return PageTable(tenant, layout, frames), layout, frames
+
+
+class TestMapping:
+    def test_lazy_map_allocates_data_frame(self):
+        pt, layout, frames = make_pt()
+        assert pt.translate(0x42) is None
+        frame = pt.ensure_mapped(0x42)
+        assert pt.translate(0x42) == frame
+        assert pt.mapped_pages == 1
+
+    def test_remap_is_idempotent(self):
+        pt, _, _ = make_pt()
+        f1 = pt.ensure_mapped(0x42)
+        f2 = pt.ensure_mapped(0x42)
+        assert f1 == f2
+        assert pt.mapped_pages == 1
+
+    def test_distinct_vpns_get_distinct_frames(self):
+        pt, _, _ = make_pt()
+        frames = {pt.ensure_mapped(v) for v in range(100)}
+        assert len(frames) == 100
+
+    def test_node_sharing_for_nearby_pages(self):
+        """Consecutive VPNs share interior nodes (one leaf node per 512)."""
+        pt, _, _ = make_pt()
+        for v in range(512):
+            pt.ensure_mapped(v)
+        # root + one node per interior level (3) shared by all 512 pages
+        assert pt.node_count == 4
+
+    def test_far_apart_pages_need_new_subtrees(self):
+        pt, layout, _ = make_pt()
+        pt.ensure_mapped(0)
+        before = pt.node_count
+        pt.ensure_mapped(1 << 27)  # different top-level index
+        assert pt.node_count == before + 3  # 3 fresh interior nodes
+
+
+class TestWalkAddresses:
+    def test_walk_has_one_address_per_level(self):
+        pt, layout, _ = make_pt()
+        pt.ensure_mapped(0x1234)
+        addrs = pt.walk_addresses(0x1234)
+        assert len(addrs) == layout.depth
+
+    def test_unmapped_vpn_raises(self):
+        pt, _, _ = make_pt()
+        with pytest.raises(KeyError):
+            pt.walk_addresses(0x99)
+
+    def test_walk_addresses_are_deterministic(self):
+        pt, _, _ = make_pt()
+        pt.ensure_mapped(0x77)
+        assert pt.walk_addresses(0x77) == pt.walk_addresses(0x77)
+
+    def test_root_access_shared_by_all_walks_with_same_top_index(self):
+        pt, layout, _ = make_pt()
+        pt.ensure_mapped(0)
+        pt.ensure_mapped(1)  # same leaf node, adjacent PTE
+        a0 = pt.walk_addresses(0)
+        a1 = pt.walk_addresses(1)
+        assert a0[:3] == a1[:3]  # identical down to the leaf node
+        assert a1[3] == a0[3] + PTE_BYTES
+
+    def test_walks_of_different_tenants_never_alias(self):
+        layout = AddressLayout(page_size_bits=12)
+        frames = FrameAllocator(total_frames=1 << 20, frame_bytes=4096)
+        pt0 = PageTable(0, layout, frames)
+        pt1 = PageTable(1, layout, frames)
+        pt0.ensure_mapped(0x5)
+        pt1.ensure_mapped(0x5)
+        assert set(pt0.walk_addresses(0x5)).isdisjoint(pt1.walk_addresses(0x5))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(0, (1 << 36) - 1), min_size=1, max_size=50))
+def test_property_every_mapped_page_walkable(vpns):
+    pt, layout, _ = make_pt()
+    for vpn in vpns:
+        pt.ensure_mapped(vpn)
+    for vpn in vpns:
+        addrs = pt.walk_addresses(vpn)
+        assert len(addrs) == 4
+        assert all(a >= 0 for a in addrs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(0, 1 << 20), min_size=2, max_size=40, unique=True))
+def test_property_translations_are_injective(vpns):
+    pt, _, _ = make_pt()
+    frames = [pt.ensure_mapped(v) for v in vpns]
+    assert len(set(frames)) == len(frames)
+
+
+def test_64k_page_table_walks():
+    pt, layout, _ = make_pt(page_bits=16)
+    pt.ensure_mapped(0xABC)
+    assert len(pt.walk_addresses(0xABC)) == 4

@@ -1,0 +1,98 @@
+"""Tests for the page walk cache (longest-prefix matching)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.simulator import Simulator
+from repro.vm.address import AddressLayout
+from repro.vm.pwc import PageWalkCache
+
+
+def make_pwc(entries=16):
+    sim = Simulator()
+    layout = AddressLayout(page_size_bits=12)
+    return sim, layout, PageWalkCache(sim, layout, entries)
+
+
+class TestProbeFill:
+    def test_cold_probe_misses(self):
+        sim, layout, pwc = make_pwc()
+        assert pwc.probe(0, 0x123) == 0
+
+    def test_fill_then_full_depth_hit(self):
+        sim, layout, pwc = make_pwc()
+        pwc.fill(0, 0x123)
+        assert pwc.probe(0, 0x123) == pwc.max_depth  # skip 3 of 4 levels
+
+    def test_partial_prefix_hit(self):
+        sim, layout, pwc = make_pwc()
+        vpn_a = 0b000000001_000000010_000000011_000000100
+        # shares top 2 levels with vpn_a, diverges at level 2
+        vpn_b = 0b000000001_000000010_111111111_000000100
+        pwc.fill(0, vpn_a)
+        assert pwc.probe(0, vpn_b) == 2
+
+    def test_prefix_never_skips_leaf(self):
+        sim, layout, pwc = make_pwc()
+        pwc.fill(0, 0x42)
+        assert pwc.probe(0, 0x42) <= layout.depth - 1
+
+    def test_tenant_isolation(self):
+        sim, layout, pwc = make_pwc()
+        pwc.fill(0, 0x123)
+        assert pwc.probe(1, 0x123) == 0
+
+
+class TestLru:
+    def test_capacity_bounded(self):
+        sim, layout, pwc = make_pwc(entries=4)
+        for vpn in range(0, 10 << 27, 1 << 27):  # distinct top-level indexes
+            pwc.fill(0, vpn)
+        assert len(pwc) <= 4
+
+    def test_eviction_is_lru(self):
+        sim, layout, pwc = make_pwc(entries=3)
+        # each fill inserts 3 prefixes; use distinct subtrees
+        pwc.fill(0, 0)
+        assert pwc.probe(0, 0) == 3  # refresh all three entries of vpn 0
+        pwc.fill(0, 1 << 27)  # 3 new entries evict... everything older
+        assert pwc.probe(0, 1 << 27) == 3
+        assert pwc.probe(0, 0) == 0
+
+
+class TestStats:
+    def test_hit_miss_and_skip_counters(self):
+        sim, layout, pwc = make_pwc()
+        pwc.probe(0, 5)          # miss
+        pwc.fill(0, 5)
+        pwc.probe(0, 5)          # hit, skips 3
+        assert sim.stats.counter("pwc.misses").value == 1
+        assert sim.stats.counter("pwc.hits").value == 1
+        assert sim.stats.counter("pwc.levels_skipped").value == 3
+
+    def test_resident_per_tenant(self):
+        sim, layout, pwc = make_pwc()
+        pwc.fill(0, 5)
+        pwc.fill(1, 5)
+        assert pwc.resident(0) == 3
+        assert pwc.resident(1) == 3
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, (1 << 36) - 1), min_size=1, max_size=30))
+def test_property_probe_after_fill_returns_max_depth_with_capacity(vpns):
+    """With ample capacity, the most recent fill always fully hits."""
+    sim, layout, pwc = make_pwc(entries=1024)
+    for vpn in vpns:
+        pwc.fill(0, vpn)
+        assert pwc.probe(0, vpn) == layout.depth - 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, (1 << 36) - 1), min_size=1, max_size=60),
+       st.integers(1, 16))
+def test_property_capacity_never_exceeded(vpns, entries):
+    sim, layout, pwc = make_pwc(entries=entries)
+    for vpn in vpns:
+        pwc.fill(0, vpn)
+        assert len(pwc) <= entries

@@ -1,0 +1,115 @@
+"""Unit and property tests for the TLB."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.config import TlbConfig
+from repro.engine.simulator import Simulator
+from repro.vm.tlb import Tlb
+
+
+def make_tlb(entries=8, assoc=2):
+    sim = Simulator()
+    tlb = Tlb(sim, TlbConfig(entries=entries, associativity=assoc,
+                             hit_latency=1, mshr_entries=4), name="tlb")
+    return sim, tlb
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        sim, tlb = make_tlb()
+        assert not tlb.lookup(0, 0x10)
+        tlb.insert(0, 0x10, frame=5)
+        assert tlb.lookup(0, 0x10)
+
+    def test_tenants_do_not_alias(self):
+        sim, tlb = make_tlb()
+        tlb.insert(0, 0x10, frame=5)
+        assert not tlb.lookup(1, 0x10)
+
+    def test_hit_miss_counters(self):
+        sim, tlb = make_tlb()
+        tlb.lookup(0, 1)
+        tlb.insert(0, 1, 0)
+        tlb.lookup(0, 1)
+        assert sim.stats.counter("tlb.hits").value == 1
+        assert sim.stats.counter("tlb.misses").value == 1
+
+
+class TestLruEviction:
+    def test_lru_within_set(self):
+        # 4 sets x 2 ways; vpns 0, 4, 8 all map to set 0
+        sim, tlb = make_tlb(entries=8, assoc=2)
+        tlb.insert(0, 0, 0)
+        tlb.insert(0, 4, 0)
+        tlb.lookup(0, 0)       # refresh 0 -> 4 becomes LRU
+        tlb.insert(0, 8, 0)    # evicts 4
+        assert tlb.lookup(0, 0)
+        assert not tlb.lookup(0, 4)
+        assert tlb.lookup(0, 8)
+        assert sim.stats.counter("tlb.evictions").value == 1
+
+    def test_reinsert_refreshes_not_duplicates(self):
+        sim, tlb = make_tlb(entries=8, assoc=2)
+        tlb.insert(0, 0, 0)
+        tlb.insert(0, 0, 0)
+        assert tlb.resident(0) == 1
+
+
+class TestResidency:
+    def test_per_tenant_counts(self):
+        sim, tlb = make_tlb(entries=8, assoc=2)
+        tlb.insert(0, 0, 0)
+        tlb.insert(0, 1, 0)
+        tlb.insert(1, 2, 0)
+        assert tlb.resident(0) == 2
+        assert tlb.resident(1) == 1
+        assert tlb.resident_total() == 3
+
+    def test_eviction_decrements_victim_tenant(self):
+        sim, tlb = make_tlb(entries=8, assoc=2)
+        tlb.insert(0, 0, 0)
+        tlb.insert(1, 4, 0)
+        tlb.insert(1, 8, 0)  # evicts tenant 0's entry (LRU in set 0)
+        assert tlb.resident(0) == 0
+        assert tlb.resident(1) == 2
+
+    def test_invalidate_tenant(self):
+        sim, tlb = make_tlb(entries=8, assoc=2)
+        for v in range(4):
+            tlb.insert(0, v, 0)
+        tlb.insert(1, 9, 0)
+        assert tlb.invalidate_tenant(0) == 4
+        assert tlb.resident(0) == 0
+        assert tlb.resident(1) == 1
+
+    def test_mean_share_tracks_time_weighted_occupancy(self):
+        sim, tlb = make_tlb(entries=8, assoc=2)
+        tlb.insert(0, 0, 0)   # at t=0: share 1/8
+        sim.at(100, lambda: tlb.insert(0, 1, 0))  # at t=100: share 2/8
+        sim.drain()
+        sim.at(200, lambda: None)
+        sim.drain()
+        share = tlb.mean_share(0)
+        # 100 cycles at 1/8 + 100 cycles at 2/8 = 3/16 mean
+        assert share == pytest.approx(3 / 16)
+
+    def test_mean_share_unknown_tenant_is_zero(self):
+        sim, tlb = make_tlb()
+        assert tlb.mean_share(7) == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 30)),
+                min_size=1, max_size=200))
+def test_property_capacity_and_residency_consistency(ops):
+    sim, tlb = make_tlb(entries=8, assoc=2)
+    for tenant, vpn in ops:
+        if not tlb.lookup(tenant, vpn):
+            tlb.insert(tenant, vpn, 0)
+        # capacity invariants hold at every step
+        assert tlb.resident_total() <= 8
+        for s in tlb._sets:
+            assert len(s) <= 2
+    assert tlb.resident(0) + tlb.resident(1) == tlb.resident_total()

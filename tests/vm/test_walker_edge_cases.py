@@ -1,0 +1,145 @@
+"""Edge-case tests for the walker FSM and subsystem plumbing."""
+
+import pytest
+
+from repro.engine.simulator import Simulator
+from repro.mem.frames import FrameAllocator
+from repro.vm.address import AddressLayout
+from repro.vm.page_table import PageTable
+from repro.vm.subsystem import PageWalkSubsystem
+from repro.vm.walk import WalkRequest, WalkSchedulingPolicy
+
+
+class OneShotPolicy(WalkSchedulingPolicy):
+    """Hands out queued requests FIFO; capacity 4."""
+
+    def __init__(self):
+        self.queue = []
+
+    def attach(self, subsystem):
+        self.num_walkers = len(subsystem.walkers)
+
+    def on_arrival(self, request):
+        if len(self.queue) >= 4:
+            return False
+        self.queue.append(request)
+        return True
+
+    def select(self, walker_id):
+        return self.queue.pop(0) if self.queue else None
+
+    def on_complete(self, walker_id, request):
+        pass
+
+    def pending_for(self, tenant_id):
+        return sum(1 for r in self.queue if r.tenant_id == tenant_id)
+
+    def pending_total(self):
+        return len(self.queue)
+
+    def on_tenant_set_changed(self, tenant_ids):
+        pass
+
+
+class SlowMemory:
+    def __init__(self, sim, latency=50):
+        self.sim = sim
+        self.latency = latency
+
+    def walker_access(self, paddr, on_done, tenant_id=0):
+        self.sim.after(self.latency, on_done)
+
+
+def make(num_walkers=2, dispatch_latency=0, page_bits=12):
+    sim = Simulator()
+    layout = AddressLayout(page_size_bits=page_bits)
+    pws = PageWalkSubsystem(
+        sim, SlowMemory(sim), OneShotPolicy(), num_walkers=num_walkers,
+        pwc_entries=32, pwc_latency=1, dispatch_latency=dispatch_latency,
+        layout=layout,
+    )
+    frames = FrameAllocator(total_frames=1 << 18,
+                            frame_bytes=layout.page_size)
+    pt = PageTable(0, layout, frames)
+    pws.register_tenant(0, pt)
+    return sim, pws, pt
+
+
+class TestWalkerFsm:
+    def test_busy_walker_rejects_second_start(self):
+        sim, pws, pt = make()
+        pt.ensure_mapped(1)
+        pt.ensure_mapped(1 << 27)
+        pws.request_walk(0, 1, lambda r: None)
+        sim.step()  # dispatch happens
+        walker = pws.walkers[0]
+        assert walker.busy
+        with pytest.raises(RuntimeError):
+            walker.start(WalkRequest(0, 1 << 27, sim.now))
+        sim.drain()
+
+    def test_dispatch_latency_reserves_walker(self):
+        """During non-zero dispatch latency the walker must not be
+        double-assigned by a second dispatch round."""
+        sim, pws, pt = make(num_walkers=1, dispatch_latency=5)
+        for vpn in (1, 1 << 27):
+            pt.ensure_mapped(vpn)
+        done = []
+        pws.request_walk(0, 1, lambda r: done.append(r.vpn))
+        pws.request_walk(0, 1 << 27, lambda r: done.append(r.vpn))
+        sim.drain()
+        assert sorted(done) == [1, 1 << 27]
+
+    def test_pwc_latency_delays_first_access(self):
+        sim, pws, pt = make(dispatch_latency=0)
+        pt.ensure_mapped(7)
+        finished = []
+        pws.request_walk(0, 7, lambda r: finished.append(sim.now))
+        sim.drain()
+        # pwc_latency(1) + 4 accesses x 50 cycles
+        assert finished[0] == 1 + 4 * 50
+
+    def test_walk_memory_access_count_in_stats(self):
+        sim, pws, pt = make()
+        pt.ensure_mapped(9)
+        pws.request_walk(0, 9, lambda r: None)
+        sim.drain()
+        acc = sim.stats.accumulator("pws.mem_accesses")
+        assert acc.count == 1 and acc.total == 4
+
+
+class TestQueueDepthHistogram:
+    def test_depth_distribution_recorded(self):
+        sim, pws, pt = make(num_walkers=1)
+        for vpn in range(1, 5):
+            pt.ensure_mapped(vpn << 18)  # distinct subtrees
+        for vpn in range(1, 5):
+            pws.request_walk(0, vpn << 18, lambda r: None)
+        sim.drain()
+        hist = sim.stats.get("pws.queue_depth")
+        assert hist is not None and hist.count == 4
+        # first arrival saw an empty queue
+        assert hist.fraction_at_or_below(0) > 0
+
+
+class TestLargePages:
+    @pytest.mark.parametrize("page_bits,depth", [(16, 4), (21, 3)])
+    def test_walks_work_at_large_page_sizes(self, page_bits, depth):
+        # 2 MB pages shorten the radix walk to three levels
+        sim, pws, pt = make(page_bits=page_bits)
+        pt.ensure_mapped(3)
+        done = []
+        pws.request_walk(0, 3, lambda r: done.append(r))
+        sim.drain()
+        assert done and done[0].memory_accesses == depth
+
+    def test_pwc_prefixes_respect_large_page_layout(self):
+        sim, pws, pt = make(page_bits=21)
+        pt.ensure_mapped(3)
+        pt.ensure_mapped(4)  # same leaf subtree at 2MB layout
+        results = []
+        pws.request_walk(0, 3, lambda r: results.append(r))
+        sim.drain()
+        pws.request_walk(0, 4, lambda r: results.append(r))
+        sim.drain()
+        assert results[1].memory_accesses < results[0].memory_accesses

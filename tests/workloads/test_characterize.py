@@ -1,0 +1,54 @@
+"""Characterization tests: the models land in their Table II bands.
+
+These run real (scaled-down) stand-alone simulations, so they are the
+slowest unit tests in the suite; one representative per band runs by
+default and the full 13-benchmark sweep is marked slow.
+"""
+
+import pytest
+
+from repro.engine.config import GpuConfig
+from repro.workloads import benchmark, benchmark_names
+from repro.workloads.characterize import band_of, characterize
+from repro.workloads.suite import BENCHMARKS
+
+SMALL_SCALE = 0.5  # keep test-suite runtime in check
+
+
+class TestBandOf:
+    def test_boundaries(self):
+        assert band_of(0) == "L"
+        assert band_of(24.9) == "L"
+        assert band_of(25.1) == "M"
+        assert band_of(79.9) == "M"
+        assert band_of(80.1) == "H"
+
+
+@pytest.mark.parametrize("name", ["HS", "3DS", "GUPS"])
+def test_representative_benchmark_lands_in_its_band(name):
+    c = characterize(benchmark(name, scale=SMALL_SCALE), warps_per_sm=3)
+    assert c.band == BENCHMARKS[name].category, (
+        f"{name}: measured MPMI {c.mpmi:.1f} -> band {c.band}, "
+        f"expected {BENCHMARKS[name].category}"
+    )
+
+
+def test_warm_mpmi_below_cold():
+    c = characterize(benchmark("HS", scale=SMALL_SCALE), warps_per_sm=3)
+    assert c.mpmi <= c.cold_mpmi
+
+
+def test_heavy_orders_of_magnitude_above_light():
+    light = characterize(benchmark("MM", scale=SMALL_SCALE), warps_per_sm=3)
+    heavy = characterize(benchmark("QTC", scale=SMALL_SCALE), warps_per_sm=3)
+    assert heavy.mpmi > 100 * max(light.mpmi, 1.0)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", benchmark_names())
+def test_full_suite_banding(name):
+    c = characterize(benchmark(name), warps_per_sm=4)
+    assert c.band == BENCHMARKS[name].category, (
+        f"{name}: measured MPMI {c.mpmi:.1f}, expected band "
+        f"{BENCHMARKS[name].category}"
+    )

@@ -1,0 +1,135 @@
+"""Tests for the access-pattern primitives."""
+
+import random
+
+import pytest
+
+from repro.gpu.warp import WarpOp
+from repro.workloads.patterns import (
+    HEAP_BASE,
+    PAGE_4K,
+    PATTERNS,
+    TAIL_BASE,
+    blocked_reuse,
+    hotspot,
+    per_warp_disjoint,
+    stencil,
+    streaming,
+    strided,
+    uniform_random,
+    with_tail,
+)
+
+
+def collect(gen):
+    ops = list(gen)
+    assert all(isinstance(op, WarpOp) for op in ops)
+    return ops
+
+
+def pages_of(ops):
+    return {addr // PAGE_4K for op in ops for addr in op.addrs}
+
+
+FOOTPRINT = 64 * PAGE_4K
+
+
+@pytest.mark.parametrize("name", sorted(set(PATTERNS) - {"with_tail"}))
+def test_every_pattern_yields_requested_ops(name):
+    rng = random.Random(0)
+    ops = collect(PATTERNS[name](0, 4, FOOTPRINT, 50, 10, rng))
+    assert len(ops) == 50
+    assert all(op.addrs for op in ops)
+
+
+@pytest.mark.parametrize("name", sorted(set(PATTERNS) - {"with_tail"}))
+def test_addresses_stay_within_heap_footprint(name):
+    rng = random.Random(1)
+    ops = collect(PATTERNS[name](1, 4, FOOTPRINT, 80, 10, rng))
+    for op in ops:
+        for addr in op.addrs:
+            assert HEAP_BASE <= addr < HEAP_BASE + 2 * FOOTPRINT
+
+
+def test_streaming_is_sequential_per_warp():
+    ops = collect(streaming(0, 4, FOOTPRINT, 20, 0, random.Random(0)))
+    addrs = [op.addrs[0] for op in ops]
+    assert addrs == sorted(addrs)
+
+
+def test_streaming_warps_get_disjoint_slices():
+    a = pages_of(collect(streaming(0, 4, FOOTPRINT, 30, 0, random.Random(0))))
+    b = pages_of(collect(streaming(1, 4, FOOTPRINT, 30, 0, random.Random(0))))
+    assert a.isdisjoint(b)
+
+
+def test_blocked_reuse_dwells_in_small_page_sets():
+    ops = collect(blocked_reuse(0, 4, FOOTPRINT, 64, 0, random.Random(0),
+                                block_bytes=4 * PAGE_4K, reuse=16))
+    # first 16 ops stay inside one 4-page block
+    first_block_pages = pages_of(ops[:16])
+    assert len(first_block_pages) <= 4
+
+
+def test_uniform_random_covers_many_pages():
+    ops = collect(uniform_random(0, 4, 1024 * PAGE_4K, 200, 0, random.Random(0)))
+    assert len(pages_of(ops)) > 150
+
+
+def test_uniform_random_divergence_emits_multiple_addrs():
+    ops = collect(uniform_random(0, 4, FOOTPRINT, 10, 0, random.Random(0),
+                                 divergence=4))
+    assert all(len(op.addrs) == 4 for op in ops)
+
+
+def test_hotspot_concentrates_accesses():
+    ops = collect(hotspot(0, 4, 100 * PAGE_4K, 500, 0, random.Random(0),
+                          hot_fraction=0.1, hot_probability=0.9))
+    hot_limit = HEAP_BASE + 10 * PAGE_4K
+    hot = sum(1 for op in ops if op.addrs[0] < hot_limit)
+    assert hot / len(ops) > 0.85
+
+
+def test_per_warp_disjoint_regions_do_not_overlap():
+    kwargs = dict(region_bytes=8 * PAGE_4K)
+    a = pages_of(collect(per_warp_disjoint(0, 8, FOOTPRINT, 40, 0,
+                                           random.Random(0), **kwargs)))
+    b = pages_of(collect(per_warp_disjoint(1, 8, FOOTPRINT, 40, 0,
+                                           random.Random(0), **kwargs)))
+    assert a.isdisjoint(b)
+
+
+def test_stencil_touches_neighbouring_rows():
+    ops = collect(stencil(0, 2, FOOTPRINT, 10, 0, random.Random(0),
+                          row_bytes=2 * PAGE_4K))
+    assert all(len(op.addrs) == 2 for op in ops)
+
+
+def test_with_tail_mixes_tail_accesses():
+    rng = random.Random(0)
+    ops = collect(with_tail(0, 4, FOOTPRINT, 1000, 0, rng,
+                            base_pattern="streaming",
+                            tail_bytes=1024 * PAGE_4K,
+                            tail_probability=0.2))
+    tail_ops = [op for op in ops if op.addrs[0] >= TAIL_BASE]
+    assert 0.1 < len(tail_ops) / len(ops) < 0.3
+
+
+def test_with_tail_zero_probability_is_pure_base():
+    rng = random.Random(0)
+    ops = collect(with_tail(0, 4, FOOTPRINT, 100, 0, rng,
+                            base_pattern="streaming",
+                            tail_bytes=PAGE_4K, tail_probability=0.0))
+    assert all(op.addrs[0] < TAIL_BASE for op in ops)
+
+
+def test_compute_gap_scales_with_mean():
+    rng = random.Random(0)
+    ops = collect(streaming(0, 1, FOOTPRINT, 200, 100, rng))
+    mean = sum(op.compute for op in ops) / len(ops)
+    assert 80 < mean < 120
+
+
+def test_zero_compute_mean_yields_zero_gaps():
+    ops = collect(streaming(0, 1, FOOTPRINT, 20, 0, random.Random(0)))
+    assert all(op.compute == 0 for op in ops)

@@ -1,0 +1,110 @@
+"""Tests for the benchmark suite, pairs table and workload plumbing."""
+
+import pytest
+
+from repro.engine.rng import DeterministicRng
+from repro.workloads import WORKLOAD_PAIRS, benchmark, benchmark_names, pair_class
+from repro.workloads.base import Workload, WorkloadSpec
+from repro.workloads.pairs import (
+    REPRESENTATIVE_PAIRS,
+    pairs_in_class,
+    split_pair,
+    vm_sensitive_pairs,
+)
+from repro.workloads.suite import BENCHMARKS, benchmarks_in_category
+
+
+class TestSuiteTable:
+    def test_thirteen_benchmarks_of_table2(self):
+        assert benchmark_names() == [
+            "MM", "HS", "RAY", "FFT", "LPS", "JPEG", "LIB", "SRAD", "3DS",
+            "BLK", "QTC", "SAD", "GUPS",
+        ]
+
+    def test_category_split_matches_table2(self):
+        assert benchmarks_in_category("L") == ["MM", "HS", "RAY", "FFT", "LPS"]
+        assert benchmarks_in_category("M") == ["JPEG", "LIB", "SRAD", "3DS"]
+        assert benchmarks_in_category("H") == ["BLK", "QTC", "SAD", "GUPS"]
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            benchmark("NOPE")
+
+    def test_heavy_footprints_dwarf_the_l2_tlb(self):
+        # 1024 TLB entries x 4KB pages = 4MB of reach
+        for name in benchmarks_in_category("H"):
+            assert BENCHMARKS[name].footprint_bytes > 16 * 4 * 1024 * 1024
+
+    def test_light_base_footprints_fit_the_l2_tlb(self):
+        for name in benchmarks_in_category("L"):
+            assert BENCHMARKS[name].footprint_bytes <= 1024 * 4096
+
+
+class TestWorkloadClass:
+    def test_streams_are_fresh_and_deterministic(self):
+        wl = benchmark("FFT")
+        rng1 = DeterministicRng(7)
+        rng2 = DeterministicRng(7)
+        s1 = wl.build_streams(4, rng1)
+        s2 = wl.build_streams(4, rng2)
+        assert len(s1) == len(s2) == 4
+        ops1 = [op.addrs for op in s1[0]]
+        ops2 = [op.addrs for op in s2[0]]
+        assert ops1 == ops2
+
+    def test_scale_changes_ops_per_warp(self):
+        wl = benchmark("MM", scale=0.5)
+        assert wl.ops_per_warp == BENCHMARKS["MM"].ops_per_warp // 2
+        assert wl.scaled(2.0).ops_per_warp == BENCHMARKS["MM"].ops_per_warp * 2
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(BENCHMARKS["MM"], scale=0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="X", category="Z", pattern="streaming",
+                         footprint_bytes=1, mean_compute=1, ops_per_warp=1,
+                         pattern_args={})
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="X", category="L", pattern="nope",
+                         footprint_bytes=1, mean_compute=1, ops_per_warp=1,
+                         pattern_args={})
+
+
+class TestPairs:
+    def test_exactly_45_pairs(self):
+        assert len(WORKLOAD_PAIRS) == 45
+        assert len(set(WORKLOAD_PAIRS)) == 45
+
+    def test_all_six_classes_represented(self):
+        classes = {pair_class(p) for p in WORKLOAD_PAIRS}
+        assert classes == {"LL", "ML", "MM", "HL", "HM", "HH"}
+
+    def test_class_counts_favor_vm_sensitive(self):
+        assert len(pairs_in_class("HH")) == 6
+        assert len(pairs_in_class("HM")) == 16
+        assert len(pairs_in_class("HL")) == 10
+        assert len(pairs_in_class("MM")) == 5
+        assert len(pairs_in_class("ML")) == 4
+        assert len(pairs_in_class("LL")) == 4
+
+    def test_vm_sensitive_subset_is_32(self):
+        """The paper's '32 (out of 45) virtual memory intensive workloads'."""
+        assert len(vm_sensitive_pairs()) == 32
+
+    def test_paper_named_pairs_present(self):
+        for pairs in REPRESENTATIVE_PAIRS.values():
+            for pair in pairs:
+                assert pair in WORKLOAD_PAIRS
+
+    def test_pair_class_normalizes_order(self):
+        assert pair_class("BLK.HS") == "HL"
+        assert pair_class("HS.MM") == "LL"
+        assert pair_class("3DS.FFT") == "ML"
+        assert pair_class("GUPS.SAD") == "HH"
+
+    def test_split_pair(self):
+        assert split_pair("BLK.3DS") == ("BLK", "3DS")
+        with pytest.raises(KeyError):
+            split_pair("BLK.NOPE")

@@ -1,0 +1,116 @@
+"""Tests for trace recording and replay."""
+
+import json
+
+import pytest
+
+from repro.engine.config import GpuConfig
+from repro.engine.rng import DeterministicRng
+from repro.gpu.warp import WarpOp
+from repro.tenancy.manager import MultiTenantManager
+from repro.tenancy.tenant import Tenant
+from repro.workloads import benchmark
+from repro.workloads.trace_io import (
+    TraceWorkload,
+    load_trace,
+    record_workload,
+    save_trace,
+)
+
+
+def ops_of(stream):
+    return [(op.compute, op.addrs, op.is_write) for op in stream]
+
+
+class TestSaveLoadRoundtrip:
+    def test_roundtrip_preserves_ops(self, tmp_path):
+        streams = [
+            [WarpOp(3, [0x1000]), WarpOp(0, [0x2000, 0x3000], True)],
+            [WarpOp(7, [0x4000])],
+        ]
+        path = tmp_path / "t.jsonl"
+        written = save_trace(streams, path, name="demo")
+        assert written == 3
+        wl = load_trace(path)
+        assert wl.name == "demo"
+        assert wl.recorded_warps == 2
+        replayed = wl.build_streams(2, rng=None)
+        assert ops_of(replayed[0]) == [(3, (0x1000,), False),
+                                       (0, (0x2000, 0x3000), True)]
+        assert ops_of(replayed[1]) == [(7, (0x4000,), False)]
+
+    def test_record_workload_deterministic(self, tmp_path):
+        wl = benchmark("FFT", scale=0.1)
+        p1, p2 = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        record_workload(wl, 4, DeterministicRng(5), p1)
+        record_workload(wl, 4, DeterministicRng(5), p2)
+        assert p1.read_text() == p2.read_text()
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"format": 99, "name": "x", "warps": 1})
+                        + "\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+
+class TestWarpRedistribution:
+    def make_trace(self, tmp_path, warps=4, ops=3):
+        streams = [
+            [WarpOp(w, [(w * 10 + i) << 12]) for i in range(ops)]
+            for w in range(warps)
+        ]
+        path = tmp_path / "t.jsonl"
+        save_trace(streams, path)
+        return load_trace(path)
+
+    def test_fewer_slots_merge_warps(self, tmp_path):
+        wl = self.make_trace(tmp_path, warps=4, ops=2)
+        streams = [list(s) for s in wl.build_streams(2, None)]
+        assert sum(len(s) for s in streams) == 8
+        # recorded warp order preserved within each slot
+        assert [op.compute for op in streams[0]] == [0, 0, 2, 2]
+
+    def test_more_slots_leave_empties(self, tmp_path):
+        wl = self.make_trace(tmp_path, warps=2, ops=1)
+        streams = [list(s) for s in wl.build_streams(4, None)]
+        assert sum(len(s) for s in streams) == 2
+        assert [len(s) for s in streams] == [1, 1, 0, 0]
+
+    def test_zero_slots_rejected(self, tmp_path):
+        wl = self.make_trace(tmp_path)
+        with pytest.raises(ValueError):
+            wl.build_streams(0, None)
+
+
+class TestReplayAsTenant:
+    def test_trace_runs_through_the_manager(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        record_workload(benchmark("HS", scale=0.05), 8,
+                        DeterministicRng(1), path)
+        cfg = GpuConfig.baseline(num_sms=4)
+        manager = MultiTenantManager(cfg, [Tenant(0, load_trace(path))],
+                                     warps_per_sm=2)
+        result = manager.run()
+        assert result.tenants[0].completed_executions == 1
+        assert result.tenants[0].instructions > 0
+
+    def test_replay_matches_original_workload_run(self, tmp_path):
+        """Replaying a recorded synthetic execution reproduces its
+        instruction count exactly."""
+        wl = benchmark("FFT", scale=0.05)
+        path = tmp_path / "t.jsonl"
+        record_workload(wl, 8, DeterministicRng(3), path)
+
+        cfg = GpuConfig.baseline(num_sms=4)
+        replay = MultiTenantManager(cfg, [Tenant(0, load_trace(path))],
+                                    warps_per_sm=2).run()
+        # the original, with the same stream-build rng as the recording
+        class Once:
+            name = "orig"
+            def build_streams(self, num_warps, rng):
+                return wl.build_streams(num_warps, DeterministicRng(3))
+        direct = MultiTenantManager(cfg, [Tenant(0, Once())],
+                                    warps_per_sm=2).run()
+        assert (replay.tenants[0].instructions
+                == direct.tenants[0].instructions)
