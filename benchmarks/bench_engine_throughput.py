@@ -1,0 +1,192 @@
+"""Event-kernel throughput microbenchmark: calendar queue vs seed heap.
+
+Runs the standard Heavy.Heavy pair (GUPS.SAD) twice per engine and
+reports wall-clock events/sec:
+
+* **engine** — the shipping kernel: calendar queue + free-list event
+  recycling + the tight no-peek run loop + cached component hot paths.
+* **seed_reference** — the seed engine reconstructed verbatim by
+  :mod:`_seed_reference`: binary-heap queue, per-event ``Event``
+  allocation, a run loop that peeks and polls a ``stop_when`` predicate
+  for every event, and the seed component hot paths (per-call stat-name
+  formatting, config attribute chains, property descriptors).
+
+Both engines simulate the identical event stream (the simulator is
+deterministic and the kernels are differentially tested for equality;
+the run below asserts both fire the same event count), so the ratio is
+pure engine cost.
+
+Methodology: one untimed warm-up pair, then ``--repeats`` interleaved
+(engine, seed) pairs.  Interleaving matters — the effective CPU speed
+of a shared/virtualised host drifts on a scale of seconds, so timing
+all engine runs and then all seed runs lets drift masquerade as (or
+mask) speedup.  The headline ``speedup`` is the **median of paired
+ratios**, which is robust to a slow epoch hitting either side.
+Results land in ``BENCH_engine.json`` together with an
+:class:`~repro.engine.profile.EngineProfiler` component breakdown.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --smoke
+
+This file is a stand-alone script, not a pytest benchmark; pytest
+collects nothing from it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from contextlib import nullcontext
+from pathlib import Path
+
+if __name__ == "__main__":  # allow running without an installed package
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from _seed_reference import seed_engine
+
+import repro.engine.simulator as simulator_module
+from repro.engine.config import GpuConfig
+from repro.engine.event import EventQueue, HeapEventQueue
+from repro.engine.profile import EngineProfiler
+from repro.tenancy.manager import MultiTenantManager
+from repro.tenancy.tenant import Tenant
+from repro.workloads.suite import benchmark
+
+
+def build_manager(args, kernel) -> MultiTenantManager:
+    """A manager for the pair, with the simulator kernel swapped in."""
+    previous = simulator_module.EventQueue
+    simulator_module.EventQueue = kernel
+    try:
+        config = GpuConfig.baseline(num_sms=args.sms)
+        names = args.pair.split(".")
+        tenants = [Tenant(i, benchmark(name, scale=args.scale))
+                   for i, name in enumerate(names)]
+        return MultiTenantManager(config, tenants,
+                                  warps_per_sm=args.warps, seed=0)
+    finally:
+        simulator_module.EventQueue = previous
+
+
+def run_engine(manager: MultiTenantManager) -> int:
+    """The shipping fast path: stop() from the completion callback."""
+    return manager.run().events_fired
+
+
+def run_seed_style(manager: MultiTenantManager) -> int:
+    """The seed's drive loop: per-event stop_when polling, no stop()."""
+    for tenant in manager.tenants:
+        manager._launch(tenant)
+    return manager.sim.run(stop_when=manager._all_completed_once,
+                           max_events=manager.max_events)
+
+
+#: (json key, simulator kernel, drive function, patch context).  The
+#: seed context wraps construction too: the seed ``Walker.__init__``,
+#: for one, differs from the shipping one.
+ENGINES = (
+    ("engine", EventQueue, run_engine, nullcontext),
+    ("seed_reference", HeapEventQueue, run_seed_style, seed_engine),
+)
+
+
+def run_once(args, kernel, drive, context):
+    """One timed simulation; returns (events fired, wall seconds)."""
+    with context():
+        manager = build_manager(args, kernel)
+        start = time.perf_counter()
+        events = drive(manager)
+        elapsed = time.perf_counter() - start
+    return events, elapsed
+
+
+def measure(args):
+    """Warm-up pair, then ``args.repeats`` interleaved pairs.
+
+    Returns ``(sides, speedup, ratios)``: per-engine run records, the
+    median paired engine/seed ratio, and every paired ratio.
+    """
+    for _, kernel, drive, context in ENGINES:  # warm-up, discarded
+        run_once(args, kernel, drive, context)
+    sides = {name: {"events": 0, "runs": []} for name, *_ in ENGINES}
+    ratios = []
+    for _ in range(args.repeats):
+        rates = {}
+        for name, kernel, drive, context in ENGINES:
+            events, elapsed = run_once(args, kernel, drive, context)
+            rates[name] = events / elapsed
+            sides[name]["events"] = events
+            sides[name]["runs"].append({
+                "events": events, "wall_seconds": elapsed,
+                "events_per_sec": rates[name],
+            })
+        ratios.append(rates["engine"] / rates["seed_reference"])
+    for side in sides.values():
+        side["events_per_sec"] = max(r["events_per_sec"] for r in side["runs"])
+    speedup = sorted(ratios)[len(ratios) // 2]
+    return sides, speedup, ratios
+
+
+def component_profile(args, top: int = 12) -> dict:
+    """One extra profiled run for the per-component event breakdown."""
+    manager = build_manager(args, EventQueue)
+    profiler = EngineProfiler()
+    with profiler.attach(manager.sim):
+        manager.run()
+    return profiler.summary(top=top)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pair", default="GUPS.SAD",
+                        help="workload pair, e.g. GUPS.SAD (Heavy.Heavy)")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--sms", type=int, default=8)
+    parser.add_argument("--warps", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--json", default="BENCH_engine.json",
+                        help="output path (default: ./BENCH_engine.json)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload, one repeat (CI wiring check)")
+    args = parser.parse_args(argv)
+    args.repeats = max(1, args.repeats)
+    if args.smoke:
+        args.scale = min(args.scale, 0.1)
+        args.repeats = 1
+
+    sides, speedup, ratios = measure(args)
+    engine, seed = sides["engine"], sides["seed_reference"]
+    if engine["events"] != seed["events"]:
+        raise SystemExit(
+            f"engines fired different event counts: {engine['events']} vs "
+            f"{seed['events']} — determinism broken")
+    payload = {
+        "benchmark": "engine_throughput",
+        "pair": args.pair,
+        "scale": args.scale,
+        "sms": args.sms,
+        "warps_per_sm": args.warps,
+        "repeats": args.repeats,
+        "smoke": args.smoke,
+        "engine": engine,
+        "seed_reference": seed,
+        "speedup": speedup,
+        "paired_ratios": ratios,
+        "profile": component_profile(args),
+        "python": sys.version.split()[0],
+    }
+    Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"{args.pair} scale={args.scale}: "
+          f"engine {engine['events_per_sec']:,.0f} ev/s vs "
+          f"seed {seed['events_per_sec']:,.0f} ev/s "
+          f"-> {speedup:.2f}x median of {len(ratios)} paired runs "
+          f"({engine['events']} events, json: {args.json})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

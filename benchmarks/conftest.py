@@ -13,6 +13,10 @@ Environment knobs:
   representative set), ``all`` (the full 45), or a comma-separated list
   of pair names.
 * ``REPRO_WARPS`` — warps per SM (default 4).
+* ``REPRO_CACHE`` — on-disk result cache: ``1`` (default) caches under
+  ``benchmarks/.cache`` so a warm re-run simulates nothing; ``0`` /
+  ``off`` / ``none`` disables it; any other value is used as the cache
+  directory path.
 
 Rendered tables are written to ``benchmarks/results/<experiment>.txt``.
 """
@@ -37,11 +41,21 @@ def _env_pairs():
     return [p.strip() for p in raw.split(",") if p.strip()]
 
 
+def _env_cache_dir():
+    raw = os.environ.get("REPRO_CACHE", "1").strip()
+    if raw.lower() in ("0", "off", "none", ""):
+        return None
+    if raw == "1":
+        return str(Path(__file__).parent / ".cache")
+    return raw
+
+
 @pytest.fixture(scope="session")
 def bench_session():
     scale = float(os.environ.get("REPRO_SCALE", "0.4"))
     warps = int(os.environ.get("REPRO_WARPS", "4"))
-    return Session(scale=scale, warps_per_sm=warps)
+    return Session(scale=scale, warps_per_sm=warps,
+                   cache_dir=_env_cache_dir())
 
 
 @pytest.fixture(scope="session")
@@ -56,7 +70,8 @@ def bench_session_deep():
     aggressiveness knob only moves once PEND_WALKS imbalances can cross
     the DIFF_THRES fractions of the 192-entry queue."""
     scale = float(os.environ.get("REPRO_SCALE", "0.4"))
-    return Session(scale=scale, warps_per_sm=8)
+    return Session(scale=scale, warps_per_sm=8,
+                   cache_dir=_env_cache_dir())
 
 
 @pytest.fixture()

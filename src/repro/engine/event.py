@@ -1,37 +1,61 @@
-"""Event queue primitives for the discrete-event simulator.
+"""Event primitives and the fast-path event queue of the simulator.
 
-Events are (time, sequence, callback) triples kept in a binary heap.  The
-monotonically increasing sequence number breaks ties so that events
-scheduled for the same cycle fire in FIFO order — this determinism matters
-for reproducibility of queueing behaviour at the page walkers.
+Events are (time, sequence, callback) records.  The monotonically
+increasing sequence number breaks ties so that events scheduled for the
+same cycle fire in FIFO order — this determinism matters for
+reproducibility of queueing behaviour at the page walkers.
+
+:class:`EventQueue` is the production kernel: a calendar/bucket queue
+(:mod:`repro.engine.calendar`) for O(1) scheduling of the short-delay
+events that dominate the simulator, plus a free list that recycles
+:class:`Event` objects through the common schedule → fire → discard
+lifecycle without allocating.  Recycling is invisible to callers: an
+event is only reused once no outside reference to it remains (checked
+via ``sys.getrefcount`` on CPython), so the cancellation API keeps its
+seed semantics — a held event handle always refers to the schedule entry
+it came from.
+
+:class:`HeapEventQueue` preserves the seed binary-heap kernel verbatim.
+It is not used on any production path; differential tests and the engine
+throughput benchmark run it side by side with the calendar kernel to
+pin down ordering equivalence and speedup.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import sys
 from typing import Any, Callable, Optional, Tuple
+
+from repro.engine.calendar import DEFAULT_WINDOW, CalendarQueue
 
 
 class Event:
     """A scheduled callback.
 
     Holding a reference to the :class:`Event` allows cancellation: a
-    cancelled event stays in the heap but is skipped when popped.
+    cancelled event stays in the queue but is skipped when popped.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_queue")
 
-    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any],
+                 args: Tuple[Any, ...], queue: "Optional[EventQueue]" = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._queue = queue
 
     def cancel(self) -> None:
         """Mark the event so the simulator discards it instead of firing it."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            queue = self._queue
+            if queue is not None:
+                queue._live -= 1
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -43,8 +67,121 @@ class Event:
         return f"<Event t={self.time} seq={self.seq} {self.fn!r}{state}>"
 
 
+def _probe_refcount(obj: object) -> int:
+    """Reference count seen from the run loop's recycle call shape:
+    one caller local + one callee parameter + the getrefcount argument."""
+    return sys.getrefcount(obj)
+
+
+def _calibrate_recycle_threshold() -> int:
+    """Refcount of an event with no outside holder, measured through the
+    exact call shape the run loop uses.  Returns -1 (recycling disabled)
+    off CPython, where getrefcount semantics differ."""
+    if sys.implementation.name != "cpython":
+        return -1
+    probe = Event(0, 0, None, ())  # local ref, like the run loop's
+    return _probe_refcount(probe)
+
+
+#: An event whose refcount at recycle time exceeds this has an outside
+#: holder (someone kept the handle returned by ``push``) and must not be
+#: reused — a later ``cancel()`` through that handle would otherwise hit
+#: an unrelated rescheduled event.
+_RECYCLE_REFS = _calibrate_recycle_threshold()
+
+#: Free-list cap; beyond this, fired events are left to the GC.
+_FREE_LIST_MAX = 4096
+
+
 class EventQueue:
-    """Binary-heap priority queue of :class:`Event` objects."""
+    """Calendar-queue-backed priority queue of :class:`Event` objects.
+
+    ``len()`` counts *live* (non-cancelled, not yet popped) events only,
+    so callers like :meth:`Simulator.drain`'s runaway check never
+    mistake a backlog of cancelled tombstones for pending work.
+    """
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        self._calendar = CalendarQueue(window)
+        self._seq = 0
+        self._live = 0
+        self._free: list = []
+
+    def __len__(self) -> int:
+        return self._live
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def push(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute ``time``; returns the event."""
+        return self.push_packed(time, fn, args)
+
+    def push_packed(self, time: int, fn: Callable[..., Any],
+                    args: Tuple[Any, ...]) -> Event:
+        """Like :meth:`push` with ``args`` already packed — the hot path
+        used by :class:`Simulator`, avoiding one tuple repack per event."""
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = seq
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+            event._queue = self
+        else:
+            event = Event(time, seq, fn, args, self)
+        self._live += 1
+        self._calendar.insert(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Extraction
+    # ------------------------------------------------------------------
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        event = self._calendar.take()
+        if event is not None:
+            self._live -= 1
+            # Once delivered, a late cancel() is a no-op for accounting
+            # (the event is no longer pending).
+            event._queue = None
+        return event
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the earliest pending event without removing it."""
+        event = self._calendar.front()
+        return None if event is None else event.time
+
+    def recycle(self, event: Event) -> None:
+        """Return a fired event to the free list if nothing else holds it.
+
+        Safe to skip entirely; recycling is purely an allocation
+        optimisation.  The refcount guard keeps cancellation semantics
+        exact: any externally held handle pins its event forever.
+        """
+        if (len(self._free) < _FREE_LIST_MAX
+                and sys.getrefcount(event) == _RECYCLE_REFS):
+            event.fn = None
+            event.args = None
+            self._free.append(event)
+
+    @property
+    def free_list_size(self) -> int:
+        return len(self._free)
+
+
+class HeapEventQueue:
+    """The seed binary-heap kernel, kept verbatim as a reference.
+
+    Used by differential tests and ``bench_engine_throughput.py`` to
+    check ordering equivalence with, and measure speedup over, the
+    calendar kernel.  ``recycle`` is a no-op so the modern run loop can
+    drive it unchanged.
+    """
 
     def __init__(self) -> None:
         self._heap: list = []
@@ -55,6 +192,12 @@ class EventQueue:
 
     def push(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute ``time``; returns the event."""
+        event = Event(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def push_packed(self, time: int, fn: Callable[..., Any],
+                    args: Tuple[Any, ...]) -> Event:
         event = Event(time, next(self._seq), fn, args)
         heapq.heappush(self._heap, event)
         return event
@@ -72,3 +215,6 @@ class EventQueue:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
         return self._heap[0].time if self._heap else None
+
+    def recycle(self, event: Event) -> None:
+        """No-op: the reference kernel allocates a fresh Event per push."""

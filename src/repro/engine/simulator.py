@@ -5,13 +5,23 @@ and the stats registry.  Components schedule work with :meth:`Simulator.at`
 (absolute time) or :meth:`Simulator.after` (relative delay) and the kernel
 advances time to each event in order.
 
-The kernel supports *run-until-predicate* termination, which the
-multi-tenant manager uses to implement the paper's methodology of running
-until every tenant has completed at least one full execution.
+The kernel supports *run-until-predicate* termination two ways: the
+``stop_when`` callable polled after every event (seed API), and the
+cheaper :meth:`Simulator.stop` flag that a component sets from inside an
+event callback — both stop at the same event boundary, so swapping one
+for the other does not change simulated behaviour.  The multi-tenant
+manager uses :meth:`stop` to implement the paper's methodology of
+running until every tenant has completed at least one full execution.
+
+The common no-``until``/no-``stop_when`` case runs a tight loop that
+pops, fires and recycles events without peeking, which together with the
+calendar queue in :mod:`repro.engine.event` is what the engine
+throughput benchmark measures.
 """
 
 from __future__ import annotations
 
+import sys
 from typing import Any, Callable, Optional
 
 from repro.engine.event import Event, EventQueue
@@ -29,7 +39,9 @@ class Simulator:
         self.now: int = 0
         self.events = EventQueue()
         self.stats = StatsRegistry()
+        self.profiler = None  # repro.engine.profile.EngineProfiler or None
         self._running = False
+        self._stop = False
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -40,17 +52,25 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event in the past: {time} < now={self.now}"
             )
-        return self.events.push(time, fn, *args)
+        return self.events.push_packed(time, fn, args)
 
     def after(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` ``delay`` cycles from now (delay >= 0)."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.events.push(self.now + delay, fn, *args)
+        return self.events.push_packed(self.now + delay, fn, args)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event.
+
+        Equivalent to a ``stop_when`` predicate turning true, without the
+        per-event polling cost.  Cleared by the next :meth:`run` call.
+        """
+        self._stop = True
+
     def step(self) -> bool:
         """Fire the next event.  Returns ``False`` when the queue is empty."""
         event = self.events.pop()
@@ -71,30 +91,56 @@ class Simulator:
         """Run events in order.
 
         Stops when the queue drains, when the clock would pass ``until``,
-        when ``stop_when()`` becomes true (checked after each event), or
-        after ``max_events`` events.  Returns the number of events fired.
+        when ``stop_when()`` becomes true (checked after each event), when
+        :meth:`stop` is called from a callback, or after ``max_events``
+        events.  Returns the number of events fired.
         """
         fired = 0
         self._running = True
+        self._stop = False
+        events = self.events
+        take = events.pop
+        recycle = events.recycle
+        profiler = self.profiler
         try:
-            while True:
-                if stop_when is not None and stop_when():
-                    break
-                if max_events is not None and fired >= max_events:
-                    break
-                next_time = self.events.peek_time()
-                if next_time is None:
-                    # nothing left to do; an explicit bound still defines
-                    # where the clock stands when the caller resumes
-                    if until is not None and until > self.now:
-                        self.now = until
-                    break
-                if until is not None and next_time > until:
-                    self.now = until
-                    break
-                if not self.step():  # pragma: no cover - race with peek
-                    break
-                fired += 1
+            if until is None and stop_when is None and profiler is None:
+                # Fast path: nothing to peek for, nothing to poll.
+                budget = sys.maxsize if max_events is None else max_events
+                while fired < budget and not self._stop:
+                    event = take()
+                    if event is None:
+                        break
+                    self.now = event.time
+                    event.fn(*event.args)
+                    fired += 1
+                    recycle(event)
+            else:
+                while True:
+                    if self._stop or (stop_when is not None and stop_when()):
+                        break
+                    if max_events is not None and fired >= max_events:
+                        break
+                    if until is not None:
+                        next_time = events.peek_time()
+                        if next_time is None:
+                            # nothing left to do; an explicit bound still
+                            # defines where the clock stands when the
+                            # caller resumes
+                            if until > self.now:
+                                self.now = until
+                            break
+                        if next_time > until:
+                            self.now = until
+                            break
+                    event = take()
+                    if event is None:
+                        break
+                    self.now = event.time
+                    if profiler is not None:
+                        profiler.record(event)
+                    event.fn(*event.args)
+                    fired += 1
+                    recycle(event)
         finally:
             self._running = False
         return fired

@@ -23,7 +23,7 @@ of cache-unfriendly tenants straight to DRAM (PTE bypass).
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.factory import build_mask_controller, build_policy
 from repro.engine.config import GpuConfig, PolicySpec
@@ -106,6 +106,23 @@ class Gpu:
         self._build_l2_tlbs()
         self._build_walk_subsystems()
         self._partition_sms()
+
+        # Hot-path scalars and stat caches.  Every memory op goes through
+        # access_memory/_translate, so attribute chains into the config
+        # dataclasses and per-call f-string registry lookups are lifted
+        # out.  Stat objects are cached lazily to keep creation at first
+        # use, exactly as before.
+        self._page_bits = self.layout.page_size_bits
+        self._page_mask = (1 << self._page_bits) - 1
+        self._l1_hit_latency = config.sm.l1_tlb.hit_latency
+        self._l1_miss_step = (
+            config.sm.l1_tlb.hit_latency + config.interconnect_latency
+        )
+        self._mshr_entries = config.sm.l1_tlb.mshr_entries
+        self._l2_hit_latency = config.l2_tlb.hit_latency
+        self._l2_miss_c: Dict[int, Any] = {}
+        self._instr_c: Dict[int, Any] = {}
+        self._mshr_stall_c: Dict[int, Any] = {}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -210,9 +227,9 @@ class Gpu:
     def access_memory(self, sm_id: int, tenant_id: int, vaddr: int,
                       is_write: bool, on_done: Callable[[], None]) -> None:
         """Translate then access memory; ``on_done`` at data return."""
-        vpn = self.layout.vpn(vaddr)
+        vpn = vaddr >> self._page_bits
         self.tenants[tenant_id].page_table.ensure_mapped(vpn)
-        offset = self.layout.page_offset(vaddr)
+        offset = vaddr & self._page_mask
 
         def translated(frame: int) -> None:
             paddr = self.memory.frames.frame_to_addr(frame) + offset
@@ -225,7 +242,7 @@ class Gpu:
         l1 = self.l1_tlbs[sm_id]
         if l1.lookup(tenant_id, vpn):
             frame = self.tenants[tenant_id].page_table.translate(vpn)
-            self.sim.after(l1.config.hit_latency, on_translated, frame)
+            self.sim.after(self._l1_hit_latency, on_translated, frame)
             return
         # L1 miss: merge into the SM's translation MSHRs.
         mshrs = self._xlat_mshrs[sm_id]
@@ -233,12 +250,17 @@ class Gpu:
         if key in mshrs:
             mshrs[key].append(on_translated)
             return
-        if len(mshrs) >= self.config.sm.l1_tlb.mshr_entries:
+        if len(mshrs) >= self._mshr_entries:
             self._xlat_overflow[sm_id].append((tenant_id, vpn, on_translated))
-            self.sim.stats.counter(f"l1tlb.sm{sm_id}.mshr_stalls").inc()
+            stall = self._mshr_stall_c.get(sm_id)
+            if stall is None:
+                stall = self._mshr_stall_c[sm_id] = self.sim.stats.counter(
+                    f"l1tlb.sm{sm_id}.mshr_stalls"
+                )
+            stall.inc()
             return
         mshrs[key] = [on_translated]
-        self.sim.after(l1.config.hit_latency + self.config.interconnect_latency,
+        self.sim.after(self._l1_miss_step,
                        self._l2_tlb_lookup, sm_id, tenant_id, vpn)
 
     def _l2_tlb_lookup(self, sm_id: int, tenant_id: int, vpn: int) -> None:
@@ -248,12 +270,17 @@ class Gpu:
             self.mask.note_l2_tlb_lookup(tenant_id, hit)
         if hit:
             frame = self.tenants[tenant_id].page_table.translate(vpn)
-            self.sim.after(l2.config.hit_latency, self._finish_translation,
+            self.sim.after(self._l2_hit_latency, self._finish_translation,
                            sm_id, tenant_id, vpn, frame, False)
             return
-        self.sim.stats.counter(f"gpu.l2tlb_misses.tenant{tenant_id}").inc()
+        miss = self._l2_miss_c.get(tenant_id)
+        if miss is None:
+            miss = self._l2_miss_c[tenant_id] = self.sim.stats.counter(
+                f"gpu.l2tlb_misses.tenant{tenant_id}"
+            )
+        miss.inc()
         self.sim.after(
-            l2.config.hit_latency,
+            self._l2_hit_latency,
             lambda: self._pws[tenant_id].request_walk(
                 tenant_id, vpn,
                 lambda req: self._walk_done(sm_id, tenant_id, vpn, req),
@@ -293,7 +320,12 @@ class Gpu:
     def count_instructions(self, tenant_id: int, count: int) -> None:
         context = self.tenants[tenant_id]
         context.instructions += count
-        self.sim.stats.counter(f"gpu.instructions.tenant{tenant_id}").inc(count)
+        counter = self._instr_c.get(tenant_id)
+        if counter is None:
+            counter = self._instr_c[tenant_id] = self.sim.stats.counter(
+                f"gpu.instructions.tenant{tenant_id}"
+            )
+        counter.inc(count)
 
     def note_warp_done(self, sm_id: int, warp: Warp) -> None:
         context = self.tenants[warp.tenant_id]

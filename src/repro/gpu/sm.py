@@ -35,6 +35,7 @@ class Sm:
         self.gpu = gpu
         self.coalescer = coalescer
         self._issue_free = 0  # next cycle the issue port is available
+        self._max_outstanding = config.max_outstanding_mem
         self._outstanding = 0
         self._mem_wait: Deque[Tuple[Warp, WarpOp]] = deque()
         self.active_warps = 0
@@ -65,7 +66,7 @@ class Sm:
             # pure compute stretch: the warp is immediately ready again
             self._advance_warp(warp)
             return
-        if self._outstanding >= self.config.max_outstanding_mem:
+        if self._outstanding >= self._max_outstanding:
             self._mem_wait.append((warp, op))
             return
         self._issue_mem(warp, op)

@@ -16,6 +16,7 @@ runs) reuse each other's work.
 
 from repro.harness.parallel import Job, pair_jobs, run_jobs
 from repro.harness.report import generate_report
+from repro.harness.result_cache import CACHE_FORMAT, ResultCache, job_key
 from repro.harness.results_io import export_results, load_results
 from repro.harness.reporting import (
     ExperimentResult,
@@ -29,9 +30,12 @@ from repro.harness.sweep import Sweep, axis
 from repro.harness.validate import validate_result
 
 __all__ = [
+    "CACHE_FORMAT",
     "ExperimentResult",
     "Job",
+    "ResultCache",
     "Session",
+    "job_key",
     "StandaloneMeasurement",
     "Sweep",
     "axis",

@@ -2,14 +2,26 @@
 
 A full 45-pair, multi-policy sweep is hundreds of independent
 simulations; they parallelize perfectly.  :func:`run_jobs` distributes
-:class:`Job` descriptions over a process pool and returns their
+:class:`Job` descriptions over a process pool — chunked, so pool IPC
+amortizes over several simulations per round trip — and returns their
 :class:`~repro.tenancy.manager.RunResult` objects keyed by job label.
+
+Two layers keep sweeps cheap:
+
+* **Chunking** — ``pool.map`` with an explicit ``chunksize`` (default:
+  jobs split roughly four ways per worker, balancing IPC overhead
+  against tail latency from unequal job lengths).
+* **Result caching** — pass a
+  :class:`~repro.harness.result_cache.ResultCache` and completed jobs
+  are looked up by content hash before anything executes; only the
+  misses are simulated, and their results are stored from the parent
+  process (workers never touch the cache directory).
 
 Determinism is preserved: each job is seeded independently of worker
 scheduling, so the results are identical to a serial run (a test
-asserts this).  ``workers=1`` bypasses multiprocessing entirely, which
-is also the safe choice inside environments that restrict process
-creation.
+asserts this, cache on and off).  ``workers=1`` bypasses
+multiprocessing entirely, which is also the safe choice inside
+environments that restrict process creation.
 """
 
 from __future__ import annotations
@@ -17,9 +29,10 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.config import GpuConfig
+from repro.harness.result_cache import ResultCache, job_key
 from repro.tenancy.manager import MultiTenantManager, RunResult
 from repro.tenancy.tenant import Tenant
 from repro.workloads.suite import benchmark
@@ -66,22 +79,50 @@ def _execute(job: Job) -> Tuple[str, RunResult]:
 
 
 def run_jobs(jobs: Sequence[Job],
-             workers: Optional[int] = None) -> Dict[str, RunResult]:
+             workers: Optional[int] = None,
+             cache: Optional[ResultCache] = None,
+             chunksize: Optional[int] = None) -> Dict[str, RunResult]:
     """Run every job; returns results keyed by job label.
 
     ``workers`` defaults to the CPU count; 1 runs serially in-process.
-    Duplicate labels are rejected up front (silent overwrites would make
-    missing-result bugs invisible).
+    ``cache`` short-circuits jobs whose results are already on disk and
+    stores fresh results afterwards.  ``chunksize`` controls how many
+    jobs each pool round trip carries (default: pending jobs split
+    roughly four ways per worker).  Duplicate labels are rejected up
+    front (silent overwrites would make missing-result bugs invisible).
     """
     labels = [job.label for job in jobs]
     if len(set(labels)) != len(labels):
         raise ValueError("job labels must be unique")
     if workers is None:
         workers = os.cpu_count() or 1
-    if workers <= 1 or len(jobs) <= 1:
-        return dict(_execute(job) for job in jobs)
+
     results: Dict[str, RunResult] = {}
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for label, result in pool.map(_execute, jobs):
+    pending: List[Job] = list(jobs)
+    keys: Dict[str, str] = {}
+    if cache is not None:
+        pending = []
+        for job in jobs:
+            key = keys[job.label] = job_key(job)
+            cached = cache.get(key)
+            if cached is None:
+                pending.append(job)
+            else:
+                results[job.label] = cached
+
+    if pending:
+        if workers <= 1 or len(pending) <= 1:
+            executed = [_execute(job) for job in pending]
+        else:
+            if chunksize is None:
+                chunksize = max(1, len(pending) // (workers * 4))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                executed = list(pool.map(_execute, pending,
+                                         chunksize=chunksize))
+        for label, result in executed:
             results[label] = result
-    return results
+            if cache is not None:
+                cache.put(keys[label], result)
+
+    # Return in the caller's job order, cache hits and fresh runs alike.
+    return {label: results[label] for label in labels}

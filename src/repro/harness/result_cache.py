@@ -1,0 +1,142 @@
+"""Content-addressed on-disk cache for simulation results.
+
+A full figure regeneration is dominated by re-simulating pairs that
+nothing changed: the simulator is deterministic, so a
+:class:`~repro.harness.parallel.Job` (workload names + config + scale +
+warps + seed) fully determines its
+:class:`~repro.tenancy.manager.RunResult`.  The cache exploits that by
+addressing results with a stable content hash of the job description —
+re-running any ``bench_fig*.py`` against a warm cache simulates nothing.
+
+Key scheme
+----------
+
+:func:`job_key` hashes the canonical JSON of::
+
+    {format: CACHE_FORMAT, names, config: dataclasses.asdict(config),
+     scale, warps_per_sm, seed}
+
+with sorted keys, so the key is insensitive to field ordering but
+sensitive to *every* config field — flipping one latency or policy knob
+produces a different key (an automatic invalidation; no manual cache
+busting).  ``CACHE_FORMAT`` is bumped whenever the simulator's observable
+behaviour changes, orphaning every stale entry at once.
+
+Storage is one pickle per result under ``<root>/<key[:2]>/<key>.pkl``,
+written atomically (temp file + ``os.replace``) so a crashed or
+concurrent writer can never publish a torn payload.  Unreadable or
+unpicklable entries are deleted and treated as misses.  Every filesystem
+failure degrades to "no cache", never to a wrong result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+#: Bump to orphan every existing cache entry (simulator behaviour change).
+CACHE_FORMAT = 1
+
+
+def job_key(job) -> str:
+    """Stable content hash addressing ``job``'s simulation result."""
+    payload = {
+        "format": CACHE_FORMAT,
+        "names": list(job.names),
+        "config": dataclasses.asdict(job.config),
+        "scale": job.scale,
+        "warps_per_sm": job.warps_per_sm,
+        "seed": job.seed,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class ResultCache:
+    """Pickle-per-entry result store addressed by :func:`job_key`."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        # Two-level fan-out keeps directories small on big sweeps.
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[object]:
+        """The cached result for ``key``, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupted/stale payload (truncated pickle, renamed classes,
+            # ...): drop the entry so the next run re-simulates cleanly.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: object) -> None:
+        """Store ``result`` under ``key`` (best-effort, atomic)."""
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError):
+            # A read-only or full disk must not fail the sweep.
+            return
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    # Maintenance / introspection
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "entries": len(self)}

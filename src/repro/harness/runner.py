@@ -16,6 +16,8 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.engine.config import GpuConfig, config_key
+from repro.harness.parallel import Job
+from repro.harness.result_cache import ResultCache, job_key
 from repro.tenancy.manager import MultiTenantManager, RunResult
 from repro.tenancy.tenant import Tenant
 from repro.workloads.base import Workload
@@ -41,11 +43,16 @@ class Session:
         warps_per_sm: int = 4,
         seed: int = 0,
         max_events: int = 200_000_000,
+        cache_dir: Optional[str] = None,
     ) -> None:
         self.scale = scale
         self.warps_per_sm = warps_per_sm
         self.seed = seed
         self.max_events = max_events
+        #: on-disk result cache; None keeps the session memory-only
+        self.disk_cache = ResultCache(cache_dir) if cache_dir else None
+        #: simulations actually executed (disk/memory cache hits excluded)
+        self.simulations_executed = 0
         self._run_cache: Dict[Tuple, RunResult] = {}
         self._standalone_cache: Dict[Tuple, StandaloneMeasurement] = {}
 
@@ -62,17 +69,37 @@ class Session:
     # Cached runs
     # ------------------------------------------------------------------
     def run_names(self, names: Sequence[str], config: GpuConfig) -> RunResult:
-        """Run the named workloads as co-tenants under ``config``."""
+        """Run the named workloads as co-tenants under ``config``.
+
+        Results memoize in memory; with a ``cache_dir`` they also
+        persist on disk, content-addressed by the job description, so a
+        warm re-run of any experiment simulates nothing.
+        """
         key = (tuple(names), config_key(config))
         cached = self._run_cache.get(key)
-        if cached is None:
-            manager = MultiTenantManager(
-                config, self.tenants_for(names),
-                warps_per_sm=self.warps_per_sm, seed=self.seed,
-                max_events=self.max_events,
-            )
-            cached = manager.run()
-            self._run_cache[key] = cached
+        if cached is not None:
+            return cached
+        disk_key = None
+        if self.disk_cache is not None:
+            disk_key = job_key(Job(
+                label="/".join(names), names=tuple(names), config=config,
+                scale=self.scale, warps_per_sm=self.warps_per_sm,
+                seed=self.seed,
+            ))
+            cached = self.disk_cache.get(disk_key)
+            if cached is not None:
+                self._run_cache[key] = cached
+                return cached
+        manager = MultiTenantManager(
+            config, self.tenants_for(names),
+            warps_per_sm=self.warps_per_sm, seed=self.seed,
+            max_events=self.max_events,
+        )
+        cached = manager.run()
+        self.simulations_executed += 1
+        self._run_cache[key] = cached
+        if self.disk_cache is not None:
+            self.disk_cache.put(disk_key, cached)
         return cached
 
     def run_pair(self, pair: str, config: GpuConfig) -> RunResult:
@@ -86,6 +113,8 @@ class Session:
         ``label`` must uniquely identify the workload set; it keys the
         cache together with the config identity.
         """
+        # Ad-hoc workload objects have no content-stable description, so
+        # custom runs stay memory-only — never on disk.
         key = (("custom", label), config_key(config))
         cached = self._run_cache.get(key)
         if cached is None:
@@ -95,6 +124,7 @@ class Session:
                 seed=self.seed, max_events=self.max_events,
             )
             cached = manager.run()
+            self.simulations_executed += 1
             self._run_cache[key] = cached
         return cached
 

@@ -56,6 +56,14 @@ class Cache:
         self._mshrs: Dict[int, _MshrEntry] = {}
         self._overflow: Deque[Tuple[int, bool, Callable[[], None], int]] = deque()
         self._bank_free = [0] * config.banks
+        # Scalars lifted off the config dataclass: access() runs for
+        # every data/PTE reference and attribute-chain lookups there are
+        # pure kernel overhead.
+        self._line_bytes = config.line_bytes
+        self._num_sets = config.num_sets
+        self._banks = config.banks
+        self._hit_latency = config.hit_latency
+        self._mshr_entries = config.mshr_entries
         stats = sim.stats
         self._hits = stats.counter(f"{name}.hits")
         self._misses = stats.counter(f"{name}.misses")
@@ -86,9 +94,16 @@ class Cache:
         tenant_id: int = 0,
     ) -> None:
         """Look up ``addr``; ``on_done`` fires when the data is available."""
-        line = self.line_of(addr)
-        latency = self._bank_latency(line)
-        cache_set = self._sets[self._set_index(line)]
+        # line_of / _bank_latency / _set_index inlined: this is the
+        # hottest component path in the simulator.
+        line = addr // self._line_bytes
+        bank_free = self._bank_free
+        bank = line % self._banks
+        now = self.sim.now
+        start = max(now, bank_free[bank])
+        bank_free[bank] = start + self.bank_cycles
+        latency = (start - now) + self._hit_latency
+        cache_set = self._sets[line % self._num_sets]
         if line in cache_set:
             self._hits.inc()
             cache_set.move_to_end(line)  # LRU touch
@@ -103,7 +118,7 @@ class Cache:
             pending.waiters.append(on_done)
             pending.any_write = pending.any_write or is_write
             return
-        if len(self._mshrs) >= self.config.mshr_entries:
+        if len(self._mshrs) >= self._mshr_entries:
             self._stalls.inc()
             self._overflow.append((addr, is_write, on_done, tenant_id))
             return
@@ -116,7 +131,7 @@ class Cache:
         self.sim.after(
             latency,
             self.lower.access,
-            line * self.config.line_bytes,
+            line * self._line_bytes,
             False,
             lambda: self._on_fill(line, tenant_id),
             tenant_id,
@@ -152,7 +167,7 @@ class Cache:
         cache_set[line] = dirty
 
     def _drain_overflow(self) -> None:
-        while self._overflow and len(self._mshrs) < self.config.mshr_entries:
+        while self._overflow and len(self._mshrs) < self._mshr_entries:
             addr, is_write, on_done, tenant_id = self._overflow.popleft()
             self.access(addr, is_write, on_done, tenant_id)
             # access() may have consumed the freed MSHR (or hit); loop

@@ -33,6 +33,10 @@ class Dram:
         self.name = name
         # earliest cycle at which each channel can start a new access
         self._channel_free = [0] * config.channels
+        # hot-path scalars, lifted off the config dataclass
+        self._channels = config.channels
+        self._cycles_per_access = config.cycles_per_access
+        self._access_latency = config.access_latency
         stats: StatsRegistry = sim.stats
         self._accesses = stats.counter(f"{name}.accesses")
         self._queue_delay = stats.accumulator(f"{name}.queue_delay")
@@ -50,13 +54,13 @@ class Dram:
     ) -> None:
         """Perform a DRAM access; ``on_done`` fires at completion time."""
         self._accesses.inc()
-        channel = self.channel_of(addr)
+        channel = (addr // self.line_bytes) % self._channels
+        free = self._channel_free
         now = self.sim.now
-        start = max(now, self._channel_free[channel])
+        start = max(now, free[channel])
         self._queue_delay.add(start - now)
-        self._channel_free[channel] = start + self.config.cycles_per_access
-        finish = start + self.config.access_latency
-        self.sim.at(finish, on_done)
+        free[channel] = start + self._cycles_per_access
+        self.sim.at(start + self._access_latency, on_done)
 
     def utilization_horizon(self) -> int:
         """Latest busy cycle across channels (used by tests)."""

@@ -128,9 +128,10 @@ class MultiTenantManager:
     def run(self) -> RunResult:
         for tenant in self.tenants:
             self._launch(tenant)
-        fired = self.sim.run(
-            stop_when=self._all_completed_once, max_events=self.max_events
-        )
+        # Completion is signalled by _on_tenant_complete via sim.stop(),
+        # which stops at the same event boundary a per-event stop_when
+        # poll would — without paying for the poll on every event.
+        fired = self.sim.run(max_events=self.max_events)
         if not self._all_completed_once():
             raise RuntimeError(
                 "simulation exhausted max_events before every tenant "
@@ -211,3 +212,5 @@ class MultiTenantManager:
         if not self._all_completed_once():
             # Relaunch so the slower tenant(s) keep experiencing contention.
             self._launch(tenant)
+        else:
+            self.sim.stop()

@@ -14,6 +14,7 @@ table (walked first), level ``depth - 1`` is the leaf holding the PTE.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import List, Tuple
 
 VIRTUAL_ADDRESS_BITS = 48
@@ -49,13 +50,16 @@ class AddressLayout:
     def vpn_bits(self) -> int:
         return VIRTUAL_ADDRESS_BITS - self.page_size_bits
 
-    @property
+    @cached_property
     def level_widths(self) -> Tuple[int, ...]:
         """Index width of each level, root (level 0) first.
 
         Lower levels take :data:`LEVEL_BITS` bits each; the root absorbs
         whatever remains (e.g. 4 KB pages: (9, 9, 9, 9); 64 KB pages:
         (5, 9, 9, 9)).
+
+        Cached: this sits on the walk-address hot path, where recomputing
+        the geometry per translation measurably shows up.
         """
         widths: List[int] = []
         remaining = self.vpn_bits
@@ -66,6 +70,21 @@ class AddressLayout:
             raise ValueError("page size leaves no bits for the root level")
         widths.append(remaining)
         return tuple(reversed(widths))
+
+    @cached_property
+    def _level_geometry(self) -> Tuple[Tuple[int, int], ...]:
+        """Per-level ``(shift, mask)`` pairs for :meth:`level_index`."""
+        widths = self.level_widths
+        return tuple(
+            (sum(widths[level + 1:]), (1 << widths[level]) - 1)
+            for level in range(len(widths))
+        )
+
+    @cached_property
+    def _prefix_shifts(self) -> Tuple[int, ...]:
+        """``shift`` such that ``vpn >> shift`` keeps the top N levels."""
+        widths = self.level_widths
+        return tuple(sum(widths[levels:]) for levels in range(self.depth + 1))
 
     # ------------------------------------------------------------------
     # Address dissection
@@ -79,9 +98,8 @@ class AddressLayout:
 
     def level_index(self, vpn: int, level: int) -> int:
         """Radix index used at walk ``level`` (0 = root)."""
-        widths = self.level_widths
-        shift = sum(widths[level + 1:])
-        return (vpn >> shift) & ((1 << widths[level]) - 1)
+        shift, mask = self._level_geometry[level]
+        return (vpn >> shift) & mask
 
     def prefix(self, vpn: int, levels: int) -> int:
         """The top ``levels`` radix indexes of ``vpn``, as one integer.
@@ -92,9 +110,7 @@ class AddressLayout:
         """
         if not 0 <= levels <= self.depth:
             raise ValueError(f"prefix depth {levels} out of range")
-        widths = self.level_widths
-        shift = sum(widths[levels:])
-        return vpn >> shift
+        return vpn >> self._prefix_shifts[levels]
 
     def compose(self, vpn: int, offset: int = 0) -> int:
         """Build a virtual address from a VPN and page offset."""

@@ -67,7 +67,29 @@ class PageWalkSubsystem:
         self._starts_by_tenant: List[Dict[int, int]] = [
             {} for _ in range(num_walkers)
         ]
+        # Pool-wide running sums of the same counts: when a request's
+        # candidate set is the whole pool (shared-queue policies, i.e.
+        # the common case), _other_starts_on is one subtraction instead
+        # of a per-walker sweep.
+        self._starts_sum_total = 0
+        self._starts_sum_by_tenant: Dict[int, int] = {}
         self._busy_by_tenant: Dict[int, int] = {}
+        self._walker_denom = max(1, num_walkers)
+        # Hot-path stat objects, resolved through the registry once and
+        # cached; per-call f-string keys plus registry lookups dominate
+        # the walk entry/exit paths otherwise.  Lazily filled so stat
+        # creation still happens at first use, exactly as before.
+        self._merged_c = None
+        self._overflow_c = None
+        self._queue_depth_h = None
+        self._mem_accesses_a = None
+        self._walks_c: Dict[int, object] = {}
+        self._interleave_a: Dict[int, object] = {}
+        self._queue_latency_a: Dict[int, object] = {}
+        self._stolen_c: Dict[int, object] = {}
+        self._completed_c: Dict[int, object] = {}
+        self._walk_latency_a: Dict[int, object] = {}
+        self._busy_occ: Dict[int, object] = {}
         #: optional repro.engine.trace.Tracer; emits walk.{enqueue,
         #: overflow,start,steal,complete} records when attached
         self.tracer = None
@@ -101,9 +123,13 @@ class PageWalkSubsystem:
         completion.  Duplicate in-flight walks merge."""
         key = (tenant_id, vpn)
         inflight = self._inflight.get(key)
-        stats = self.sim.stats
         if inflight is not None:
-            stats.counter(f"{self.name}.merged").inc()
+            merged = self._merged_c
+            if merged is None:
+                merged = self._merged_c = self.sim.stats.counter(
+                    f"{self.name}.merged"
+                )
+            merged.inc()
             inflight.callbacks.append(on_done)
             return inflight
         request = WalkRequest(tenant_id, vpn, self.sim.now)
@@ -113,17 +139,30 @@ class PageWalkSubsystem:
             request._candidate_walkers, tenant_id
         )
         self._inflight[key] = request
-        stats.counter(f"{self.name}.walks.tenant{tenant_id}").inc()
-        stats.histogram(
-            f"{self.name}.queue_depth", edges=(0, 1, 2, 4, 8, 16, 32, 64, 128)
-        ).add(self.policy.pending_total())
+        walks = self._walks_c.get(tenant_id)
+        if walks is None:
+            walks = self._walks_c[tenant_id] = self.sim.stats.counter(
+                f"{self.name}.walks.tenant{tenant_id}"
+            )
+        walks.inc()
+        depth = self._queue_depth_h
+        if depth is None:
+            depth = self._queue_depth_h = self.sim.stats.histogram(
+                f"{self.name}.queue_depth", edges=(0, 1, 2, 4, 8, 16, 32, 64, 128)
+            )
+        depth.add(self.policy.pending_total())
         if self.tracer is not None:
             self.tracer.emit(self.sim.now, "walk.enqueue",
                              walk=request.id, tenant=tenant_id, vpn=vpn)
         if self.policy.on_arrival(request):
             self._dispatch_idle_walkers()
         else:
-            stats.counter(f"{self.name}.overflow").inc()
+            overflow = self._overflow_c
+            if overflow is None:
+                overflow = self._overflow_c = self.sim.stats.counter(
+                    f"{self.name}.overflow"
+                )
+            overflow.inc()
             self._overflow.append(request)
             if self.tracer is not None:
                 self.tracer.emit(self.sim.now, "walk.overflow",
@@ -132,6 +171,12 @@ class PageWalkSubsystem:
 
     def _other_starts_on(self, walkers, tenant_id: int) -> int:
         """Service starts by other tenants on the given walkers so far."""
+        if len(walkers) == len(self._starts_total):
+            # Candidate ids are distinct, so a full-length set is the
+            # whole pool and the running sums answer in O(1).
+            return self._starts_sum_total - self._starts_sum_by_tenant.get(
+                tenant_id, 0
+            )
         return sum(
             self._starts_total[w] - self._starts_by_tenant[w].get(tenant_id, 0)
             for w in walkers
@@ -142,7 +187,7 @@ class PageWalkSubsystem:
     # ------------------------------------------------------------------
     def _dispatch_idle_walkers(self) -> None:
         for walker in self.walkers:
-            if not walker.busy and not getattr(walker, "reserved", False):
+            if not walker.busy and not walker.reserved:
                 self._try_dispatch(walker)
 
     def _try_dispatch(self, walker: Walker) -> None:
@@ -161,38 +206,65 @@ class PageWalkSubsystem:
 
     def note_service_start(self, walker: Walker, request: WalkRequest) -> None:
         tenant = request.tenant_id
-        stats = self.sim.stats
         # Interleaving: other-tenant walks that entered service, on the
         # walkers this request was entitled to, while it waited.
         interleaved = (
             self._other_starts_on(request._candidate_walkers, tenant)
             - request._other_service_snapshot
         )
-        stats.accumulator(f"{self.name}.interleave.tenant{tenant}").add(interleaved)
+        acc = self._interleave_a.get(tenant)
+        if acc is None:
+            acc = self._interleave_a[tenant] = self.sim.stats.accumulator(
+                f"{self.name}.interleave.tenant{tenant}"
+            )
+        acc.add(interleaved)
         self._starts_total[walker.id] += 1
         by_tenant = self._starts_by_tenant[walker.id]
         by_tenant[tenant] = by_tenant.get(tenant, 0) + 1
+        self._starts_sum_total += 1
+        sums = self._starts_sum_by_tenant
+        sums[tenant] = sums.get(tenant, 0) + 1
         if self.tracer is not None:
             kind = "walk.steal" if request.stolen else "walk.start"
             self.tracer.emit(self.sim.now, kind, walk=request.id,
                              tenant=tenant, walker=walker.id,
                              waited=request.queueing_latency,
                              interleaved=interleaved)
-        stats.accumulator(f"{self.name}.queue_latency.tenant{tenant}").add(
-            request.queueing_latency
-        )
+        qlat = self._queue_latency_a.get(tenant)
+        if qlat is None:
+            qlat = self._queue_latency_a[tenant] = self.sim.stats.accumulator(
+                f"{self.name}.queue_latency.tenant{tenant}"
+            )
+        qlat.add(request.queueing_latency)
         if request.stolen:
-            stats.counter(f"{self.name}.stolen.tenant{tenant}").inc()
+            stolen = self._stolen_c.get(tenant)
+            if stolen is None:
+                stolen = self._stolen_c[tenant] = self.sim.stats.counter(
+                    f"{self.name}.stolen.tenant{tenant}"
+                )
+            stolen.inc()
         self._update_busy(tenant, +1)
 
     def note_completion(self, walker: Walker, request: WalkRequest) -> None:
         tenant = request.tenant_id
-        stats = self.sim.stats
-        stats.counter(f"{self.name}.completed.tenant{tenant}").inc()
-        stats.accumulator(f"{self.name}.walk_latency.tenant{tenant}").add(
-            request.total_latency
-        )
-        stats.accumulator(f"{self.name}.mem_accesses").add(request.memory_accesses)
+        completed = self._completed_c.get(tenant)
+        if completed is None:
+            completed = self._completed_c[tenant] = self.sim.stats.counter(
+                f"{self.name}.completed.tenant{tenant}"
+            )
+        completed.inc()
+        wlat = self._walk_latency_a.get(tenant)
+        if wlat is None:
+            wlat = self._walk_latency_a[tenant] = self.sim.stats.accumulator(
+                f"{self.name}.walk_latency.tenant{tenant}"
+            )
+        wlat.add(request.total_latency)
+        mem = self._mem_accesses_a
+        if mem is None:
+            mem = self._mem_accesses_a = self.sim.stats.accumulator(
+                f"{self.name}.mem_accesses"
+            )
+        mem.add(request.memory_accesses)
         self._update_busy(tenant, -1)
         self._inflight.pop((tenant, request.vpn), None)
         if self.tracer is not None:
@@ -218,9 +290,12 @@ class PageWalkSubsystem:
     def _update_busy(self, tenant_id: int, delta: int) -> None:
         level = self._busy_by_tenant.get(tenant_id, 0) + delta
         self._busy_by_tenant[tenant_id] = level
-        self.sim.stats.occupancy(
-            f"{self.name}.busy.tenant{tenant_id}", start_time=0
-        ).update(self.sim.now, level / max(1, len(self.walkers)))
+        occ = self._busy_occ.get(tenant_id)
+        if occ is None:
+            occ = self._busy_occ[tenant_id] = self.sim.stats.occupancy(
+                f"{self.name}.busy.tenant{tenant_id}", start_time=0
+            )
+        occ.update(self.sim.now, level / self._walker_denom)
 
     # ------------------------------------------------------------------
     # Introspection

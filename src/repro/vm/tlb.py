@@ -27,6 +27,10 @@ class Tlb:
         self.config = config
         self.name = name
         self._sets: List[OrderedDict] = [OrderedDict() for _ in range(config.num_sets)]
+        # hot-path scalars, lifted off the config dataclass
+        self._num_sets = config.num_sets
+        self._assoc = config.associativity
+        self._entries = config.entries
         self._resident_by_tenant: Dict[int, int] = {}
         self._occupancy: Dict[int, object] = {}
         stats = sim.stats
@@ -35,7 +39,7 @@ class Tlb:
         self._evictions = stats.counter(f"{name}.evictions")
 
     def _set_for(self, vpn: int) -> OrderedDict:
-        return self._sets[vpn % self.config.num_sets]
+        return self._sets[vpn % self._num_sets]
 
     # ------------------------------------------------------------------
     # Lookup / fill
@@ -43,7 +47,7 @@ class Tlb:
     def lookup(self, tenant_id: int, vpn: int) -> bool:
         """True on hit (and refreshes LRU position)."""
         key = (tenant_id, vpn)
-        tlb_set = self._set_for(vpn)
+        tlb_set = self._sets[vpn % self._num_sets]
         if key in tlb_set:
             tlb_set.move_to_end(key)
             self._hits.inc()
@@ -54,12 +58,12 @@ class Tlb:
     def insert(self, tenant_id: int, vpn: int, frame: int) -> None:
         """Fill a translation, evicting the set's LRU entry if needed."""
         key = (tenant_id, vpn)
-        tlb_set = self._set_for(vpn)
+        tlb_set = self._sets[vpn % self._num_sets]
         if key in tlb_set:
             tlb_set.move_to_end(key)
             tlb_set[key] = frame
             return
-        if len(tlb_set) >= self.config.associativity:
+        if len(tlb_set) >= self._assoc:
             (victim_tenant, _victim_vpn), _ = tlb_set.popitem(last=False)
             self._evictions.inc()
             self._adjust_residency(victim_tenant, -1)
@@ -84,10 +88,16 @@ class Tlb:
     def _adjust_residency(self, tenant_id: int, delta: int) -> None:
         level = self._resident_by_tenant.get(tenant_id, 0) + delta
         self._resident_by_tenant[tenant_id] = level
-        sampler = self.sim.stats.occupancy(
-            f"{self.name}.share.tenant{tenant_id}", start_time=0
-        )
-        sampler.update(self.sim.now, level / self.config.entries)
+        # Fill/evict hot path: resolve the per-tenant sampler through the
+        # stats registry once and keep it, instead of a name format plus
+        # registry lookup on every insert/evict.
+        sampler = self._occupancy.get(tenant_id)
+        if sampler is None:
+            sampler = self.sim.stats.occupancy(
+                f"{self.name}.share.tenant{tenant_id}", start_time=0
+            )
+            self._occupancy[tenant_id] = sampler
+        sampler.update(self.sim.now, level / self._entries)
 
     def resident(self, tenant_id: int) -> int:
         return self._resident_by_tenant.get(tenant_id, 0)

@@ -29,12 +29,12 @@ class Walker:
         self.subsystem = subsystem
         self.sim: Simulator = subsystem.sim
         self.current: Optional[WalkRequest] = None
+        # busy mirrors ``current is not None`` as a plain attribute: the
+        # dispatch loop polls every walker on each completion, and a
+        # property descriptor there is measurable kernel overhead.
+        self.busy = False
         # set while a dispatch with non-zero latency is in flight for us
         self.reserved = False
-
-    @property
-    def busy(self) -> bool:
-        return self.current is not None
 
     # ------------------------------------------------------------------
     # Walk execution
@@ -43,6 +43,7 @@ class Walker:
         """Begin servicing ``request`` (assigned by the policy)."""
         if self.busy:
             raise RuntimeError(f"walker {self.id} is already busy")
+        self.busy = True
         self.current = request
         request.walker_id = self.id
         request.service_start = self.sim.now
@@ -72,5 +73,6 @@ class Walker:
     def _finish(self, request: WalkRequest) -> None:
         request.completion_time = self.sim.now
         self.current = None
+        self.busy = False
         self.subsystem.pwc.fill(request.tenant_id, request.vpn)
         self.subsystem.note_completion(self, request)

@@ -1,0 +1,77 @@
+"""The engine profiler: event counting, attribution, and reporting."""
+
+from repro.engine.profile import EngineProfiler
+from repro.engine.simulator import Simulator
+
+
+def tick(sim, count):
+    if count:
+        sim.after(1, tick, sim, count - 1)
+
+
+class TestCollection:
+    def test_counts_only_while_attached(self):
+        sim = Simulator()
+        profiler = EngineProfiler()
+        sim.at(1, tick, sim, 4)
+        with profiler.attach(sim):
+            sim.run()
+        assert profiler.events == 5
+        assert sim.profiler is None  # detached afterwards
+        sim.at(sim.now + 1, tick, sim, 0)
+        sim.run()
+        assert profiler.events == 5  # unprofiled run not counted
+
+    def test_components_keyed_by_module_qualname(self):
+        sim = Simulator()
+        profiler = EngineProfiler()
+        sim.at(1, tick, sim, 2)
+        with profiler.attach(sim):
+            sim.run()
+        (name, count), = profiler.component_counts.items()
+        assert name == f"{tick.__module__}.tick"
+        assert count == 3
+
+    def test_attach_nests_and_restores(self):
+        sim = Simulator()
+        outer, inner = EngineProfiler(), EngineProfiler()
+        sim.at(1, tick, sim, 0)
+        with outer.attach(sim):
+            with inner.attach(sim):
+                sim.run()
+        assert inner.events == 1
+        assert outer.events == 0  # inner shadowed it for the run
+        assert sim.profiler is None
+
+
+class TestReporting:
+    def profiled(self, events=3):
+        sim = Simulator()
+        profiler = EngineProfiler()
+        sim.at(1, tick, sim, events - 1)
+        with profiler.attach(sim):
+            sim.run()
+        return profiler
+
+    def test_top_components_ranked(self):
+        profiler = self.profiled()
+        top = profiler.top_components(5)
+        assert top[0][1] == 3
+        assert profiler.top_components(0) == []
+
+    def test_summary_is_json_portable(self):
+        import json
+        summary = self.profiled().summary(top=5)
+        assert summary["events"] == 3
+        assert summary["events_per_sec"] > 0
+        json.dumps(summary)  # no exotic types
+
+    def test_report_mentions_throughput_and_components(self):
+        report = self.profiled().report()
+        assert "3 events" in report
+        assert "tick" in report
+
+    def test_empty_profiler_reports_zero(self):
+        profiler = EngineProfiler()
+        assert profiler.events_per_sec == 0.0
+        assert "0 events" in profiler.report()

@@ -1,0 +1,154 @@
+"""The on-disk result cache: key scheme, storage, and harness wiring."""
+
+import pickle
+
+import pytest
+
+import repro.harness.parallel as parallel_module
+from repro.engine.config import GpuConfig
+from repro.harness import Session
+from repro.harness.parallel import Job, run_jobs
+from repro.harness.result_cache import ResultCache, job_key
+
+SCALE = 0.05
+
+
+def tiny_job(label="job", pair="HS.MM", policy="baseline", seed=0,
+             scale=SCALE):
+    return Job(label=label, names=tuple(pair.split(".")),
+               config=GpuConfig.baseline(num_sms=2).with_policy(policy),
+               scale=scale, warps_per_sm=2, seed=seed)
+
+
+class TestJobKey:
+    def test_stable_across_equal_jobs(self):
+        assert job_key(tiny_job("a")) == job_key(tiny_job("b"))
+        # The label is presentation, not content.
+
+    @pytest.mark.parametrize("variant", [
+        tiny_job(pair="FFT.HS"),
+        tiny_job(policy="dws"),
+        tiny_job(seed=1),
+        tiny_job(scale=SCALE * 2),
+    ])
+    def test_any_content_change_changes_key(self, variant):
+        assert job_key(variant) != job_key(tiny_job())
+
+    def test_nested_config_field_changes_key(self):
+        base = tiny_job()
+        bigger_tlb = tiny_job()
+        object.__setattr__(
+            bigger_tlb, "config",
+            base.config.with_l2_tlb_entries(base.config.l2_tlb.entries * 2))
+        assert job_key(bigger_tlb) != job_key(base)
+
+
+class TestResultCacheStorage:
+    def test_roundtrip_and_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("ab" + "0" * 62) is None
+        cache.put("ab" + "0" * 62, {"x": 1})
+        assert cache.get("ab" + "0" * 62) == {"x": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1,
+                                 "stores": 1, "entries": 1}
+
+    def test_corrupted_entry_is_dropped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "0" * 62
+        cache.put(key, [1, 2, 3])
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        assert not path.exists()  # poisoned entry removed for good
+
+    def test_unwritable_root_degrades_silently(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("in the way")
+        cache = ResultCache(blocker / "cache")  # mkdir will fail
+        cache.put("ef" + "0" * 62, {"x": 1})
+        assert cache.stores == 0
+        assert cache.get("ef" + "0" * 62) is None
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(f"{i:02d}" + "0" * 62, i)
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+
+class TestRunJobsCache:
+    def test_warm_run_simulates_nothing(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        jobs = [tiny_job("a"), tiny_job("b", pair="FFT.HS")]
+        cold = run_jobs(jobs, workers=1, cache=cache)
+        assert cache.stores == 2
+
+        def boom(job):
+            raise AssertionError(f"simulated on a warm cache: {job.label}")
+
+        monkeypatch.setattr(parallel_module, "_execute", boom)
+        warm = run_jobs(jobs, workers=1, cache=cache)
+        assert set(warm) == set(cold)
+        for label in cold:
+            assert warm[label].total_cycles == cold[label].total_cycles
+
+    def test_partial_hit_runs_only_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_jobs([tiny_job("a")], workers=1, cache=cache)
+        executed_before = cache.stores
+        run_jobs([tiny_job("a"), tiny_job("b", seed=1)],
+                 workers=1, cache=cache)
+        assert cache.stores == executed_before + 1
+
+    def test_parallel_with_cache_matches_serial(self, tmp_path):
+        jobs = [tiny_job("a"), tiny_job("b", pair="FFT.HS")]
+        serial = run_jobs(jobs, workers=1)
+        cache = ResultCache(tmp_path)
+        try:
+            parallel = run_jobs(jobs, workers=2, cache=cache,
+                                chunksize=1)
+        except (OSError, PermissionError):
+            pytest.skip("process creation not permitted in this environment")
+        for label in serial:
+            assert (serial[label].total_cycles
+                    == parallel[label].total_cycles)
+        # The pool's results were stored from the parent...
+        assert cache.stores == 2
+        # ... so a warm serial pass hits for every job.
+        warm = run_jobs(jobs, workers=1, cache=cache)
+        assert cache.hits == 2
+        for label in serial:
+            assert warm[label].total_cycles == serial[label].total_cycles
+
+
+class TestSessionDiskCache:
+    def test_warm_session_executes_zero_simulations(self, tmp_path):
+        cold = Session(scale=SCALE, warps_per_sm=2,
+                       cache_dir=str(tmp_path))
+        config = GpuConfig.baseline(num_sms=2)
+        result = cold.run_pair("HS.MM", config)
+        assert cold.simulations_executed == 1
+
+        warm = Session(scale=SCALE, warps_per_sm=2,
+                       cache_dir=str(tmp_path))
+        replay = warm.run_pair("HS.MM", config)
+        assert warm.simulations_executed == 0
+        assert replay.total_cycles == result.total_cycles
+
+    def test_scale_change_misses(self, tmp_path):
+        Session(scale=SCALE, warps_per_sm=2, cache_dir=str(tmp_path)) \
+            .run_pair("HS.MM", GpuConfig.baseline(num_sms=2))
+        other = Session(scale=SCALE * 2, warps_per_sm=2,
+                        cache_dir=str(tmp_path))
+        other.run_pair("HS.MM", GpuConfig.baseline(num_sms=2))
+        assert other.simulations_executed == 1
+
+    def test_no_cache_dir_stays_memory_only(self):
+        session = Session(scale=SCALE, warps_per_sm=2)
+        assert session.disk_cache is None
+        config = GpuConfig.baseline(num_sms=2)
+        session.run_pair("HS.MM", config)
+        session.run_pair("HS.MM", config)  # memory memoization
+        assert session.simulations_executed == 1
