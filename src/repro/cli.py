@@ -9,6 +9,9 @@ Commands:
 * ``experiment <id>`` — regenerate one paper table/figure (fig2..fig14,
   table3/5/6) and print its rows.
 * ``compare <pair>`` — baseline vs static vs DWS vs DWS++ side by side.
+* ``campaign`` — plan + execute many figures at once: jobs are
+  deduplicated across figures and against the result cache, then run on
+  the work-stealing pool (see ``repro.harness.campaign``).
 
 All commands accept ``--scale`` (workload length multiplier) and
 ``--warps`` (warps per SM) to trade fidelity for run time.
@@ -75,6 +78,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="experiment id, e.g. fig5")
     p.add_argument("--pairs", default=None,
                    help="comma-separated pair subset (default: experiment's own)")
+    _add_common(p)
+
+    p = sub.add_parser(
+        "campaign",
+        help="plan + execute many figures with cross-figure job dedup "
+             "and a work-stealing worker pool")
+    p.add_argument("--figures", default=None,
+                   help="comma-separated experiment ids (default: all)")
+    p.add_argument("--pairs", default=None,
+                   help="comma-separated pair subset for the pair-driven "
+                        "figures")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: CPU count)")
+    p.add_argument("--cache-dir", default=None,
+                   help="on-disk result cache directory (recommended: "
+                        "dedups against previous campaigns too)")
+    p.add_argument("--plan-only", action="store_true",
+                   help="print the deduplicated job plan and exit")
+    p.add_argument("--wall-summary", action="store_true",
+                   help="print per-job wall times after execution")
     _add_common(p)
 
     p = sub.add_parser("report", help="regenerate experiments as Markdown")
@@ -168,6 +191,34 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    from repro.harness.campaign import plan_campaign, run_campaign
+    from repro.harness.reporting import format_wall_summary
+
+    session = Session(scale=args.scale, warps_per_sm=args.warps,
+                      seed=args.seed, cache_dir=args.cache_dir)
+    figures = (None if args.figures is None
+               else [f.strip() for f in args.figures.split(",") if f.strip()])
+    pairs = (None if args.pairs is None
+             else [p.strip() for p in args.pairs.split(",") if p.strip()])
+    try:
+        if args.plan_only:
+            print(plan_campaign(session, figures, pairs).summary())
+            return 0
+        report = run_campaign(session, figures, pairs, workers=args.workers)
+    except ValueError as exc:  # unknown figure ids
+        print(exc, file=sys.stderr)
+        return 2
+    for figure in report.plan.figures:
+        print(format_table(report.results[figure]))
+        print()
+    if args.wall_summary:
+        print(format_wall_summary(report.job_results, top=20))
+        print()
+    print(report.summary())
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.harness.report import generate_report
 
@@ -193,6 +244,7 @@ COMMANDS = {
     "run": cmd_run,
     "compare": cmd_compare,
     "experiment": cmd_experiment,
+    "campaign": cmd_campaign,
     "report": cmd_report,
 }
 

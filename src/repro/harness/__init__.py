@@ -14,14 +14,33 @@ configurations (e.g. Figures 5, 6 and 7 all need Baseline/DWS/DWS++
 runs) reuse each other's work.
 """
 
-from repro.harness.parallel import Job, pair_jobs, run_jobs
+from repro.harness.campaign import (
+    CampaignPlan,
+    CampaignReport,
+    PlanningSession,
+    plan_campaign,
+    run_campaign,
+)
+from repro.harness.parallel import (
+    Job,
+    WorkerPool,
+    pair_jobs,
+    run_jobs,
+    run_jobs_chunked,
+)
 from repro.harness.report import generate_report
-from repro.harness.result_cache import CACHE_FORMAT, ResultCache, job_key
+from repro.harness.result_cache import (
+    CACHE_FORMAT,
+    ResultCache,
+    cost_key,
+    job_key,
+)
 from repro.harness.results_io import export_results, load_results
 from repro.harness.reporting import (
     ExperimentResult,
     format_bars,
     format_table,
+    format_wall_summary,
     geomean,
 )
 from repro.harness.runner import Session, StandaloneMeasurement
@@ -31,23 +50,32 @@ from repro.harness.validate import validate_result
 
 __all__ = [
     "CACHE_FORMAT",
+    "CampaignPlan",
+    "CampaignReport",
     "ExperimentResult",
     "Job",
+    "PlanningSession",
     "ResultCache",
     "Session",
-    "job_key",
     "StandaloneMeasurement",
     "Sweep",
+    "WorkerPool",
     "axis",
     "compare_policies",
+    "cost_key",
     "export_results",
-    "load_results",
-    "seed_study",
     "format_bars",
     "format_table",
+    "format_wall_summary",
     "generate_report",
     "geomean",
+    "job_key",
+    "load_results",
     "pair_jobs",
+    "plan_campaign",
+    "run_campaign",
     "run_jobs",
+    "run_jobs_chunked",
+    "seed_study",
     "validate_result",
 ]

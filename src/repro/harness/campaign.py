@@ -1,0 +1,301 @@
+"""Campaign scheduling: plan-then-execute across many figures at once.
+
+Regenerating the paper is 19 figure/table experiments that *share* most
+of their simulations — Figures 5, 6 and 7 all need the same
+Baseline/DWS/DWS++ runs, and nearly every figure needs the same
+stand-alone baselines.  Run serially, each
+:class:`~repro.harness.runner.Session` loop discovers that sharing one
+cache lookup at a time; run through PR-1's ``run_jobs`` per figure, the
+sharing is lost entirely.  The campaign layer recovers it up front:
+
+1. **Plan** — every requested figure runs once against a
+   :class:`PlanningSession`, which *records* each simulation the figure
+   would need as a :class:`~repro.harness.parallel.Job` (returning
+   phantom results instead of simulating).  Identical jobs collapse
+   across figures by content hash — the same dedup the on-disk
+   :class:`~repro.harness.result_cache.ResultCache` uses.
+2. **Execute** — only the deduplicated misses are simulated, via
+   :func:`~repro.harness.parallel.run_jobs`'s work-stealing pool:
+   longest-expected-first ordering from the cache's wall-time cost
+   model, per-job dynamic dispatch, incremental cache stores, worker
+   trace memoization.
+3. **Replay** — results prime the real session's memory cache and each
+   experiment runs for real, now simulating nothing.  Anything the
+   planner could not foresee (ad-hoc ``run_custom`` workloads, e.g.
+   Figure 14's footprint-enhanced variants) simply simulates on demand
+   during replay — planning is an optimization, never a correctness
+   requirement — so every figure's output is byte-identical to a plain
+   serial run.
+
+Entry points: :func:`plan_campaign` (inspection / dry runs) and
+:func:`run_campaign` (the whole pipeline; also behind
+``python -m repro campaign``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.config import GpuConfig
+from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.parallel import Job, WorkerPool, run_jobs
+from repro.harness.report import _PAIRED
+from repro.harness.reporting import ExperimentResult
+from repro.harness.result_cache import job_key
+from repro.harness.runner import Session
+from repro.tenancy.manager import RunResult
+from repro.workloads.base import Workload
+
+
+class _PhantomResult:
+    """Stands in for a :class:`RunResult` during the planning pass.
+
+    Experiments compute metrics on the results they request; during
+    planning only the *requests* matter, so every stat reads as 1.0 —
+    positive and finite, which keeps ratios, geomeans and the
+    ``> 0`` guards in every experiment on their normal paths.
+    """
+
+    total_cycles = 1
+    events_fired = 0
+    wall_seconds = 0.0
+
+    def __init__(self, num_tenants: int) -> None:
+        self._num_tenants = num_tenants
+
+    @property
+    def tenant_ids(self) -> List[int]:
+        return list(range(self._num_tenants))
+
+    def ipc_of(self, tenant_id: int) -> float:
+        return 1.0
+
+    def stat(self, name: str, default: float = 0.0) -> float:
+        return 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"_PhantomResult(tenants={self._num_tenants})"
+
+
+class PlanningSession(Session):
+    """A session that records requested simulations instead of running.
+
+    ``run_names`` returns phantoms and logs the job; ``run_custom``
+    (ad-hoc workload objects with no content-stable description) is
+    counted but not planned — those runs stay with the replay pass.
+    """
+
+    def __init__(self, like: Session) -> None:
+        super().__init__(scale=like.scale, warps_per_sm=like.warps_per_sm,
+                         seed=like.seed, max_events=like.max_events)
+        #: job content hash -> Job, insertion-ordered (= request order)
+        self.jobs: Dict[str, Job] = {}
+        #: total run_names requests (dedup denominator)
+        self.requested = 0
+        #: run_custom requests the planner cannot describe as Jobs
+        self.unplanned_custom = 0
+
+    def run_names(self, names: Sequence[str], config: GpuConfig) -> RunResult:
+        self.requested += 1
+        job = self.job_for(names, config)
+        self.jobs.setdefault(job_key(job), job)
+        return _PhantomResult(len(names))  # type: ignore[return-value]
+
+    def run_custom(self, label: str, workloads: Sequence[Workload],
+                   config: GpuConfig) -> RunResult:
+        self.unplanned_custom += 1
+        return _PhantomResult(len(workloads))  # type: ignore[return-value]
+
+
+def _experiment_kwargs(figure: str, pairs: Optional[Sequence[str]]) -> dict:
+    """Keyword arguments for one experiment function.
+
+    A campaign-wide pair subset only applies to the experiments that
+    take an open pair list (same rule as ``repro report``); the
+    table/latency/share experiments keep their paper-defined sets.
+    """
+    if pairs is not None and figure in _PAIRED:
+        return {"pairs": list(pairs)}
+    return {}
+
+
+@dataclass
+class FigurePlan:
+    """What one figure asked for during planning."""
+
+    figure: str
+    requested: int
+    job_keys: Tuple[str, ...]
+    unplanned_custom: int
+    error: Optional[str] = None
+
+
+@dataclass
+class CampaignPlan:
+    """The deduplicated work list for a set of figures."""
+
+    figures: Tuple[str, ...]
+    jobs: Dict[str, Job]                  # unique jobs by content hash
+    per_figure: List[FigurePlan] = field(default_factory=list)
+
+    @property
+    def requested(self) -> int:
+        """Simulations the figures would request, before any dedup."""
+        return sum(f.requested for f in self.per_figure)
+
+    @property
+    def unique_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def deduplicated(self) -> int:
+        """Requests answered by another figure's (or the same figure's
+        earlier) identical job."""
+        return self.requested - self.unique_jobs
+
+    @property
+    def unplanned_custom(self) -> int:
+        return sum(f.unplanned_custom for f in self.per_figure)
+
+    def summary(self) -> str:
+        lines = [
+            f"campaign plan: {len(self.figures)} figure(s), "
+            f"{self.requested} simulation request(s) -> "
+            f"{self.unique_jobs} unique job(s) "
+            f"({self.deduplicated} deduplicated)",
+        ]
+        if self.unplanned_custom:
+            lines.append(
+                f"  + {self.unplanned_custom} ad-hoc run(s) outside the "
+                "plan (simulated during replay)")
+        for fig in self.per_figure:
+            note = f" [planning failed: {fig.error}]" if fig.error else ""
+            custom = (f" +{fig.unplanned_custom} custom"
+                      if fig.unplanned_custom else "")
+            lines.append(f"  {fig.figure}: {fig.requested} request(s), "
+                         f"{len(set(fig.job_keys))} unique{custom}{note}")
+        return "\n".join(lines)
+
+
+def _resolve_figures(figures: Optional[Sequence[str]]) -> Tuple[str, ...]:
+    if figures is None:
+        return tuple(ALL_EXPERIMENTS)
+    unknown = [f for f in figures if f not in ALL_EXPERIMENTS]
+    if unknown:
+        raise ValueError(
+            f"unknown experiment id(s): {', '.join(unknown)}; "
+            f"known: {', '.join(ALL_EXPERIMENTS)}")
+    return tuple(dict.fromkeys(figures))  # keep order, drop repeats
+
+
+def plan_campaign(session: Session,
+                  figures: Optional[Sequence[str]] = None,
+                  pairs: Optional[Sequence[str]] = None) -> CampaignPlan:
+    """Dry-run every figure against a recorder; returns the job list.
+
+    A figure whose planning pass raises is recorded with its error and
+    whatever jobs it requested before failing — the replay pass will
+    still produce it correctly (missing jobs simulate on demand).
+    """
+    figures = _resolve_figures(figures)
+    plan = CampaignPlan(figures=figures, jobs={})
+    for figure in figures:
+        recorder = PlanningSession(session)
+        error = None
+        try:
+            ALL_EXPERIMENTS[figure](recorder,
+                                    **_experiment_kwargs(figure, pairs))
+        except Exception as exc:  # planning is best-effort by design
+            error = f"{type(exc).__name__}: {exc}"
+        plan.per_figure.append(FigurePlan(
+            figure=figure, requested=recorder.requested,
+            job_keys=tuple(recorder.jobs),
+            unplanned_custom=recorder.unplanned_custom, error=error,
+        ))
+        for key, job in recorder.jobs.items():
+            plan.jobs.setdefault(key, job)
+    return plan
+
+
+@dataclass
+class CampaignReport:
+    """Everything one campaign run produced."""
+
+    plan: CampaignPlan
+    results: Dict[str, ExperimentResult]   # figure id -> rows
+    job_results: Dict[str, RunResult]      # job label -> result
+    cache_hits: int
+    simulated: int
+    sim_wall_seconds: float                # sum of per-job wall times
+    elapsed_seconds: float                 # end-to-end, this process
+
+    def summary(self) -> str:
+        lines = [self.plan.summary()]
+        lines.append(
+            f"executed: {self.simulated} simulation(s), "
+            f"{self.cache_hits} cache hit(s); "
+            f"simulation wall time {self.sim_wall_seconds:.2f}s, "
+            f"campaign elapsed {self.elapsed_seconds:.2f}s")
+        return "\n".join(lines)
+
+
+def run_campaign(session: Session,
+                 figures: Optional[Sequence[str]] = None,
+                 pairs: Optional[Sequence[str]] = None,
+                 workers: Optional[int] = None,
+                 pool: Optional[WorkerPool] = None) -> CampaignReport:
+    """Plan, execute and replay a set of figures through one session.
+
+    ``session`` supplies the fidelity settings and (optionally) the disk
+    cache; ``workers``/``pool`` control the work-stealing executor.  The
+    figures' outputs are byte-identical to running them serially through
+    the same session — the campaign only changes *when and where* the
+    simulations happen.
+    """
+    start = time.perf_counter()
+    plan = plan_campaign(session, figures, pairs)
+
+    cache = session.disk_cache
+    hits_before = cache.hits if cache is not None else 0
+    # Job labels may collide across figures (label is presentation, the
+    # content hash is identity); relabel uniquely for run_jobs.
+    unique_jobs = []
+    seen_labels = set()
+    for key, job in plan.jobs.items():
+        label = job.label
+        if label in seen_labels:
+            label = f"{job.label}#{key[:8]}"
+        seen_labels.add(label)
+        unique_jobs.append((key, Job(
+            label=label, names=job.names, config=job.config,
+            scale=job.scale, warps_per_sm=job.warps_per_sm, seed=job.seed,
+            max_events=job.max_events,
+        )))
+
+    executed = run_jobs([job for _, job in unique_jobs],
+                        workers=workers, cache=cache, pool=pool)
+    cache_hits = (cache.hits - hits_before) if cache is not None else 0
+    simulated = len(unique_jobs) - cache_hits
+
+    # Prime the session so the replay pass simulates nothing planned.
+    for (_, job) in unique_jobs:
+        session.prime(job.names, job.config, executed[job.label])
+
+    results = {}
+    for figure in plan.figures:
+        results[figure] = ALL_EXPERIMENTS[figure](
+            session, **_experiment_kwargs(figure, pairs))
+
+    sim_wall = sum(r.wall_seconds for r in executed.values())
+    return CampaignReport(
+        plan=plan,
+        results=results,
+        job_results={job.label: executed[job.label]
+                     for _, job in unique_jobs},
+        cache_hits=cache_hits,
+        simulated=simulated,
+        sim_wall_seconds=sim_wall,
+        elapsed_seconds=time.perf_counter() - start,
+    )

@@ -2,40 +2,67 @@
 
 A full 45-pair, multi-policy sweep is hundreds of independent
 simulations; they parallelize perfectly.  :func:`run_jobs` distributes
-:class:`Job` descriptions over a process pool — chunked, so pool IPC
-amortizes over several simulations per round trip — and returns their
+:class:`Job` descriptions over a process pool and returns their
 :class:`~repro.tenancy.manager.RunResult` objects keyed by job label.
 
-Two layers keep sweeps cheap:
+The scheduler echoes the paper's Dynamic Walk Stealing at the
+orchestration layer: instead of a static ``pool.map`` chunk assignment
+(where a worker that drew a chunk of Heavy pairs serializes the tail
+while its siblings idle), jobs are submitted individually to a
+``ProcessPoolExecutor`` and idle workers pull the next queued job the
+moment they free up.  Three layers keep sweeps cheap:
 
-* **Chunking** — ``pool.map`` with an explicit ``chunksize`` (default:
-  jobs split roughly four ways per worker, balancing IPC overhead
-  against tail latency from unequal job lengths).
+* **Longest-expected-first ordering** — pending jobs are sorted by
+  expected wall time before submission, so the heaviest simulations
+  start first and cannot become the tail.  Expectations come from the
+  :class:`~repro.harness.result_cache.ResultCache` cost model (an EMA of
+  measured ``wall_seconds`` per :func:`~repro.harness.result_cache.cost_key`);
+  on a cold cache a footprint heuristic stands in — total workload
+  footprint tracks TLB-miss intensity, which tracks event count.
 * **Result caching** — pass a
   :class:`~repro.harness.result_cache.ResultCache` and completed jobs
   are looked up by content hash before anything executes; only the
-  misses are simulated, and their results are stored from the parent
-  process (workers never touch the cache directory).
+  misses are simulated.  Each fresh result is stored *as its future
+  completes*, so a crash mid-sweep keeps every finished simulation.
+* **Worker trace memoization** — each worker process keeps a
+  :class:`~repro.workloads.base.TraceMemo`, so the N config variants of
+  one pair regenerate their (config-independent) warp op streams once
+  per worker instead of N times.
 
 Determinism is preserved: each job is seeded independently of worker
-scheduling, so the results are identical to a serial run (a test
-asserts this, cache on and off).  ``workers=1`` bypasses
-multiprocessing entirely, which is also the safe choice inside
-environments that restrict process creation.
+scheduling and results are returned in caller order, so the output is
+identical to a serial run (a test asserts this, cache on and off).
+``workers=1`` bypasses multiprocessing entirely, which is also the safe
+choice inside environments that restrict process creation.
+
+:func:`run_jobs_chunked` keeps the previous static ``pool.map``
+implementation verbatim — it is the reference side of
+``benchmarks/bench_sweep_throughput.py`` and of the differential tests,
+exactly as ``_seed_reference`` preserves the seed event kernel.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.config import GpuConfig
-from repro.harness.result_cache import ResultCache, job_key
+from repro.harness.result_cache import ResultCache, cost_key, job_key
 from repro.tenancy.manager import MultiTenantManager, RunResult
 from repro.tenancy.tenant import Tenant
-from repro.workloads.suite import benchmark
+from repro.workloads.base import MemoizedWorkload, TraceMemo
+from repro.workloads.suite import BENCHMARKS, benchmark
+
+#: Default event budget for harness-built jobs (matches Session's).
+DEFAULT_MAX_EVENTS = 200_000_000
+
+#: Pseudo-seconds per footprint byte for the cold-cache cost heuristic.
+#: The absolute value is irrelevant (only the ordering matters); it is
+#: sized so unknown Heavy pairs sort ahead of measured Light ones, which
+#: is the conservative choice for tail latency.
+_FOOTPRINT_COST_PER_BYTE = 1e-8
 
 
 @dataclass(frozen=True)
@@ -48,15 +75,18 @@ class Job:
     scale: float = 1.0
     warps_per_sm: int = 4
     seed: int = 0
+    max_events: int = DEFAULT_MAX_EVENTS
 
     def __post_init__(self) -> None:
         if not self.names:
             raise ValueError("job needs at least one workload name")
+        if self.max_events <= 0:
+            raise ValueError("max_events must be positive")
 
 
 def pair_jobs(pairs: Sequence[str], configs: Dict[str, GpuConfig],
               scale: float = 1.0, warps_per_sm: int = 4,
-              seed: int = 0) -> list:
+              seed: int = 0, max_events: int = DEFAULT_MAX_EVENTS) -> list:
     """The common grid: every pair under every labeled config."""
     jobs = []
     for pair in pairs:
@@ -65,31 +95,220 @@ def pair_jobs(pairs: Sequence[str], configs: Dict[str, GpuConfig],
             jobs.append(Job(
                 label=f"{pair}/{config_label}", names=names, config=config,
                 scale=scale, warps_per_sm=warps_per_sm, seed=seed,
+                max_events=max_events,
             ))
     return jobs
 
 
+#: One memo per process: in a worker it lives for the pool's lifetime,
+#: so every job the worker steals shares generated traces; in the parent
+#: (``workers=1``) it serves the serial path the same way.
+_TRACE_MEMO = TraceMemo(max_entries=32)
+
+
+def _tenant_for(index: int, name: str, scale: float) -> Tenant:
+    workload = benchmark(name, scale=scale)
+    return Tenant(index, MemoizedWorkload(workload, _TRACE_MEMO))
+
+
 def _execute(job: Job) -> Tuple[str, RunResult]:
+    tenants = [_tenant_for(i, name, job.scale)
+               for i, name in enumerate(job.names)]
+    manager = MultiTenantManager(job.config, tenants,
+                                 warps_per_sm=job.warps_per_sm,
+                                 seed=job.seed, max_events=job.max_events)
+    return job.label, manager.run()
+
+
+def _execute_batch(jobs: Sequence[Job]) -> List[Tuple[str, RunResult]]:
+    """Worker entry point for an explicit ``chunksize`` batch."""
+    return [_execute(job) for job in jobs]
+
+
+def _execute_unmemoized(job: Job) -> Tuple[str, RunResult]:
+    """The PR-1 worker body: fresh trace generation for every job.
+
+    Only :func:`run_jobs_chunked` (the benchmark/differential reference)
+    uses this; memoization is bit-exact, so the results are identical
+    either way — this exists so the reference side does not silently
+    inherit the optimization it is measured against.
+    """
     tenants = [Tenant(i, benchmark(name, scale=job.scale))
                for i, name in enumerate(job.names)]
     manager = MultiTenantManager(job.config, tenants,
                                  warps_per_sm=job.warps_per_sm,
-                                 seed=job.seed)
+                                 seed=job.seed, max_events=job.max_events)
     return job.label, manager.run()
+
+
+def expected_cost(job: Job, cache: Optional[ResultCache] = None) -> float:
+    """Expected wall seconds of ``job`` for longest-first ordering.
+
+    Prefers the cache's measured EMA; degrades to the footprint
+    heuristic when the cost model has never seen this (names, scale,
+    warps) combination.  Heuristic values are pseudo-seconds — they only
+    need to *order* correctly against each other, and the per-byte scale
+    deliberately over-estimates so unmeasured Heavy jobs launch early.
+    """
+    if cache is not None:
+        measured = cache.expected_cost(cost_key(job))
+        if measured is not None:
+            return measured
+    footprint = sum(BENCHMARKS[name].footprint_bytes
+                    for name in job.names if name in BENCHMARKS)
+    return footprint * job.scale * _FOOTPRINT_COST_PER_BYTE
+
+
+class WorkerPool:
+    """A persistent process pool reused across :func:`run_jobs` calls.
+
+    A campaign issues several waves of jobs; recreating the pool per
+    wave would throw away warm worker processes — and with them every
+    worker's :class:`~repro.workloads.base.TraceMemo`.  Create one
+    ``WorkerPool`` (it is a context manager), pass it as ``pool=``, and
+    the executor spins up lazily on first use and survives until
+    :meth:`shutdown`.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()
+
+
+def _drain_dynamic(executor: Executor, pending: Sequence[Job],
+                   on_result: Callable[[str, RunResult, Job], None]) -> None:
+    """Submit every job individually and consume completions as they
+    land — the work-stealing dispatch loop."""
+    futures = {executor.submit(_execute, job): job for job in pending}
+    not_done = set(futures)
+    while not_done:
+        done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+        for future in done:
+            label, result = future.result()
+            on_result(label, result, futures[future])
+
+
+def _drain_batched(executor: Executor, pending: Sequence[Job],
+                   chunksize: int,
+                   on_result: Callable[[str, RunResult, Job], None]) -> None:
+    """Batched submission for callers that want fewer pool round trips
+    (chunking is an IPC knob; results are identical to per-job dispatch)."""
+    batches = [pending[i:i + chunksize]
+               for i in range(0, len(pending), chunksize)]
+    futures = {executor.submit(_execute_batch, batch): batch
+               for batch in batches}
+    not_done = set(futures)
+    while not_done:
+        done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+        for future in done:
+            by_label = {job.label: job for job in futures[future]}
+            for label, result in future.result():
+                on_result(label, result, by_label[label])
 
 
 def run_jobs(jobs: Sequence[Job],
              workers: Optional[int] = None,
              cache: Optional[ResultCache] = None,
-             chunksize: Optional[int] = None) -> Dict[str, RunResult]:
+             chunksize: Optional[int] = None,
+             pool: Optional[WorkerPool] = None) -> Dict[str, RunResult]:
     """Run every job; returns results keyed by job label.
 
     ``workers`` defaults to the CPU count; 1 runs serially in-process.
-    ``cache`` short-circuits jobs whose results are already on disk and
-    stores fresh results afterwards.  ``chunksize`` controls how many
-    jobs each pool round trip carries (default: pending jobs split
-    roughly four ways per worker).  Duplicate labels are rejected up
-    front (silent overwrites would make missing-result bugs invisible).
+    ``cache`` short-circuits jobs whose results are already on disk;
+    fresh results (and their wall-time cost observations) are stored as
+    each one completes.  ``chunksize`` batches several jobs per pool
+    round trip (default 1: pure dynamic dispatch; batches are only worth
+    it when jobs are tiny relative to IPC).  ``pool`` reuses a
+    :class:`WorkerPool` across calls instead of spinning up a fresh
+    executor.  Duplicate labels are rejected up front (silent overwrites
+    would make missing-result bugs invisible).
+    """
+    labels = [job.label for job in jobs]
+    if len(set(labels)) != len(labels):
+        raise ValueError("job labels must be unique")
+    if workers is None:
+        workers = pool.workers if pool is not None else (os.cpu_count() or 1)
+
+    results: Dict[str, RunResult] = {}
+    pending: List[Job] = list(jobs)
+    keys: Dict[str, str] = {}
+    if cache is not None:
+        pending = []
+        for job in jobs:
+            key = keys[job.label] = job_key(job)
+            cached = cache.get(key)
+            if cached is None:
+                pending.append(job)
+            else:
+                results[job.label] = cached
+
+    if pending:
+        # Longest-expected-first: the heaviest simulations must start
+        # first, or whichever worker draws one last serializes the tail.
+        pending.sort(key=lambda job: expected_cost(job, cache), reverse=True)
+
+        def on_result(label: str, result: RunResult, job: Job) -> None:
+            results[label] = result
+            if cache is not None:
+                # Stored immediately — a crash mid-sweep keeps every
+                # finished simulation — along with its cost observation.
+                cache.put(keys[label], result)
+                if result.wall_seconds > 0:
+                    cache.record_cost(cost_key(job), result.wall_seconds)
+
+        try:
+            if workers <= 1 or len(pending) <= 1:
+                for job in pending:
+                    label, result = _execute(job)
+                    on_result(label, result, job)
+            else:
+                executor = pool.executor if pool is not None else (
+                    ProcessPoolExecutor(max_workers=workers))
+                try:
+                    if chunksize is not None and chunksize > 1:
+                        _drain_batched(executor, pending, chunksize, on_result)
+                    else:
+                        _drain_dynamic(executor, pending, on_result)
+                finally:
+                    if pool is None:
+                        executor.shutdown()
+        finally:
+            if cache is not None:
+                cache.flush_costs()
+
+    # Return in the caller's job order, cache hits and fresh runs alike.
+    return {label: results[label] for label in labels}
+
+
+def run_jobs_chunked(jobs: Sequence[Job],
+                     workers: Optional[int] = None,
+                     cache: Optional[ResultCache] = None,
+                     chunksize: Optional[int] = None) -> Dict[str, RunResult]:
+    """The previous static scheduler, kept verbatim as a reference.
+
+    ``pool.map`` with chunked assignment, unsorted submission order,
+    per-job trace regeneration, and cache writes deferred until every
+    job has finished — the work-stealing scheduler in :func:`run_jobs`
+    is benchmarked against this in
+    ``benchmarks/bench_sweep_throughput.py`` and differentially tested
+    to produce identical results.
     """
     labels = [job.label for job in jobs]
     if len(set(labels)) != len(labels):
@@ -112,17 +331,16 @@ def run_jobs(jobs: Sequence[Job],
 
     if pending:
         if workers <= 1 or len(pending) <= 1:
-            executed = [_execute(job) for job in pending]
+            executed = [_execute_unmemoized(job) for job in pending]
         else:
             if chunksize is None:
                 chunksize = max(1, len(pending) // (workers * 4))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                executed = list(pool.map(_execute, pending,
+                executed = list(pool.map(_execute_unmemoized, pending,
                                          chunksize=chunksize))
         for label, result in executed:
             results[label] = result
             if cache is not None:
                 cache.put(keys[label], result)
 
-    # Return in the caller's job order, cache hits and fresh runs alike.
     return {label: results[label] for label in labels}

@@ -89,6 +89,35 @@ def format_bars(result: ExperimentResult, value_column: str,
     return "\n".join(lines)
 
 
+def format_wall_summary(job_results: Dict[str, object],
+                        top: Optional[int] = None) -> str:
+    """Render per-job wall times (slowest first) with an overall total.
+
+    ``job_results`` maps job labels to
+    :class:`~repro.tenancy.manager.RunResult` objects; entries replayed
+    from a cache carry the wall time of the machine that originally
+    simulated them.  ``top`` truncates to the N slowest jobs.
+    """
+    rows = sorted(job_results.items(),
+                  key=lambda item: getattr(item[1], "wall_seconds", 0.0),
+                  reverse=True)
+    total_wall = sum(getattr(r, "wall_seconds", 0.0) for _, r in rows)
+    total_events = sum(getattr(r, "events_fired", 0) for _, r in rows)
+    shown = rows if top is None else rows[:top]
+    label_width = max([len(label) for label, _ in shown], default=5)
+    lines = [f"wall time by job ({len(rows)} job(s), "
+             f"total {total_wall:.2f}s, {total_events:,} events)"]
+    for label, result in shown:
+        wall = getattr(result, "wall_seconds", 0.0)
+        events = getattr(result, "events_fired", 0)
+        rate = events / wall if wall > 0 else 0.0
+        lines.append(f"  {label.ljust(label_width)}  {wall:8.3f}s  "
+                     f"{events:>12,} ev  {rate:>12,.0f} ev/s")
+    if top is not None and len(rows) > top:
+        lines.append(f"  ... {len(rows) - top} faster job(s) omitted")
+    return "\n".join(lines)
+
+
 def format_table(result: ExperimentResult, float_fmt: str = "{:.3f}") -> str:
     """Render an ExperimentResult as an aligned text table."""
     headers = result.columns

@@ -14,19 +14,34 @@ Key scheme
 :func:`job_key` hashes the canonical JSON of::
 
     {format: CACHE_FORMAT, names, config: dataclasses.asdict(config),
-     scale, warps_per_sm, seed}
+     scale, warps_per_sm, seed, max_events}
 
 with sorted keys, so the key is insensitive to field ordering but
 sensitive to *every* config field — flipping one latency or policy knob
 produces a different key (an automatic invalidation; no manual cache
 busting).  ``CACHE_FORMAT`` is bumped whenever the simulator's observable
-behaviour changes, orphaning every stale entry at once.
+behaviour changes, orphaning every stale entry at once.  Format 2 added
+``max_events`` to the payload (it can truncate a simulation, so it is
+result-determining) and the ``wall_seconds`` field to stored results.
 
 Storage is one pickle per result under ``<root>/<key[:2]>/<key>.pkl``,
 written atomically (temp file + ``os.replace``) so a crashed or
 concurrent writer can never publish a torn payload.  Unreadable or
 unpicklable entries are deleted and treated as misses.  Every filesystem
 failure degrades to "no cache", never to a wrong result.
+
+Cost model
+----------
+
+Alongside the results, the cache keeps ``costs.json``: an exponential
+moving average of per-job wall seconds keyed by :func:`cost_key` — a
+*coarser* key than :func:`job_key` (workload names + scale + warps, no
+config), so a config variant that was never run still inherits the
+expected cost of its siblings over the same pair.  The campaign
+scheduler sorts pending jobs longest-expected-first with it; on a cold
+cache it degrades to a footprint heuristic (see
+:mod:`repro.harness.parallel`).  Cost data is advisory: losing or
+corrupting it only costs scheduling quality, never correctness.
 """
 
 from __future__ import annotations
@@ -38,10 +53,13 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Optional
+from typing import Dict, Optional
 
 #: Bump to orphan every existing cache entry (simulator behaviour change).
-CACHE_FORMAT = 1
+CACHE_FORMAT = 2
+
+#: Weight of the newest observation in the wall-time moving average.
+COST_EMA_ALPHA = 0.5
 
 
 def job_key(job) -> str:
@@ -53,19 +71,35 @@ def job_key(job) -> str:
         "scale": job.scale,
         "warps_per_sm": job.warps_per_sm,
         "seed": job.seed,
+        "max_events": job.max_events,
     }
     blob = json.dumps(payload, sort_keys=True, default=repr).encode()
     return hashlib.sha256(blob).hexdigest()
 
 
+def cost_key(job) -> str:
+    """Coarse key grouping jobs with similar expected wall time.
+
+    Wall time is dominated by the event count, which is set by the
+    workloads, their scale and the warp count — the config (policy,
+    sizing) moves it far less.  Leaving the config out lets one measured
+    run of ``GUPS.MM`` predict all of its config variants.
+    """
+    return f"{'.'.join(job.names)}|s{job.scale}|w{job.warps_per_sm}"
+
+
 class ResultCache:
     """Pickle-per-entry result store addressed by :func:`job_key`."""
+
+    COSTS_FILE = "costs.json"
 
     def __init__(self, root) -> None:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self._costs: Optional[Dict[str, float]] = None  # lazy-loaded
+        self._costs_dirty = False
 
     def _path(self, key: str) -> Path:
         # Two-level fan-out keeps directories small on big sweeps.
@@ -115,6 +149,57 @@ class ResultCache:
             # A read-only or full disk must not fail the sweep.
             return
         self.stores += 1
+
+    # ------------------------------------------------------------------
+    # Wall-time cost model
+    # ------------------------------------------------------------------
+    def _load_costs(self) -> Dict[str, float]:
+        if self._costs is None:
+            try:
+                with open(self.root / self.COSTS_FILE) as fh:
+                    raw = json.load(fh)
+                self._costs = {str(k): float(v) for k, v in raw.items()}
+            except (OSError, ValueError, TypeError):
+                self._costs = {}
+        return self._costs
+
+    def expected_cost(self, ckey: str) -> Optional[float]:
+        """EMA wall seconds for a :func:`cost_key`, or ``None`` if unseen."""
+        return self._load_costs().get(ckey)
+
+    def record_cost(self, ckey: str, wall_seconds: float) -> None:
+        """Fold one observed wall time into the moving average."""
+        if wall_seconds <= 0:
+            return
+        costs = self._load_costs()
+        previous = costs.get(ckey)
+        if previous is None:
+            costs[ckey] = wall_seconds
+        else:
+            costs[ckey] = (COST_EMA_ALPHA * wall_seconds
+                           + (1 - COST_EMA_ALPHA) * previous)
+        self._costs_dirty = True
+
+    def flush_costs(self) -> None:
+        """Persist the cost model (best-effort, atomic)."""
+        if not self._costs_dirty or self._costs is None:
+            return
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(self._costs, fh, sort_keys=True)
+                os.replace(tmp, self.root / self.COSTS_FILE)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return  # advisory data; a full disk must not fail the sweep
+        self._costs_dirty = False
 
     # ------------------------------------------------------------------
     # Maintenance / introspection

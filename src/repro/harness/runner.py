@@ -17,7 +17,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.engine.config import GpuConfig, config_key
 from repro.harness.parallel import Job
-from repro.harness.result_cache import ResultCache, job_key
+from repro.harness.result_cache import ResultCache, cost_key, job_key
 from repro.tenancy.manager import MultiTenantManager, RunResult
 from repro.tenancy.tenant import Tenant
 from repro.workloads.base import Workload
@@ -68,6 +68,31 @@ class Session:
     # ------------------------------------------------------------------
     # Cached runs
     # ------------------------------------------------------------------
+    def job_for(self, names: Sequence[str], config: GpuConfig) -> Job:
+        """The :class:`Job` describing ``run_names(names, config)``.
+
+        The campaign planner uses this so planned jobs hash to exactly
+        the cache keys the session itself would look up.
+        """
+        return Job(
+            label="/".join(names), names=tuple(names), config=config,
+            scale=self.scale, warps_per_sm=self.warps_per_sm,
+            seed=self.seed, max_events=self.max_events,
+        )
+
+    def prime(self, names: Sequence[str], config: GpuConfig,
+              result: RunResult) -> None:
+        """Install an externally computed result for ``(names, config)``.
+
+        The campaign executor simulates planned jobs in worker processes
+        and primes the session with them, so the subsequent experiment
+        pass replays entirely from memory.  The caller is responsible
+        for the result actually matching the job description (the
+        campaign guarantees it by construction: both sides hash the same
+        :meth:`job_for` output).
+        """
+        self._run_cache[(tuple(names), config_key(config))] = result
+
     def run_names(self, names: Sequence[str], config: GpuConfig) -> RunResult:
         """Run the named workloads as co-tenants under ``config``.
 
@@ -80,12 +105,10 @@ class Session:
         if cached is not None:
             return cached
         disk_key = None
+        job = None
         if self.disk_cache is not None:
-            disk_key = job_key(Job(
-                label="/".join(names), names=tuple(names), config=config,
-                scale=self.scale, warps_per_sm=self.warps_per_sm,
-                seed=self.seed,
-            ))
+            job = self.job_for(names, config)
+            disk_key = job_key(job)
             cached = self.disk_cache.get(disk_key)
             if cached is not None:
                 self._run_cache[key] = cached
@@ -100,6 +123,10 @@ class Session:
         self._run_cache[key] = cached
         if self.disk_cache is not None:
             self.disk_cache.put(disk_key, cached)
+            if cached.wall_seconds > 0:
+                self.disk_cache.record_cost(cost_key(job),
+                                            cached.wall_seconds)
+                self.disk_cache.flush_costs()
         return cached
 
     def run_pair(self, pair: str, config: GpuConfig) -> RunResult:

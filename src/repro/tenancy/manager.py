@@ -16,6 +16,7 @@ and packages per-tenant IPC plus the subsystem statistics into a
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -71,6 +72,11 @@ class RunResult:
     total_cycles: int
     stats: Dict[str, float] = field(default_factory=dict)
     events_fired: int = 0
+    #: wall-clock seconds the simulation took on the machine that ran it.
+    #: Not part of the simulated state — it feeds the campaign
+    #: scheduler's cost model and the wall-time summaries, and it is the
+    #: one field allowed to differ between two runs of the same job.
+    wall_seconds: float = 0.0
 
     @property
     def tenant_ids(self) -> List[int]:
@@ -126,6 +132,7 @@ class MultiTenantManager:
     # Execution
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
+        start = time.perf_counter()
         for tenant in self.tenants:
             self._launch(tenant)
         # Completion is signalled by _on_tenant_complete via sim.stop(),
@@ -145,6 +152,7 @@ class MultiTenantManager:
             total_cycles=self.sim.now,
             stats=snapshot,
             events_fired=fired,
+            wall_seconds=time.perf_counter() - start,
         )
 
     def _add_share_stats(self, snapshot: Dict[str, float]) -> None:

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import random
+from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.gpu.warp import WarpOp
 from repro.workloads.patterns import PATTERNS
@@ -84,3 +85,106 @@ class Workload:
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Workload({self.name}, {self.category}, scale={self.scale})"
+
+
+class TraceMemo:
+    """Per-process memo of materialized warp op streams.
+
+    A sweep revisits the same (workload, scale, seed) trace once per
+    config variant — the trace does not depend on the config, only on
+    the workload spec, the scale, the warp count, and the seed of the
+    :class:`~repro.engine.rng.DeterministicRng` fork the manager derives
+    for the launch.  Materializing the generator once and replaying the
+    stored ops is bit-exact: each warp's pattern generator is the sole
+    consumer of its named random stream, so the sequence of draws (and
+    hence of ops) is independent of *when* the ops are pulled.
+
+    Entries are LRU-bounded.  :class:`WarpOp` objects are immutable
+    (slots, tuple addrs), so sharing them between executions is safe;
+    every lookup returns fresh iterators over the stored tuples, never
+    the tuples' previous iterators.
+    """
+
+    def __init__(self, max_entries: int = 32) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Tuple, Tuple[Tuple[WarpOp, ...], ...]]" = (
+            OrderedDict()
+        )
+
+    @staticmethod
+    def _key(workload: Workload, num_warps: int, rng) -> Optional[Tuple]:
+        # The rng fork seed already encodes (experiment seed, workload
+        # name, tenant id, execution index); the spec fields guard
+        # against same-name specs with altered parameters (e.g. the
+        # footprint-enhanced variants of Figure 14).
+        seed = getattr(rng, "seed", None)
+        if seed is None:
+            return None
+        spec = workload.spec
+        return (
+            spec.name, spec.pattern, spec.footprint_bytes,
+            spec.mean_compute, spec.ops_per_warp,
+            tuple(sorted((k, repr(v)) for k, v in spec.pattern_args.items())),
+            workload.scale, num_warps, seed,
+        )
+
+    def build_streams(self, workload: Workload, num_warps: int,
+                      rng) -> List[Iterator[WarpOp]]:
+        """Like ``workload.build_streams`` but memoized per process."""
+        key = self._key(workload, num_warps, rng)
+        if key is None:  # rng without a stable identity: never memoize
+            return workload.build_streams(num_warps, rng)
+        cached = self._entries.get(key)
+        if cached is None:
+            self.misses += 1
+            cached = tuple(
+                tuple(stream)
+                for stream in workload.build_streams(num_warps, rng)
+            )
+            self._entries[key] = cached
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        else:
+            self.hits += 1
+            self._entries.move_to_end(key)
+        return [iter(ops) for ops in cached]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class MemoizedWorkload:
+    """A workload view that routes ``build_streams`` through a memo.
+
+    Satisfies :class:`~repro.tenancy.tenant.WorkloadProtocol`; everything
+    but stream construction delegates to the wrapped workload.
+    """
+
+    def __init__(self, workload: Workload, memo: TraceMemo) -> None:
+        self._workload = workload
+        self._memo = memo
+
+    @property
+    def name(self) -> str:
+        return self._workload.name
+
+    @property
+    def spec(self) -> WorkloadSpec:
+        return self._workload.spec
+
+    @property
+    def scale(self) -> float:
+        return self._workload.scale
+
+    def build_streams(self, num_warps: int, rng) -> List[Iterator[WarpOp]]:
+        return self._memo.build_streams(self._workload, num_warps, rng)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MemoizedWorkload({self._workload!r})"

@@ -2,16 +2,28 @@
 
 import pytest
 
+import repro.harness.parallel as parallel_module
 from repro.engine.config import GpuConfig
-from repro.harness.parallel import Job, pair_jobs, run_jobs
+from repro.harness.parallel import (
+    DEFAULT_MAX_EVENTS,
+    Job,
+    WorkerPool,
+    expected_cost,
+    pair_jobs,
+    run_jobs,
+    run_jobs_chunked,
+)
+from repro.harness.result_cache import ResultCache, cost_key, job_key
 
 SCALE = 0.05
 
 
-def tiny_job(label, pair="HS.MM", policy="baseline", seed=0):
+def tiny_job(label, pair="HS.MM", policy="baseline", seed=0,
+             max_events=DEFAULT_MAX_EVENTS):
     return Job(label=label, names=tuple(pair.split(".")),
                config=GpuConfig.baseline(num_sms=2).with_policy(policy),
-               scale=SCALE, warps_per_sm=2, seed=seed)
+               scale=SCALE, warps_per_sm=2, seed=seed,
+               max_events=max_events)
 
 
 class TestJobConstruction:
@@ -76,3 +88,110 @@ class TestParallelMatchesSerial:
         for label in serial:
             assert (serial[label].total_cycles
                     == chunked[label].total_cycles)
+
+
+class TestMaxEvents:
+    def test_max_events_reaches_the_simulator(self):
+        # An impossible budget must trip the manager's exhaustion guard
+        # — proof the field actually threads through _execute.
+        with pytest.raises(RuntimeError, match="max_events"):
+            run_jobs([tiny_job("cut", max_events=10)], workers=1)
+
+    def test_max_events_changes_job_key(self):
+        # A truncated run must never satisfy a full run from the cache.
+        assert (job_key(tiny_job("a", max_events=1000))
+                != job_key(tiny_job("a")))
+
+    def test_session_jobs_carry_session_max_events(self):
+        from repro.harness.runner import Session
+
+        session = Session(scale=SCALE, warps_per_sm=2, max_events=1234)
+        job = session.job_for(("HS", "MM"), GpuConfig.baseline(num_sms=2))
+        assert job.max_events == 1234
+
+
+class TestIncrementalStores:
+    def test_results_persist_up_to_a_mid_sweep_crash(self, tmp_path,
+                                                     monkeypatch):
+        # Completed jobs must already be on disk when a later job dies.
+        cache = ResultCache(tmp_path)
+        real_execute = parallel_module._execute
+
+        def fail_on_b(job):
+            if job.label == "b":
+                raise RuntimeError("worker died")
+            return real_execute(job)
+
+        monkeypatch.setattr(parallel_module, "_execute", fail_on_b)
+        jobs = [tiny_job("a"), tiny_job("b", pair="FFT.HS")]
+        with pytest.raises(RuntimeError):
+            run_jobs(jobs, workers=1, cache=cache)
+        assert cache.stores == 1  # "a" survived the crash
+
+        monkeypatch.setattr(parallel_module, "_execute", real_execute)
+        rerun = run_jobs(jobs, workers=1, cache=cache)
+        assert cache.hits == 1  # only "b" was re-simulated
+        assert set(rerun) == {"a", "b"}
+
+
+class TestCostModel:
+    def test_recorded_cost_beats_heuristic(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = tiny_job("a")
+        cache.record_cost(cost_key(job), 42.0)
+        assert expected_cost(job, cache) == pytest.approx(42.0)
+
+    def test_cold_cache_falls_back_to_footprint(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        light = tiny_job("l", pair="HS.MM")
+        heavy = tiny_job("h", pair="GUPS.MM")  # GUPS: huge footprint
+        assert expected_cost(heavy, cache) > expected_cost(light, cache)
+        assert expected_cost(light, None) > 0
+
+    def test_config_variants_share_one_cost_bucket(self):
+        assert (cost_key(tiny_job("a", policy="baseline"))
+                == cost_key(tiny_job("b", policy="dws")))
+        assert (cost_key(tiny_job("a"))
+                != cost_key(tiny_job("a", pair="FFT.HS")))
+
+    def test_run_jobs_records_costs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = tiny_job("a")
+        run_jobs([job], workers=1, cache=cache)
+        assert cache.expected_cost(cost_key(job)) is not None
+
+
+class TestChunkedReference:
+    def test_chunked_matches_dynamic_scheduler(self):
+        jobs = [tiny_job("a"), tiny_job("b", pair="FFT.HS"),
+                tiny_job("c", seed=1)]
+        dynamic = run_jobs(jobs, workers=1)
+        chunked = run_jobs_chunked(jobs, workers=1)
+        assert list(chunked) == list(dynamic)
+        for label in dynamic:
+            assert (chunked[label].total_cycles
+                    == dynamic[label].total_cycles)
+            assert (chunked[label].tenants[0].instructions
+                    == dynamic[label].tenants[0].instructions)
+
+
+class TestWorkerPool:
+    def test_pool_reused_across_run_jobs_calls(self):
+        jobs1 = [tiny_job("a"), tiny_job("b", pair="FFT.HS")]
+        jobs2 = [tiny_job("c", seed=1), tiny_job("d", policy="dws")]
+        serial = run_jobs(jobs1 + jobs2, workers=1)
+        try:
+            with WorkerPool(2) as pool:
+                first = run_jobs(jobs1, workers=2, pool=pool)
+                second = run_jobs(jobs2, workers=2, pool=pool)
+        except (OSError, PermissionError):
+            pytest.skip("process creation not permitted in this environment")
+        combined = {**first, **second}
+        for label in serial:
+            assert (combined[label].total_cycles
+                    == serial[label].total_cycles)
+
+    def test_shutdown_is_idempotent(self):
+        pool = WorkerPool(2)
+        pool.shutdown()
+        pool.shutdown()

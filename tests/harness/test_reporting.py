@@ -8,6 +8,7 @@ from repro.harness.reporting import (
     ExperimentResult,
     arithmetic_mean,
     format_table,
+    format_wall_summary,
     geomean,
 )
 
@@ -66,3 +67,34 @@ class TestExperimentResult:
         r = self.make()
         r.notes.append("shape holds")
         assert "note: shape holds" in format_table(r)
+
+
+class _FakeRun:
+    def __init__(self, wall_seconds, events_fired):
+        self.wall_seconds = wall_seconds
+        self.events_fired = events_fired
+
+
+class TestFormatWallSummary:
+    def make(self):
+        return {"slow": _FakeRun(2.0, 1000),
+                "fast": _FakeRun(0.5, 600),
+                "mid": _FakeRun(1.0, 800)}
+
+    def test_sorted_slowest_first_with_totals(self):
+        text = format_wall_summary(self.make())
+        lines = text.splitlines()
+        assert "3 job(s)" in lines[0]
+        assert "total 3.50s" in lines[0]
+        assert "2,400 events" in lines[0]
+        order = [line.split()[0] for line in lines[1:]]
+        assert order == ["slow", "mid", "fast"]
+
+    def test_top_truncates_and_says_so(self):
+        text = format_wall_summary(self.make(), top=1)
+        assert "slow" in text
+        assert "mid" not in text
+        assert "2 faster job(s) omitted" in text
+
+    def test_empty_input(self):
+        assert "0 job(s)" in format_wall_summary({})

@@ -8,16 +8,22 @@ import repro.harness.parallel as parallel_module
 from repro.engine.config import GpuConfig
 from repro.harness import Session
 from repro.harness.parallel import Job, run_jobs
-from repro.harness.result_cache import ResultCache, job_key
+from repro.harness.result_cache import (
+    COST_EMA_ALPHA,
+    ResultCache,
+    cost_key,
+    job_key,
+)
 
 SCALE = 0.05
 
 
 def tiny_job(label="job", pair="HS.MM", policy="baseline", seed=0,
-             scale=SCALE):
+             scale=SCALE, max_events=None):
+    kwargs = {} if max_events is None else {"max_events": max_events}
     return Job(label=label, names=tuple(pair.split(".")),
                config=GpuConfig.baseline(num_sms=2).with_policy(policy),
-               scale=scale, warps_per_sm=2, seed=seed)
+               scale=scale, warps_per_sm=2, seed=seed, **kwargs)
 
 
 class TestJobKey:
@@ -30,6 +36,7 @@ class TestJobKey:
         tiny_job(policy="dws"),
         tiny_job(seed=1),
         tiny_job(scale=SCALE * 2),
+        tiny_job(max_events=1000),
     ])
     def test_any_content_change_changes_key(self, variant):
         assert job_key(variant) != job_key(tiny_job())
@@ -121,6 +128,62 @@ class TestRunJobsCache:
         assert cache.hits == 2
         for label in serial:
             assert warm[label].total_cycles == serial[label].total_cycles
+
+
+class TestCostModel:
+    def test_record_and_read_back(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        ckey = cost_key(tiny_job())
+        assert cache.expected_cost(ckey) is None
+        cache.record_cost(ckey, 4.0)
+        assert cache.expected_cost(ckey) == pytest.approx(4.0)
+
+    def test_ema_smoothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        ckey = cost_key(tiny_job())
+        cache.record_cost(ckey, 4.0)
+        cache.record_cost(ckey, 8.0)
+        expected = COST_EMA_ALPHA * 8.0 + (1 - COST_EMA_ALPHA) * 4.0
+        assert cache.expected_cost(ckey) == pytest.approx(expected)
+
+    def test_costs_persist_across_instances(self, tmp_path):
+        ckey = cost_key(tiny_job())
+        first = ResultCache(tmp_path)
+        first.record_cost(ckey, 2.5)
+        first.flush_costs()
+        second = ResultCache(tmp_path)
+        assert second.expected_cost(ckey) == pytest.approx(2.5)
+
+    def test_corrupt_costs_file_degrades_to_empty(self, tmp_path):
+        (tmp_path / ResultCache.COSTS_FILE).write_text("not json{")
+        cache = ResultCache(tmp_path)
+        assert cache.expected_cost(cost_key(tiny_job())) is None
+        cache.record_cost(cost_key(tiny_job()), 1.0)  # still writable
+        cache.flush_costs()
+        assert (ResultCache(tmp_path)
+                .expected_cost(cost_key(tiny_job()))) == pytest.approx(1.0)
+
+    def test_policy_variants_share_cost_key(self):
+        assert cost_key(tiny_job()) == cost_key(tiny_job(policy="dwspp"))
+
+    @pytest.mark.parametrize("variant", [
+        tiny_job(pair="FFT.HS"),
+        tiny_job(scale=SCALE * 2),
+    ])
+    def test_workload_identity_changes_cost_key(self, variant):
+        assert cost_key(variant) != cost_key(tiny_job())
+
+
+class TestWallSeconds:
+    def test_fresh_result_measures_wall_time(self):
+        result = run_jobs([tiny_job("a")], workers=1)["a"]
+        assert result.wall_seconds > 0
+
+    def test_cached_result_keeps_original_wall_time(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_jobs([tiny_job("a")], workers=1, cache=cache)["a"]
+        warm = run_jobs([tiny_job("a")], workers=1, cache=cache)["a"]
+        assert warm.wall_seconds == cold.wall_seconds
 
 
 class TestSessionDiskCache:

@@ -1,0 +1,115 @@
+"""Trace memoization: bit-exact replay, strict key isolation, LRU bound."""
+
+import pytest
+
+from repro.engine.rng import DeterministicRng
+from repro.workloads.base import MemoizedWorkload, TraceMemo
+from repro.workloads.suite import benchmark
+
+SCALE = 0.05
+WARPS = 4
+
+
+def ops_of(workload, num_warps, rng):
+    # WarpOp compares by identity; repr exposes every field, so equal
+    # reprs mean equal op sequences.
+    return [tuple(repr(op) for op in stream) for stream in
+            workload.build_streams(num_warps, rng)]
+
+
+class TestBitExactness:
+    def test_memoized_streams_equal_fresh_streams(self):
+        memo = TraceMemo()
+        workload = benchmark("HS", scale=SCALE)
+        fresh = ops_of(workload, WARPS, DeterministicRng(7).fork("t"))
+        wrapped = MemoizedWorkload(workload, memo)
+        memoized = ops_of(wrapped, WARPS, DeterministicRng(7).fork("t"))
+        assert memoized == fresh
+        # Second lookup replays the stored tuples, still identical.
+        replay = ops_of(wrapped, WARPS, DeterministicRng(7).fork("t"))
+        assert replay == fresh
+        assert (memo.misses, memo.hits) == (1, 1)
+
+    def test_each_lookup_returns_fresh_iterators(self):
+        memo = TraceMemo()
+        workload = benchmark("MM", scale=SCALE)
+        first = memo.build_streams(workload, 2, DeterministicRng(0).fork("t"))
+        for stream in first:  # exhaust
+            list(stream)
+        second = memo.build_streams(workload, 2, DeterministicRng(0).fork("t"))
+        assert all(len(list(s)) > 0 for s in second)
+
+
+class TestKeyIsolation:
+    """A hit must never cross a (name, scale, seed, warps) boundary."""
+
+    def base_key(self):
+        return TraceMemo._key(benchmark("HS", scale=SCALE), WARPS,
+                              DeterministicRng(7).fork("t"))
+
+    @pytest.mark.parametrize("workload,num_warps,rng_seed", [
+        (benchmark("MM", scale=SCALE), WARPS, 7),         # name
+        (benchmark("HS", scale=SCALE * 2), WARPS, 7),     # scale
+        (benchmark("HS", scale=SCALE), WARPS + 1, 7),     # warp count
+        (benchmark("HS", scale=SCALE), WARPS, 8),         # seed
+    ])
+    def test_any_identity_change_changes_key(self, workload, num_warps,
+                                             rng_seed):
+        other = TraceMemo._key(workload, num_warps,
+                               DeterministicRng(rng_seed).fork("t"))
+        assert other != self.base_key()
+
+    def test_fork_name_changes_key(self):
+        # Tenant 0 and tenant 1 of the same benchmark use different rng
+        # forks and must not share a trace.
+        a = TraceMemo._key(benchmark("HS", scale=SCALE), WARPS,
+                           DeterministicRng(7).fork("tenant0"))
+        b = TraceMemo._key(benchmark("HS", scale=SCALE), WARPS,
+                           DeterministicRng(7).fork("tenant1"))
+        assert a != b
+
+    def test_distinct_workloads_memoize_distinct_streams(self):
+        memo = TraceMemo()
+        hs = ops_of(MemoizedWorkload(benchmark("HS", scale=SCALE), memo),
+                    WARPS, DeterministicRng(7).fork("t"))
+        mm = ops_of(MemoizedWorkload(benchmark("MM", scale=SCALE), memo),
+                    WARPS, DeterministicRng(7).fork("t"))
+        assert memo.misses == 2 and memo.hits == 0
+        assert hs != mm
+
+    def test_rng_without_seed_is_never_memoized(self):
+        import random
+
+        class Anonymous:
+            def stream(self, name):
+                return random.Random(hash(name) & 0xFFFF)
+
+        memo = TraceMemo()
+        memo.build_streams(benchmark("HS", scale=SCALE), 2, Anonymous())
+        memo.build_streams(benchmark("HS", scale=SCALE), 2, Anonymous())
+        assert len(memo) == 0 and memo.hits == 0 and memo.misses == 0
+
+
+class TestBounds:
+    def test_lru_eviction_keeps_max_entries(self):
+        memo = TraceMemo(max_entries=2)
+        workload = benchmark("HS", scale=SCALE)
+        for seed in range(4):
+            memo.build_streams(workload, 2, DeterministicRng(seed).fork("t"))
+        assert len(memo) == 2
+        # Oldest entries were evicted: seed 0 misses again.
+        memo.build_streams(workload, 2, DeterministicRng(0).fork("t"))
+        assert memo.misses == 5
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceMemo(max_entries=0)
+
+
+class TestMemoizedWorkloadProxy:
+    def test_delegates_identity(self):
+        workload = benchmark("FFT", scale=SCALE)
+        wrapped = MemoizedWorkload(workload, TraceMemo())
+        assert wrapped.name == workload.name
+        assert wrapped.spec is workload.spec
+        assert wrapped.scale == workload.scale
