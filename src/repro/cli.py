@@ -98,6 +98,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the deduplicated job plan and exit")
     p.add_argument("--wall-summary", action="store_true",
                    help="print per-job wall times after execution")
+    p.add_argument("--max-attempts", type=int, default=3,
+                   help="attempts per job before quarantine (default 3; "
+                        "1 disables retries)")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-job wall-clock deadline in seconds; an "
+                        "attempt past it is presumed hung and killed "
+                        "(needs --workers > 1; default: no deadline)")
+    p.add_argument("--supervision-report", default=None, metavar="PATH",
+                   help="write the retry/requeue/quarantine report as "
+                        "JSON to PATH")
     _add_common(p)
 
     p = sub.add_parser("report", help="regenerate experiments as Markdown")
@@ -193,7 +203,9 @@ def cmd_experiment(args) -> int:
 
 def cmd_campaign(args) -> int:
     from repro.harness.campaign import plan_campaign, run_campaign
+    from repro.harness.fsutil import atomic_write_json
     from repro.harness.reporting import format_wall_summary
+    from repro.harness.supervision import RetryPolicy, SupervisionPolicy
 
     session = Session(scale=args.scale, warps_per_sm=args.warps,
                       seed=args.seed, cache_dir=args.cache_dir)
@@ -201,21 +213,41 @@ def cmd_campaign(args) -> int:
                else [f.strip() for f in args.figures.split(",") if f.strip()])
     pairs = (None if args.pairs is None
              else [p.strip() for p in args.pairs.split(",") if p.strip()])
+    policy = SupervisionPolicy(
+        retry=RetryPolicy(max_attempts=args.max_attempts),
+        job_deadline=args.deadline)
     try:
         if args.plan_only:
             print(plan_campaign(session, figures, pairs).summary())
             return 0
-        report = run_campaign(session, figures, pairs, workers=args.workers)
+        report = run_campaign(session, figures, pairs, workers=args.workers,
+                              supervision=policy)
     except ValueError as exc:  # unknown figure ids
         print(exc, file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print("campaign interrupted; finished results are cached and "
+              "checkpointed — re-run the same command to resume from "
+              "the unfinished jobs", file=sys.stderr)
+        return 130
+    if args.supervision_report:
+        atomic_write_json(args.supervision_report,
+                          report.supervision.to_dict(),
+                          indent=1, sort_keys=True)
     for figure in report.plan.figures:
-        print(format_table(report.results[figure]))
-        print()
+        if figure in report.results:
+            print(format_table(report.results[figure]))
+            print()
     if args.wall_summary:
-        print(format_wall_summary(report.job_results, top=20))
+        print(format_wall_summary(report.job_results, top=20,
+                                  supervision=report.supervision))
         print()
     print(report.summary())
+    if not report.ok:
+        # Degraded campaigns must be visible to scripts and CI: print
+        # the digest (the traceback-free version) and exit non-zero.
+        print(report.failure_summary(), file=sys.stderr)
+        return 1
     return 0
 
 
@@ -230,8 +262,11 @@ def cmd_report(args) -> int:
              else [p.strip() for p in args.pairs.split(",")])
     text = generate_report(session, experiments=experiments, pairs=pairs)
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text)
+        from repro.harness.fsutil import atomic_write_text
+
+        # Atomic publish: a crash mid-write must never leave a torn
+        # report where a complete one used to be.
+        atomic_write_text(args.output, text)
         print(f"wrote {args.output}")
     else:
         print(text)

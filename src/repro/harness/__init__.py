@@ -15,11 +15,19 @@ runs) reuse each other's work.
 """
 
 from repro.harness.campaign import (
+    CampaignManifest,
     CampaignPlan,
     CampaignReport,
     PlanningSession,
+    campaign_key,
     plan_campaign,
     run_campaign,
+)
+from repro.harness.faults import FaultSpec, clear_faults, install_faults
+from repro.harness.fsutil import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
 )
 from repro.harness.parallel import (
     Job,
@@ -27,6 +35,12 @@ from repro.harness.parallel import (
     pair_jobs,
     run_jobs,
     run_jobs_chunked,
+)
+from repro.harness.supervision import (
+    CampaignExecutionError,
+    RetryPolicy,
+    SupervisionPolicy,
+    SupervisionStats,
 )
 from repro.harness.report import generate_report
 from repro.harness.result_cache import (
@@ -50,17 +64,28 @@ from repro.harness.validate import validate_result
 
 __all__ = [
     "CACHE_FORMAT",
+    "CampaignExecutionError",
+    "CampaignManifest",
     "CampaignPlan",
     "CampaignReport",
     "ExperimentResult",
+    "FaultSpec",
     "Job",
     "PlanningSession",
     "ResultCache",
+    "RetryPolicy",
     "Session",
     "StandaloneMeasurement",
+    "SupervisionPolicy",
+    "SupervisionStats",
     "Sweep",
     "WorkerPool",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
     "axis",
+    "campaign_key",
+    "clear_faults",
     "compare_policies",
     "cost_key",
     "export_results",
@@ -69,6 +94,7 @@ __all__ = [
     "format_wall_summary",
     "generate_report",
     "geomean",
+    "install_faults",
     "job_key",
     "load_results",
     "pair_jobs",

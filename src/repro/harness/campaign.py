@@ -27,6 +27,16 @@ sharing is lost entirely.  The campaign layer recovers it up front:
    requirement — so every figure's output is byte-identical to a plain
    serial run.
 
+Execution is *supervised* by default (see
+:mod:`repro.harness.supervision`): failed jobs retry with backoff, dead
+workers respawn, hung jobs are killed at their deadline, and poison
+jobs are quarantined rather than allowed to wedge the campaign.  With a
+disk cache the campaign is also *restartable*: results persist as each
+job completes, a :class:`CampaignManifest` checkpoint records progress
+under ``<cache_dir>/campaigns/``, and SIGINT/SIGTERM flush everything
+finished before the process exits — a killed campaign re-executes only
+its unfinished jobs on the next run.
+
 Entry points: :func:`plan_campaign` (inspection / dry runs) and
 :func:`run_campaign` (the whole pipeline; also behind
 ``python -m repro campaign``).
@@ -34,17 +44,31 @@ Entry points: :func:`plan_campaign` (inspection / dry runs) and
 
 from __future__ import annotations
 
+import hashlib
+import json
+import multiprocessing
+import os
+import signal
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.config import GpuConfig
 from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.fsutil import atomic_write_json
 from repro.harness.parallel import Job, WorkerPool, run_jobs
 from repro.harness.report import _PAIRED
 from repro.harness.reporting import ExperimentResult
-from repro.harness.result_cache import job_key
+from repro.harness.result_cache import CACHE_FORMAT, job_key
 from repro.harness.runner import Session
+from repro.harness.supervision import (
+    CampaignExecutionError,
+    SupervisionPolicy,
+    SupervisionStats,
+)
 from repro.tenancy.manager import RunResult
 from repro.workloads.base import Workload
 
@@ -219,6 +243,116 @@ def plan_campaign(session: Session,
     return plan
 
 
+def campaign_key(session: Session, figures: Sequence[str],
+                 pairs: Optional[Sequence[str]]) -> str:
+    """Content hash identifying one campaign's checkpoint lineage.
+
+    Same recipe as :func:`~repro.harness.result_cache.job_key`: the
+    canonical JSON of everything that determines the work list, so a
+    changed figure set, pair subset or fidelity setting starts a fresh
+    checkpoint instead of resuming a stale one.
+    """
+    payload = {
+        "format": CACHE_FORMAT,
+        "figures": list(figures),
+        "pairs": None if pairs is None else list(pairs),
+        "scale": session.scale,
+        "warps_per_sm": session.warps_per_sm,
+        "seed": session.seed,
+        "max_events": session.max_events,
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+MANIFEST_FORMAT = 1
+
+
+class CampaignManifest:
+    """Crash-safe progress checkpoint for one campaign.
+
+    Lives at ``<cache_dir>/campaigns/<campaign_key>.json`` and records
+    which planned jobs have completed (by content hash) and which were
+    quarantined.  The result *payloads* live in the
+    :class:`~repro.harness.result_cache.ResultCache`; the manifest is
+    the restartable-batch-job ledger on top: an interrupted campaign
+    reports exactly how much of it was already done, and a resumed one
+    re-executes only the unfinished jobs.  Every save is an atomic
+    whole-file replace, so a kill mid-checkpoint leaves the previous
+    consistent checkpoint in place.
+    """
+
+    def __init__(self, path: Path, key: str) -> None:
+        self.path = Path(path)
+        self.key = key
+        self.completed: Dict[str, str] = {}    # job key -> label
+        self.quarantined: Dict[str, str] = {}  # label -> final error
+
+    @classmethod
+    def load(cls, path: Path, key: str) -> "CampaignManifest":
+        """Read a checkpoint back; anything invalid starts fresh."""
+        manifest = cls(path, key)
+        try:
+            raw = json.loads(Path(path).read_text())
+            if (raw.get("format") == MANIFEST_FORMAT
+                    and raw.get("campaign_key") == key):
+                manifest.completed = {str(k): str(v) for k, v in
+                                      raw.get("completed", {}).items()}
+                manifest.quarantined = {str(k): str(v) for k, v in
+                                        raw.get("quarantined", {}).items()}
+        except (OSError, ValueError, TypeError, AttributeError):
+            pass  # corrupt/missing checkpoint: resume from the cache alone
+        return manifest
+
+    def mark_completed(self, job_hash: str, label: str) -> None:
+        self.completed[job_hash] = label
+        self.save()
+
+    def save(self) -> None:
+        try:
+            atomic_write_json(self.path, {
+                "format": MANIFEST_FORMAT,
+                "campaign_key": self.key,
+                "completed": self.completed,
+                "quarantined": self.quarantined,
+            }, sort_keys=True, indent=1)
+        except OSError:
+            pass  # checkpointing is best-effort; the cache still resumes
+
+
+@contextmanager
+def _flush_signals():
+    """Convert SIGTERM to ``KeyboardInterrupt`` for the guarded block.
+
+    SIGINT already raises ``KeyboardInterrupt``; routing SIGTERM the
+    same way means an orchestrator's polite kill unwinds through the
+    same ``finally`` blocks — incremental cache stores are already on
+    disk, the cost model and checkpoint manifest get flushed — instead
+    of dying mid-write.  Outside the main thread (or where signals are
+    unavailable) this is a no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    def _raise(_signum, _frame):
+        if multiprocessing.parent_process() is not None:
+            # Forked pool workers inherit this handler; when the
+            # supervisor terminates one (hung or crashed sibling), it
+            # must just die — mimic default SIGTERM, 128+15 — rather
+            # than spray a KeyboardInterrupt traceback over stderr.
+            os._exit(143)
+        raise KeyboardInterrupt("terminated")
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise)
+    except (ValueError, OSError):  # non-main interpreter contexts
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 @dataclass
 class CampaignReport:
     """Everything one campaign run produced."""
@@ -230,14 +364,54 @@ class CampaignReport:
     simulated: int
     sim_wall_seconds: float                # sum of per-job wall times
     elapsed_seconds: float                 # end-to-end, this process
+    #: fault handling that happened during execution
+    supervision: SupervisionStats = field(default_factory=SupervisionStats)
+    #: figures whose replay raised: figure id -> error (their rows are
+    #: missing from ``results``)
+    figure_errors: Dict[str, str] = field(default_factory=dict)
+    #: planned jobs already checkpoint-complete from an earlier
+    #: (interrupted) run of this same campaign
+    resumed_from_checkpoint: int = 0
+
+    @property
+    def quarantined(self) -> Dict[str, str]:
+        return self.supervision.quarantined
+
+    @property
+    def ok(self) -> bool:
+        """True when every job ran and every figure replayed."""
+        return not self.quarantined and not self.figure_errors
+
+    def failure_summary(self) -> str:
+        """Operator-facing digest of what ultimately failed."""
+        lines = []
+        for label, error in sorted(self.quarantined.items()):
+            lines.append(f"  quarantined job {label}: {error}")
+        for figure, error in sorted(self.figure_errors.items()):
+            lines.append(f"  figure {figure} failed to replay: {error}")
+        if not lines:
+            return "campaign completed with no failures"
+        return "campaign failures:\n" + "\n".join(lines)
 
     def summary(self) -> str:
         lines = [self.plan.summary()]
+        if self.resumed_from_checkpoint:
+            lines.append(
+                f"resumed: {self.resumed_from_checkpoint} job(s) already "
+                "complete in this campaign's checkpoint")
         lines.append(
             f"executed: {self.simulated} simulation(s), "
             f"{self.cache_hits} cache hit(s); "
             f"simulation wall time {self.sim_wall_seconds:.2f}s, "
             f"campaign elapsed {self.elapsed_seconds:.2f}s")
+        degraded = (self.supervision.retries or self.supervision.requeues
+                    or self.supervision.timeouts
+                    or self.supervision.pool_respawns
+                    or not self.supervision.ok)
+        if degraded:
+            lines.append(self.supervision.summary())
+        if not self.ok:
+            lines.append(self.failure_summary())
         return "\n".join(lines)
 
 
@@ -245,7 +419,9 @@ def run_campaign(session: Session,
                  figures: Optional[Sequence[str]] = None,
                  pairs: Optional[Sequence[str]] = None,
                  workers: Optional[int] = None,
-                 pool: Optional[WorkerPool] = None) -> CampaignReport:
+                 pool: Optional[WorkerPool] = None,
+                 supervision: Optional[SupervisionPolicy] = None,
+                 strict: bool = False) -> CampaignReport:
     """Plan, execute and replay a set of figures through one session.
 
     ``session`` supplies the fidelity settings and (optionally) the disk
@@ -253,8 +429,25 @@ def run_campaign(session: Session,
     figures' outputs are byte-identical to running them serially through
     the same session — the campaign only changes *when and where* the
     simulations happen.
+
+    Execution runs under ``supervision`` (default
+    :meth:`SupervisionPolicy.default`: 3 attempts with backoff, no
+    deadline): transient failures retry, dead workers respawn, poison
+    jobs quarantine.  A quarantined job's figures replay on a
+    best-effort basis — any that re-raise are recorded in
+    ``report.figure_errors`` instead of aborting the rest.  With
+    ``strict=True`` a degraded campaign raises
+    :class:`~repro.harness.supervision.CampaignExecutionError` at the
+    end (everything salvageable is still cached first).
+
+    With a disk cache, progress checkpoints to a
+    :class:`CampaignManifest` as each job lands, and SIGTERM/SIGINT
+    flush finished state before unwinding — re-running the same
+    campaign afterwards re-executes only the unfinished jobs.
     """
     start = time.perf_counter()
+    if supervision is None:
+        supervision = SupervisionPolicy.default()
     plan = plan_campaign(session, figures, pairs)
 
     cache = session.disk_cache
@@ -273,29 +466,78 @@ def run_campaign(session: Session,
             scale=job.scale, warps_per_sm=job.warps_per_sm, seed=job.seed,
             max_events=job.max_events,
         )))
+    key_by_label = {job.label: key for key, job in unique_jobs}
 
-    executed = run_jobs([job for _, job in unique_jobs],
-                        workers=workers, cache=cache, pool=pool)
+    manifest: Optional[CampaignManifest] = None
+    resumed = 0
+    if cache is not None:
+        ckey = campaign_key(session, plan.figures, pairs)
+        manifest = CampaignManifest.load(
+            cache.root / "campaigns" / f"{ckey}.json", ckey)
+        resumed = sum(1 for key, _ in unique_jobs
+                      if key in manifest.completed)
+
+    stats = SupervisionStats()
+
+    def checkpoint(job: Job, _result: RunResult) -> None:
+        if manifest is not None:
+            manifest.mark_completed(key_by_label[job.label], job.label)
+
+    try:
+        with _flush_signals():
+            executed = run_jobs([job for _, job in unique_jobs],
+                                workers=workers, cache=cache, pool=pool,
+                                supervision=supervision, stats=stats,
+                                progress=checkpoint)
+    except KeyboardInterrupt:
+        # Finished results are already on disk (incremental stores) and
+        # checkpointed per job; record any quarantine verdicts so the
+        # resumed run knows about them, then unwind.
+        if manifest is not None:
+            manifest.quarantined.update(stats.quarantined)
+            manifest.save()
+        raise
+    if manifest is not None:
+        manifest.quarantined = dict(stats.quarantined)
+        manifest.save()
+
     cache_hits = (cache.hits - hits_before) if cache is not None else 0
-    simulated = len(unique_jobs) - cache_hits
+    simulated = len(executed) - cache_hits
 
     # Prime the session so the replay pass simulates nothing planned.
+    # Quarantined jobs have no result; their figures replay best-effort
+    # (anything missing simulates on demand — and may fail again, which
+    # is caught per figure below).
     for (_, job) in unique_jobs:
-        session.prime(job.names, job.config, executed[job.label])
+        if job.label in executed:
+            session.prime(job.names, job.config, executed[job.label])
 
-    results = {}
+    results: Dict[str, ExperimentResult] = {}
+    figure_errors: Dict[str, str] = {}
     for figure in plan.figures:
-        results[figure] = ALL_EXPERIMENTS[figure](
-            session, **_experiment_kwargs(figure, pairs))
+        try:
+            results[figure] = ALL_EXPERIMENTS[figure](
+                session, **_experiment_kwargs(figure, pairs))
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            figure_errors[figure] = f"{type(exc).__name__}: {exc}"
 
     sim_wall = sum(r.wall_seconds for r in executed.values())
-    return CampaignReport(
+    report = CampaignReport(
         plan=plan,
         results=results,
         job_results={job.label: executed[job.label]
-                     for _, job in unique_jobs},
+                     for _, job in unique_jobs if job.label in executed},
         cache_hits=cache_hits,
         simulated=simulated,
         sim_wall_seconds=sim_wall,
         elapsed_seconds=time.perf_counter() - start,
+        supervision=stats,
+        figure_errors=figure_errors,
+        resumed_from_checkpoint=resumed,
     )
+    if strict and not report.ok:
+        raise CampaignExecutionError(report.failure_summary(),
+                                     stats.quarantined)
+    return report

@@ -1,0 +1,178 @@
+"""Deterministic fault injection for the chaos-test harness.
+
+Fault tolerance that is only exercised by real hardware failures is
+untested fault tolerance.  This module lets tests (and the CI
+``chaos-smoke`` job) inject the exact failure modes the supervision
+layer claims to survive — worker crashes, hangs past the deadline,
+transient exceptions, torn/bit-flipped cache entries, and a
+mid-campaign interrupt — all *deterministically*: a fault fires on a
+named job at named attempt numbers, never on a timer or an RNG.
+
+Faults cross the process boundary through the ``REPRO_FAULTS``
+environment variable (worker processes inherit the parent's
+environment), so the same spec drives the serial in-process path and
+the process-pool path.  With no faults installed every hook is a cheap
+no-op — the production hot path pays one ``os.environ.get`` per job
+attempt.
+
+Spec semantics: a fault fires while ``attempt < fail_attempts``, so
+``fail_attempts=1`` means "fail the first try, succeed on retry" and a
+large value makes a poison job that must end up quarantined.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import Optional, Sequence, Tuple
+
+#: Environment variable carrying the JSON-encoded fault plan.
+FAULTS_ENV = "REPRO_FAULTS"
+
+KIND_CRASH = "crash"          # worker process dies (os._exit)
+KIND_HANG = "hang"            # attempt sleeps past any sane deadline
+KIND_RAISE = "raise"          # attempt raises InjectedFault
+KIND_INTERRUPT = "interrupt"  # parent raises KeyboardInterrupt mid-sweep
+
+_KINDS = (KIND_CRASH, KIND_HANG, KIND_RAISE, KIND_INTERRUPT)
+
+
+class InjectedFault(RuntimeError):
+    """A transient exception planted by the fault plan."""
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """Stand-in for a worker crash when there is no worker to kill.
+
+    In a pool worker a ``crash`` fault exits the process (the real
+    failure mode: the parent sees ``BrokenProcessPool``); on the serial
+    in-process path exiting would kill the harness itself, so the crash
+    degrades to this exception — same retry accounting, survivable.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault: what, where, and for how many attempts."""
+
+    kind: str
+    label: str = "*"            # job label to target; "*" matches any
+    fail_attempts: int = 1      # fire while attempt < fail_attempts
+    hang_seconds: float = 3600.0
+    after_results: int = 0      # interrupt: fire once N results landed
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.fail_attempts < 1:
+            raise ValueError("fail_attempts must be at least 1")
+
+    def matches(self, label: str, attempt: int) -> bool:
+        if self.label not in ("*", label):
+            return False
+        return attempt < self.fail_attempts
+
+
+def install_faults(specs: Sequence[FaultSpec]) -> None:
+    """Activate a fault plan for this process and future workers.
+
+    Call *before* the worker pool spawns — workers snapshot the
+    environment at fork time.
+    """
+    os.environ[FAULTS_ENV] = json.dumps([asdict(s) for s in specs])
+    global _results_seen
+    _results_seen = 0
+
+
+def clear_faults() -> None:
+    """Remove the fault plan (idempotent)."""
+    os.environ.pop(FAULTS_ENV, None)
+    global _results_seen
+    _results_seen = 0
+
+
+def active_specs() -> Tuple[FaultSpec, ...]:
+    """The faults currently installed, parsed fresh from the environment
+    (workers may have inherited the plan rather than installed it)."""
+    raw = os.environ.get(FAULTS_ENV)
+    if not raw:
+        return ()
+    try:
+        return tuple(FaultSpec(**entry) for entry in json.loads(raw))
+    except (ValueError, TypeError):
+        return ()  # a malformed plan must never break production runs
+
+
+def faults_active() -> bool:
+    return bool(os.environ.get(FAULTS_ENV))
+
+
+def _in_worker_process() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def maybe_inject(label: str, attempt: int) -> None:
+    """Worker-side hook: fire any fault matching this job attempt.
+
+    Called at the top of every supervised job attempt, in whichever
+    process executes it.
+    """
+    for spec in active_specs():
+        if spec.kind == KIND_INTERRUPT or not spec.matches(label, attempt):
+            continue
+        if spec.kind == KIND_RAISE:
+            raise InjectedFault(
+                f"injected transient failure: {label} attempt {attempt}")
+        if spec.kind == KIND_HANG:
+            time.sleep(spec.hang_seconds)
+            return
+        if spec.kind == KIND_CRASH:
+            if _in_worker_process():
+                os._exit(13)  # a real worker death, not an exception
+            raise InjectedWorkerCrash(
+                f"injected worker crash: {label} attempt {attempt}")
+
+
+#: Results the parent has consumed since install (interrupt trigger).
+_results_seen = 0
+
+
+def note_result() -> None:
+    """Parent-side hook: count a landed result and fire any pending
+    ``interrupt`` fault (simulating a mid-campaign SIGINT)."""
+    global _results_seen
+    if not faults_active():
+        return
+    _results_seen += 1
+    for spec in active_specs():
+        if spec.kind == KIND_INTERRUPT and _results_seen == spec.after_results:
+            raise KeyboardInterrupt(
+                f"injected interrupt after {spec.after_results} result(s)")
+
+
+# ----------------------------------------------------------------------
+# Cache-corruption faults (operate directly on entry files)
+# ----------------------------------------------------------------------
+def truncate_file(path, keep_bytes: int = 10) -> None:
+    """Tear a file mid-write: keep only its first ``keep_bytes``."""
+    data = path.read_bytes() if hasattr(path, "read_bytes") else None
+    if data is None:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    with open(path, "wb") as fh:
+        fh.write(data[:keep_bytes])
+
+
+def bitflip_file(path, offset: Optional[int] = None) -> None:
+    """Flip one bit of the payload — silent media corruption."""
+    with open(path, "rb") as fh:
+        data = bytearray(fh.read())
+    if not data:
+        return
+    index = (len(data) - 1) if offset is None else offset
+    data[index] ^= 0x40
+    with open(path, "wb") as fh:
+        fh.write(bytes(data))

@@ -1,0 +1,49 @@
+"""Crash-safe filesystem primitives shared by the harness.
+
+Every file the harness persists — cache entries, the wall-time cost
+model, exported result documents, campaign checkpoints — must survive
+the writer dying at any instruction.  The rule is uniform: write the
+full payload to a temporary file in the *same directory*, fsync-free
+(the data is always recomputable), then publish with ``os.replace``,
+which POSIX guarantees is atomic.  A reader therefore sees either the
+old complete file or the new complete file, never a torn hybrid.
+
+These helpers raise ``OSError`` on failure; callers decide whether that
+is fatal (an export the user asked for) or advisory (a cache store on a
+full disk).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` (UTF-8) to ``path`` atomically."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: Union[str, Path], obj, **dumps_kwargs) -> None:
+    """Serialize ``obj`` as JSON and publish it atomically."""
+    atomic_write_text(path, json.dumps(obj, **dumps_kwargs))

@@ -35,6 +35,16 @@ identical to a serial run (a test asserts this, cache on and off).
 ``workers=1`` bypasses multiprocessing entirely, which is also the safe
 choice inside environments that restrict process creation.
 
+With a :class:`~repro.harness.supervision.SupervisionPolicy`, dispatch
+becomes fault-tolerant: failed attempts retry with exponential backoff,
+a dead worker process (``BrokenProcessPool``) tears the pool down,
+respawns it and re-enqueues the in-flight jobs, an attempt that
+overruns its wall-clock deadline is presumed hung and killed, poison
+jobs are quarantined after a bounded number of attempts, and repeated
+pool failures degrade execution to supervised in-process serial mode.
+The failure modes themselves are exercised deterministically by
+:mod:`repro.harness.faults` and ``tests/harness/test_chaos.py``.
+
 :func:`run_jobs_chunked` keeps the previous static ``pool.map``
 implementation verbatim — it is the reference side of
 ``benchmarks/bench_sweep_throughput.py`` and of the differential tests,
@@ -43,13 +53,25 @@ exactly as ``_seed_reference`` preserves the seed event kernel.
 
 from __future__ import annotations
 
+import heapq
 import os
+import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.config import GpuConfig
+from repro.harness import faults
 from repro.harness.result_cache import ResultCache, cost_key, job_key
+from repro.harness.supervision import (
+    DOMAIN_JOB,
+    DOMAIN_TIMEOUT,
+    DOMAIN_WORKER,
+    SupervisionPolicy,
+    SupervisionStats,
+)
 from repro.tenancy.manager import MultiTenantManager, RunResult
 from repro.tenancy.tenant import Tenant
 from repro.workloads.base import MemoizedWorkload, TraceMemo
@@ -120,6 +142,17 @@ def _execute(job: Job) -> Tuple[str, RunResult]:
     return job.label, manager.run()
 
 
+def _execute_attempt(job: Job, attempt: int) -> Tuple[str, RunResult]:
+    """Supervised worker entry point: attempt number ``attempt`` (1-based).
+
+    The fault hook sees the 0-based count of *prior* failures, so a
+    ``fail_attempts=1`` fault fires on the first try and lets the retry
+    succeed.  With no faults installed this is one env lookup.
+    """
+    faults.maybe_inject(job.label, attempt - 1)
+    return _execute(job)
+
+
 def _execute_batch(jobs: Sequence[Job]) -> List[Tuple[str, RunResult]]:
     """Worker entry point for an explicit ``chunksize`` batch."""
     return [_execute(job) for job in jobs]
@@ -185,6 +218,31 @@ class WorkerPool:
             self._executor.shutdown()
             self._executor = None
 
+    def kill(self) -> None:
+        """Tear the pool down *now*: terminate workers, drop the executor.
+
+        This is the supervisor's hammer for hung or crashed crash
+        domains — a hung simulation never returns, so a graceful
+        ``shutdown()`` would block forever.  The next ``executor``
+        access respawns a fresh pool (with cold
+        :class:`~repro.workloads.base.TraceMemo`\\ s — correctness is
+        unaffected, the memo is a pure optimization).
+        """
+        if self._executor is None:
+            return
+        executor, self._executor = self._executor, None
+        # ProcessPoolExecutor has no public "terminate the workers" API;
+        # reaching into ``_processes`` is the accepted escape hatch.
+        for process in list(getattr(executor, "_processes", {}).values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
     def __enter__(self) -> "WorkerPool":
         return self
 
@@ -223,11 +281,213 @@ def _drain_batched(executor: Executor, pending: Sequence[Job],
                 on_result(label, result, by_label[label])
 
 
+class _DegradeToSerial(Exception):
+    """Internal signal: the pool broke too often; finish in-process."""
+
+    def __init__(self, work: List[Tuple[Job, int]]) -> None:
+        super().__init__("worker pool respawn limit exceeded")
+        self.work = work
+
+
+def _finish(stats: SupervisionStats, job: Job, attempt: int,
+            result: RunResult,
+            on_result: Callable[[str, RunResult, Job], None]) -> None:
+    stats.attempts[job.label] = attempt
+    result.retries = attempt - 1
+    on_result(job.label, result, job)
+
+
+def _run_supervised_serial(work: Sequence[Tuple[Job, int]],
+                           policy: SupervisionPolicy,
+                           stats: SupervisionStats,
+                           on_result: Callable[[str, RunResult, Job], None],
+                           ) -> None:
+    """In-process supervised execution: retry with backoff, quarantine.
+
+    Both the ``workers=1`` path and the graceful-degradation fallback
+    land here.  Deadlines are not enforced — a single process cannot
+    preempt its own hung simulation — which is exactly why degradation
+    is a last resort, not the default.  ``work`` entries carry the
+    attempt number to start from (the fallback inherits attempts already
+    burned under the pool).
+    """
+    retry = policy.retry
+    for job, attempt in work:
+        while True:
+            if attempt > retry.max_attempts:
+                # Attempts exhausted under the pool before degradation.
+                stats.quarantined.setdefault(
+                    job.label, "retry budget exhausted before fallback")
+                break
+            try:
+                _label, result = _execute_attempt(job, attempt)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                domain = (DOMAIN_WORKER
+                          if isinstance(exc, faults.InjectedWorkerCrash)
+                          else DOMAIN_JOB)
+                stats.record_failure(domain)
+                stats.attempts[job.label] = attempt
+                if attempt >= retry.max_attempts:
+                    stats.quarantined[job.label] = (
+                        f"{type(exc).__name__}: {exc}")
+                    break
+                stats.retries += 1
+                time.sleep(retry.delay_for(attempt, key=job.label))
+                attempt += 1
+            else:
+                _finish(stats, job, attempt, result, on_result)
+                break
+
+
+def _drain_supervised(pool: WorkerPool, pending: Sequence[Job],
+                      policy: SupervisionPolicy, stats: SupervisionStats,
+                      on_result: Callable[[str, RunResult, Job], None],
+                      ) -> None:
+    """The supervised work-stealing dispatch loop.
+
+    Same longest-expected-first, submit-individually shape as
+    :func:`_drain_dynamic`, plus the fault handling:
+
+    * an attempt that raises an ordinary exception retries with backoff
+      until its budget runs out, then quarantines;
+    * a dead worker (``BrokenProcessPool``) charges every in-flight job
+      one attempt (the executor cannot attribute the crash), tears the
+      pool down and respawns it;
+    * an attempt past ``job_deadline`` is presumed hung: the watchdog
+      kills the pool, charges the overdue job, and *requeues* the
+      innocent in-flight siblings without touching their budgets;
+    * more than ``max_pool_respawns`` teardowns degrades the remainder
+      to supervised serial execution via :class:`_DegradeToSerial`.
+    """
+    retry = policy.retry
+    ready: deque = deque((job, 1) for job in pending)
+    backoff: List[Tuple[float, int, Job, int]] = []  # (due, seq, job, att)
+    seq = 0
+    inflight: Dict[object, Tuple[Job, int, Optional[float]]] = {}
+
+    def fail(job: Job, attempt: int, domain: str, error: str) -> None:
+        nonlocal seq
+        stats.record_failure(domain)
+        stats.attempts[job.label] = attempt
+        if attempt >= retry.max_attempts:
+            stats.quarantined[job.label] = error
+            return
+        stats.retries += 1
+        seq += 1
+        due = time.perf_counter() + retry.delay_for(attempt, key=job.label)
+        heapq.heappush(backoff, (due, seq, job, attempt + 1))
+
+    def break_pool(culprits: Dict[str, str], domain: str) -> None:
+        """Tear down + respawn; ``culprits`` (label -> error) are charged
+        an attempt, innocent in-flight jobs are requeued for free."""
+        stats.pool_respawns += 1
+        victims = list(inflight.values())
+        inflight.clear()
+        pool.kill()
+        for job, attempt, _deadline in victims:
+            if job.label in culprits:
+                fail(job, attempt, domain, culprits[job.label])
+            else:
+                stats.requeues += 1
+                ready.append((job, attempt))
+        if stats.pool_respawns > policy.max_pool_respawns:
+            stats.degraded_serial = True
+            remainder = list(ready)
+            remainder.extend((job, att) for _due, _s, job, att in
+                             sorted(backoff))
+            raise _DegradeToSerial(remainder)
+
+    while ready or backoff or inflight:
+        now = time.perf_counter()
+        while backoff and backoff[0][0] <= now:
+            _due, _s, job, attempt = heapq.heappop(backoff)
+            ready.append((job, attempt))
+        try:
+            while ready:
+                job, attempt = ready[0]
+                deadline = (now + policy.job_deadline
+                            if policy.job_deadline else None)
+                future = pool.executor.submit(_execute_attempt, job, attempt)
+                ready.popleft()
+                inflight[future] = (job, attempt, deadline)
+        except BrokenProcessPool as exc:
+            break_pool({job.label: str(exc) or "worker process died"
+                        for job, _a, _d in inflight.values()}, DOMAIN_WORKER)
+            continue
+
+        if not inflight:
+            if backoff:  # waiting out a backoff window, nothing running
+                time.sleep(max(0.0, backoff[0][0] - time.perf_counter()))
+            continue
+
+        timeouts = [policy.watchdog_interval] if policy.job_deadline else []
+        if backoff:
+            timeouts.append(backoff[0][0] - now)
+        wait_timeout = max(0.0, min(timeouts)) if timeouts else None
+        done, _not_done = wait(set(inflight), timeout=wait_timeout,
+                               return_when=FIRST_COMPLETED)
+
+        pool_broken: Optional[str] = None
+        for future in done:
+            job, attempt, _deadline = inflight.pop(future)
+            try:
+                _label, result = future.result()
+            except BrokenProcessPool as exc:
+                pool_broken = str(exc) or "worker process died"
+                fail(job, attempt, DOMAIN_WORKER, pool_broken)
+            except Exception as exc:
+                fail(job, attempt, DOMAIN_JOB, f"{type(exc).__name__}: {exc}")
+            else:
+                _finish(stats, job, attempt, result, on_result)
+        if pool_broken is not None:
+            # Whatever was still in flight shares the dead pool's fate:
+            # charge everyone (the crash cannot be attributed).
+            break_pool({job.label: pool_broken
+                        for job, _a, _d in inflight.values()}, DOMAIN_WORKER)
+            continue
+
+        if policy.job_deadline:
+            now = time.perf_counter()
+            overdue = {job.label: (f"exceeded {policy.job_deadline:g}s "
+                                   "job deadline (presumed hung)")
+                       for job, _a, deadline in inflight.values()
+                       if deadline is not None and now >= deadline}
+            if overdue:
+                stats.timeouts += len(overdue)
+                break_pool(overdue, DOMAIN_TIMEOUT)
+
+
+def _run_supervised(pending: Sequence[Job], workers: int,
+                    pool: Optional[WorkerPool], policy: SupervisionPolicy,
+                    stats: SupervisionStats,
+                    on_result: Callable[[str, RunResult, Job], None]) -> None:
+    """Entry for supervised execution: pool dispatch with serial fallback."""
+    if workers <= 1 or len(pending) <= 1:
+        _run_supervised_serial([(job, 1) for job in pending],
+                               policy, stats, on_result)
+        return
+    own_pool = pool is None
+    pool = pool if pool is not None else WorkerPool(workers)
+    try:
+        _drain_supervised(pool, pending, policy, stats, on_result)
+    except _DegradeToSerial as degrade:
+        _run_supervised_serial(degrade.work, policy, stats, on_result)
+    finally:
+        if own_pool:
+            pool.shutdown()
+
+
 def run_jobs(jobs: Sequence[Job],
              workers: Optional[int] = None,
              cache: Optional[ResultCache] = None,
              chunksize: Optional[int] = None,
-             pool: Optional[WorkerPool] = None) -> Dict[str, RunResult]:
+             pool: Optional[WorkerPool] = None,
+             supervision: Optional[SupervisionPolicy] = None,
+             stats: Optional[SupervisionStats] = None,
+             progress: Optional[Callable[[Job, RunResult], None]] = None,
+             ) -> Dict[str, RunResult]:
     """Run every job; returns results keyed by job label.
 
     ``workers`` defaults to the CPU count; 1 runs serially in-process.
@@ -239,17 +499,34 @@ def run_jobs(jobs: Sequence[Job],
     :class:`WorkerPool` across calls instead of spinning up a fresh
     executor.  Duplicate labels are rejected up front (silent overwrites
     would make missing-result bugs invisible).
+
+    ``supervision`` switches execution to the fault-tolerant dispatcher:
+    failed attempts retry with backoff, dead workers respawn the pool,
+    hung attempts are killed at the deadline, and jobs that exhaust
+    their budget are *quarantined* — recorded in ``stats`` (a
+    :class:`~repro.harness.supervision.SupervisionStats`, created fresh
+    unless the caller passes one to inspect) and **omitted from the
+    returned dict** instead of raising mid-sweep.  Without
+    ``supervision`` the first failure propagates, exactly as before.
+    ``progress`` is invoked after each fresh result lands (and is safely
+    persisted if a cache is present) — the campaign checkpoint hook.
     """
     labels = [job.label for job in jobs]
     if len(set(labels)) != len(labels):
         raise ValueError("job labels must be unique")
+    if supervision is not None and chunksize is not None and chunksize > 1:
+        raise ValueError("chunksize batching is not supported under "
+                         "supervision (batches hide which job failed)")
     if workers is None:
         workers = pool.workers if pool is not None else (os.cpu_count() or 1)
+    if supervision is not None and stats is None:
+        stats = SupervisionStats()
 
     results: Dict[str, RunResult] = {}
     pending: List[Job] = list(jobs)
     keys: Dict[str, str] = {}
     if cache is not None:
+        corrupt_before = cache.corrupt
         pending = []
         for job in jobs:
             key = keys[job.label] = job_key(job)
@@ -258,6 +535,10 @@ def run_jobs(jobs: Sequence[Job],
                 pending.append(job)
             else:
                 results[job.label] = cached
+        if stats is not None:
+            # Quarantined cache entries recompute below; account for
+            # them so degraded storage is visible in the summary.
+            stats.merge_cache_corruption(cache.corrupt - corrupt_before)
 
     if pending:
         # Longest-expected-first: the heaviest simulations must start
@@ -272,9 +553,18 @@ def run_jobs(jobs: Sequence[Job],
                 cache.put(keys[label], result)
                 if result.wall_seconds > 0:
                     cache.record_cost(cost_key(job), result.wall_seconds)
+            if progress is not None:
+                progress(job, result)
+            # Chaos hook: may raise an injected KeyboardInterrupt, the
+            # deterministic stand-in for a mid-sweep kill -9 — strictly
+            # after the result was recorded and persisted.
+            faults.note_result()
 
         try:
-            if workers <= 1 or len(pending) <= 1:
+            if supervision is not None:
+                _run_supervised(pending, workers, pool, supervision,
+                                stats, on_result)
+            elif workers <= 1 or len(pending) <= 1:
                 for job in pending:
                     label, result = _execute(job)
                     on_result(label, result, job)
@@ -294,7 +584,8 @@ def run_jobs(jobs: Sequence[Job],
                 cache.flush_costs()
 
     # Return in the caller's job order, cache hits and fresh runs alike.
-    return {label: results[label] for label in labels}
+    # Under supervision, quarantined jobs are absent (see ``stats``).
+    return {label: results[label] for label in labels if label in results}
 
 
 def run_jobs_chunked(jobs: Sequence[Job],

@@ -90,31 +90,51 @@ def format_bars(result: ExperimentResult, value_column: str,
 
 
 def format_wall_summary(job_results: Dict[str, object],
-                        top: Optional[int] = None) -> str:
+                        top: Optional[int] = None,
+                        supervision: Optional[object] = None) -> str:
     """Render per-job wall times (slowest first) with an overall total.
 
     ``job_results`` maps job labels to
     :class:`~repro.tenancy.manager.RunResult` objects; entries replayed
     from a cache carry the wall time of the machine that originally
     simulated them.  ``top`` truncates to the N slowest jobs.
+
+    Degraded executions stay visible: any job that needed retries is
+    flagged on its row, the retry total lands in the header, and a
+    :class:`~repro.harness.supervision.SupervisionStats` passed as
+    ``supervision`` appends its one-line digest (requeues, quarantined
+    jobs, pool respawns) so an operator reads the whole story in one
+    block.
     """
     rows = sorted(job_results.items(),
                   key=lambda item: getattr(item[1], "wall_seconds", 0.0),
                   reverse=True)
     total_wall = sum(getattr(r, "wall_seconds", 0.0) for _, r in rows)
     total_events = sum(getattr(r, "events_fired", 0) for _, r in rows)
+    total_retries = sum(getattr(r, "retries", 0) for _, r in rows)
     shown = rows if top is None else rows[:top]
     label_width = max([len(label) for label, _ in shown], default=5)
-    lines = [f"wall time by job ({len(rows)} job(s), "
-             f"total {total_wall:.2f}s, {total_events:,} events)"]
+    header = (f"wall time by job ({len(rows)} job(s), "
+              f"total {total_wall:.2f}s, {total_events:,} events")
+    if total_retries:
+        header += f", {total_retries} retried attempt(s)"
+    lines = [header + ")"]
     for label, result in shown:
         wall = getattr(result, "wall_seconds", 0.0)
         events = getattr(result, "events_fired", 0)
+        retries = getattr(result, "retries", 0)
         rate = events / wall if wall > 0 else 0.0
+        flag = f"  [{retries} retr{'y' if retries == 1 else 'ies'}]" \
+            if retries else ""
         lines.append(f"  {label.ljust(label_width)}  {wall:8.3f}s  "
-                     f"{events:>12,} ev  {rate:>12,.0f} ev/s")
+                     f"{events:>12,} ev  {rate:>12,.0f} ev/s{flag}")
     if top is not None and len(rows) > top:
         lines.append(f"  ... {len(rows) - top} faster job(s) omitted")
+    if supervision is not None:
+        lines.append(supervision.summary())
+        for label, error in sorted(
+                getattr(supervision, "quarantined", {}).items()):
+            lines.append(f"  quarantined: {label} — {error}")
     return "\n".join(lines)
 
 

@@ -24,11 +24,21 @@ behaviour changes, orphaning every stale entry at once.  Format 2 added
 ``max_events`` to the payload (it can truncate a simulation, so it is
 result-determining) and the ``wall_seconds`` field to stored results.
 
-Storage is one pickle per result under ``<root>/<key[:2]>/<key>.pkl``,
-written atomically (temp file + ``os.replace``) so a crashed or
-concurrent writer can never publish a torn payload.  Unreadable or
-unpicklable entries are deleted and treated as misses.  Every filesystem
-failure degrades to "no cache", never to a wrong result.
+Storage is one checksummed entry per result under
+``<root>/<key[:2]>/<key>.pkl``, written atomically (temp file +
+``os.replace``) so a crashed or concurrent writer can never publish a
+torn payload.  Each entry is an envelope::
+
+    MAGIC (11 bytes) | format version (4 bytes BE) | sha256(payload)
+    (32 bytes) | pickled payload
+
+Loads verify the magic, the format version and the payload digest
+before unpickling; anything that fails — truncation, a flipped bit, a
+stale format, an unpicklable body — is *quarantined* (moved to
+``<root>/quarantine/<key>.bad`` for post-mortem inspection, counted in
+``corrupt``) and treated as a miss, so corruption always recomputes and
+never crashes or poisons a campaign.  Every filesystem failure degrades
+to "no cache", never to a wrong result.
 
 Cost model
 ----------
@@ -51,12 +61,44 @@ import hashlib
 import json
 import os
 import pickle
-import tempfile
+import struct
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.harness.fsutil import atomic_write_bytes, atomic_write_json
+
 #: Bump to orphan every existing cache entry (simulator behaviour change).
 CACHE_FORMAT = 2
+
+#: Entry envelope: magic, 4-byte BE format version, sha256(payload), payload.
+ENTRY_MAGIC = b"RPROCACHE1\n"
+_HEADER_LEN = len(ENTRY_MAGIC) + 4 + 32
+
+
+class CacheIntegrityError(ValueError):
+    """An entry failed its envelope checks (magic/version/checksum)."""
+
+
+def encode_entry(payload: bytes, fmt: int = CACHE_FORMAT) -> bytes:
+    """Wrap a pickled payload in the checksummed envelope."""
+    return (ENTRY_MAGIC + struct.pack(">I", fmt)
+            + hashlib.sha256(payload).digest() + payload)
+
+
+def decode_entry(blob: bytes, fmt: int = CACHE_FORMAT) -> bytes:
+    """Verify an envelope and return its payload, or raise
+    :class:`CacheIntegrityError` naming what failed."""
+    if len(blob) < _HEADER_LEN or not blob.startswith(ENTRY_MAGIC):
+        raise CacheIntegrityError("bad magic or truncated header")
+    (version,) = struct.unpack_from(">I", blob, len(ENTRY_MAGIC))
+    if version != fmt:
+        raise CacheIntegrityError(
+            f"cache format {version} != expected {fmt}")
+    digest = blob[len(ENTRY_MAGIC) + 4:_HEADER_LEN]
+    payload = blob[_HEADER_LEN:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise CacheIntegrityError("payload checksum mismatch")
+    return payload
 
 #: Weight of the newest observation in the wall-time moving average.
 COST_EMA_ALPHA = 0.5
@@ -92,12 +134,15 @@ class ResultCache:
     """Pickle-per-entry result store addressed by :func:`job_key`."""
 
     COSTS_FILE = "costs.json"
+    QUARANTINE_DIR = "quarantine"
 
     def __init__(self, root) -> None:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: entries that failed integrity checks and were quarantined
+        self.corrupt = 0
         self._costs: Optional[Dict[str, float]] = None  # lazy-loaded
         self._costs_dirty = False
 
@@ -105,25 +150,54 @@ class ResultCache:
         # Two-level fan-out keeps directories small on big sweeps.
         return self.root / key[:2] / f"{key}.pkl"
 
+    def _quarantine_path(self, key: str) -> Path:
+        # ``.bad`` keeps quarantined files out of the ``*/*.pkl`` globs
+        # that len()/clear() use.
+        return self.root / self.QUARANTINE_DIR / f"{key}.bad"
+
     # ------------------------------------------------------------------
     # Lookup / store
     # ------------------------------------------------------------------
-    def get(self, key: str) -> Optional[object]:
-        """The cached result for ``key``, or ``None`` on a miss."""
-        path = self._path(key)
+    def _quarantine(self, key: str, path: Path) -> None:
+        """Move a failed entry aside for post-mortem; delete as fallback.
+
+        Quarantined entries are preserved (a checksum mismatch on real
+        hardware is worth inspecting), but they must leave the live
+        namespace either way so the next lookup recomputes.
+        """
+        self.corrupt += 1
+        target = self._quarantine_path(key)
         try:
-            with open(path, "rb") as fh:
-                result = pickle.load(fh)
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except Exception:
-            # Corrupted/stale payload (truncated pickle, renamed classes,
-            # ...): drop the entry so the next run re-simulates cleanly.
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
             try:
                 os.unlink(path)
             except OSError:
                 pass
+
+    def get(self, key: str) -> Optional[object]:
+        """The cached result for ``key``, or ``None`` on a miss.
+
+        A present-but-damaged entry (torn write survivor, bit flip,
+        stale format, legacy un-checksummed layout) is quarantined and
+        reported as a miss — corruption recomputes, never raises.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            result = pickle.loads(decode_entry(blob))
+        except Exception:
+            # CacheIntegrityError, truncated pickle, renamed classes, ...
+            self._quarantine(key, path)
             self.misses += 1
             return None
         self.hits += 1
@@ -131,20 +205,9 @@ class ResultCache:
 
     def put(self, key: str, result: object) -> None:
         """Store ``result`` under ``key`` (best-effort, atomic)."""
-        path = self._path(key)
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            atomic_write_bytes(self._path(key), encode_entry(payload))
         except (OSError, pickle.PicklingError):
             # A read-only or full disk must not fail the sweep.
             return
@@ -185,18 +248,8 @@ class ResultCache:
         if not self._costs_dirty or self._costs is None:
             return
         try:
-            self.root.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w") as fh:
-                    json.dump(self._costs, fh, sort_keys=True)
-                os.replace(tmp, self.root / self.COSTS_FILE)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            atomic_write_json(self.root / self.COSTS_FILE, self._costs,
+                              sort_keys=True)
         except OSError:
             return  # advisory data; a full disk must not fail the sweep
         self._costs_dirty = False
@@ -222,6 +275,14 @@ class ResultCache:
             return 0
         return sum(1 for _ in self.root.glob("*/*.pkl"))
 
+    def quarantined_entries(self) -> int:
+        """How many corrupt entries are parked for post-mortem."""
+        qdir = self.root / self.QUARANTINE_DIR
+        if not qdir.exists():
+            return 0
+        return sum(1 for _ in qdir.glob("*.bad"))
+
     def stats(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores, "entries": len(self)}
+                "stores": self.stores, "corrupt": self.corrupt,
+                "entries": len(self)}

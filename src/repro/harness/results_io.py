@@ -13,6 +13,7 @@ import json
 from pathlib import Path
 from typing import Dict, Mapping, Union
 
+from repro.harness.fsutil import atomic_write_text
 from repro.tenancy.manager import RunResult
 
 FORMAT_VERSION = 1
@@ -47,12 +48,17 @@ def result_to_dict(result: RunResult) -> Dict:
 
 def export_results(results: Mapping[str, RunResult],
                    path: Union[str, Path]) -> None:
-    """Write labeled results as one JSON document."""
+    """Write labeled results as one JSON document.
+
+    The write is atomic (temp file + rename): an export that replaces a
+    previous document can crash at any point without leaving a torn,
+    half-JSON file where a complete one used to be.
+    """
     payload = {
         "format": FORMAT_VERSION,
         "runs": {label: result_to_dict(r) for label, r in results.items()},
     }
-    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
+    atomic_write_text(path, json.dumps(payload, indent=1, sort_keys=True))
 
 
 def load_results(path: Union[str, Path]) -> Dict[str, Dict]:

@@ -74,9 +74,15 @@ class RunResult:
     events_fired: int = 0
     #: wall-clock seconds the simulation took on the machine that ran it.
     #: Not part of the simulated state — it feeds the campaign
-    #: scheduler's cost model and the wall-time summaries, and it is the
-    #: one field allowed to differ between two runs of the same job.
+    #: scheduler's cost model and the wall-time summaries, and it is
+    #: (with ``retries``) allowed to differ between two runs of the
+    #: same job.
     wall_seconds: float = 0.0
+    #: how many failed attempts preceded this result (0 = clean first
+    #: try).  Execution metadata like ``wall_seconds``: set by the
+    #: supervised dispatcher, surfaced in the wall-time summaries so a
+    #: degraded run is visible, never part of the simulated state.
+    retries: int = 0
 
     @property
     def tenant_ids(self) -> List[int]:

@@ -70,9 +70,10 @@ class TestExperimentResult:
 
 
 class _FakeRun:
-    def __init__(self, wall_seconds, events_fired):
+    def __init__(self, wall_seconds, events_fired, retries=0):
         self.wall_seconds = wall_seconds
         self.events_fired = events_fired
+        self.retries = retries
 
 
 class TestFormatWallSummary:
@@ -98,3 +99,29 @@ class TestFormatWallSummary:
 
     def test_empty_input(self):
         assert "0 job(s)" in format_wall_summary({})
+
+    def test_retries_flagged_per_row_and_in_header(self):
+        runs = {"clean": _FakeRun(2.0, 1000),
+                "flaky": _FakeRun(0.5, 600, retries=1),
+                "worse": _FakeRun(1.0, 800, retries=2)}
+        text = format_wall_summary(runs)
+        assert "3 retried attempt(s)" in text
+        flaky_line = next(l for l in text.splitlines() if "flaky" in l)
+        assert "[1 retry]" in flaky_line
+        worse_line = next(l for l in text.splitlines() if "worse" in l)
+        assert "[2 retries]" in worse_line
+        clean_line = next(l for l in text.splitlines() if "clean" in l)
+        assert "retr" not in clean_line
+
+    def test_no_retries_keeps_legacy_header(self):
+        text = format_wall_summary(self.make())
+        assert "retried" not in text
+
+    def test_supervision_digest_appended(self):
+        from repro.harness.supervision import SupervisionStats
+
+        stats = SupervisionStats(retries=2, requeues=1)
+        stats.quarantined["bad/job"] = "RuntimeError: boom"
+        text = format_wall_summary(self.make(), supervision=stats)
+        assert "supervision:" in text
+        assert "quarantined: bad/job — RuntimeError: boom" in text

@@ -9,9 +9,13 @@ from repro.engine.config import GpuConfig
 from repro.harness import Session
 from repro.harness.parallel import Job, run_jobs
 from repro.harness.result_cache import (
+    CACHE_FORMAT,
     COST_EMA_ALPHA,
+    CacheIntegrityError,
     ResultCache,
     cost_key,
+    decode_entry,
+    encode_entry,
     job_key,
 )
 
@@ -56,8 +60,8 @@ class TestResultCacheStorage:
         assert cache.get("ab" + "0" * 62) is None
         cache.put("ab" + "0" * 62, {"x": 1})
         assert cache.get("ab" + "0" * 62) == {"x": 1}
-        assert cache.stats() == {"hits": 1, "misses": 1,
-                                 "stores": 1, "entries": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1,
+                                 "corrupt": 0, "entries": 1}
 
     def test_corrupted_entry_is_dropped(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -83,6 +87,74 @@ class TestResultCacheStorage:
         assert len(cache) == 3
         assert cache.clear() == 3
         assert len(cache) == 0
+
+
+class TestEntryEnvelope:
+    def test_round_trip(self):
+        payload = b"some pickled bytes"
+        assert decode_entry(encode_entry(payload)) == payload
+
+    def test_rejects_truncation(self):
+        blob = encode_entry(b"x" * 100)
+        with pytest.raises(CacheIntegrityError):
+            decode_entry(blob[:len(blob) // 2])
+
+    def test_rejects_bitflip(self):
+        blob = bytearray(encode_entry(b"x" * 100))
+        blob[-1] ^= 0x40
+        with pytest.raises(CacheIntegrityError):
+            decode_entry(bytes(blob))
+
+    def test_rejects_wrong_format_version(self):
+        blob = encode_entry(b"payload", fmt=CACHE_FORMAT + 1)
+        with pytest.raises(CacheIntegrityError):
+            decode_entry(blob)
+
+    def test_rejects_foreign_bytes(self):
+        with pytest.raises(CacheIntegrityError):
+            decode_entry(b"not an envelope at all")
+
+
+class TestCacheCorruption:
+    KEY = "ab" + "0" * 62
+
+    def corrupted_cache(self, tmp_path, mutate):
+        cache = ResultCache(tmp_path)
+        cache.put(self.KEY, {"x": 1})
+        mutate(cache._path(self.KEY))
+        return cache
+
+    @pytest.mark.parametrize("mutate", [
+        lambda p: p.write_bytes(p.read_bytes()[:15]),              # torn write
+        lambda p: p.write_bytes(p.read_bytes()[:-3] + b"zzz"),     # bad digest
+        lambda p: p.write_bytes(
+            encode_entry(pickle.dumps({"x": 1}), fmt=CACHE_FORMAT + 1)),
+        lambda p: p.write_bytes(pickle.dumps({"x": 1})),           # legacy raw
+    ], ids=["truncated", "bad-checksum", "wrong-version", "legacy-pickle"])
+    def test_corrupt_entry_is_a_miss_not_an_error(self, tmp_path, mutate):
+        cache = self.corrupted_cache(tmp_path, mutate)
+        assert cache.get(self.KEY) is None
+        assert cache.corrupt == 1
+        # ... and a recompute can be stored and read back afterwards.
+        cache.put(self.KEY, {"x": 2})
+        assert cache.get(self.KEY) == {"x": 2}
+
+    def test_corrupt_entry_lands_in_quarantine(self, tmp_path):
+        cache = self.corrupted_cache(
+            tmp_path, lambda p: p.write_bytes(b"garbage"))
+        assert cache.quarantined_entries() == 0
+        cache.get(self.KEY)
+        assert cache.quarantined_entries() == 1
+        assert not cache._path(self.KEY).exists()
+        # Quarantined files are outside the entry namespace: they never
+        # count as live entries and clear() leaves them for inspection.
+        assert len(cache) == 0
+
+    def test_stats_surface_corruption(self, tmp_path):
+        cache = self.corrupted_cache(
+            tmp_path, lambda p: p.write_bytes(b"garbage"))
+        cache.get(self.KEY)
+        assert cache.stats()["corrupt"] == 1
 
 
 class TestRunJobsCache:

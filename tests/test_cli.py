@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.harness import faults
 
 
 class TestParser:
@@ -66,6 +69,62 @@ class TestExperimentCommand:
         assert rc == 0
         out = capsys.readouterr().out
         assert "fig5" in out and "HS.MM" in out
+
+
+class TestCampaignCommand:
+    SMALL = ["campaign", "--figures", "fig5", "--pairs", "HS.MM",
+             "--scale", "0.05", "--warps", "2", "--workers", "1"]
+
+    @pytest.fixture(autouse=True)
+    def _clean_faults(self):
+        faults.clear_faults()
+        yield
+        faults.clear_faults()
+
+    def test_supervision_flags_parse(self):
+        args = build_parser().parse_args(
+            self.SMALL + ["--max-attempts", "5", "--deadline", "30",
+                          "--supervision-report", "out.json"])
+        assert args.max_attempts == 5
+        assert args.deadline == 30.0
+        assert args.supervision_report == "out.json"
+
+    def test_clean_campaign_exits_zero(self, capsys):
+        assert main(self.SMALL) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "executed:" in out
+
+    def test_transient_faults_still_exit_zero(self, capsys):
+        faults.install_faults(
+            [faults.FaultSpec(kind="raise", label="*", fail_attempts=1)])
+        assert main(self.SMALL) == 0
+
+    def test_quarantine_exits_one_with_summary_not_traceback(self, capsys):
+        faults.install_faults(
+            [faults.FaultSpec(kind="raise", label="*", fail_attempts=99)])
+        rc = main(self.SMALL + ["--max-attempts", "2"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "quarantined" in err
+        assert "Traceback" not in err
+
+    def test_supervision_report_written(self, tmp_path, capsys):
+        target = tmp_path / "supervision.json"
+        faults.install_faults(
+            [faults.FaultSpec(kind="raise", label="*", fail_attempts=1)])
+        rc = main(self.SMALL + ["--supervision-report", str(target)])
+        assert rc == 0
+        parsed = json.loads(target.read_text())
+        assert parsed["retries"] >= 1
+        assert parsed["quarantined"] == {}
+
+    def test_wall_summary_flags_retries(self, capsys):
+        faults.install_faults(
+            [faults.FaultSpec(kind="raise", label="*", fail_attempts=1)])
+        assert main(self.SMALL + ["--wall-summary"]) == 0
+        out = capsys.readouterr().out
+        assert "retried attempt(s)" in out
+        assert "supervision:" in out
 
 
 class TestReportCommand:
