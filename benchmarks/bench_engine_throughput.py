@@ -131,6 +131,46 @@ def measure(args):
     return sides, speedup, ratios
 
 
+def measure_audit_overhead(args):
+    """Cost of an *installed but off* integrity config on the engine.
+
+    Interleaves plain runs (no ``REPRO_INTEGRITY``) with runs under an
+    installed ``IntegrityConfig(audit="off")``.  The off level must keep
+    the engine's no-hook fast path — its entire cost budget is one
+    environment lookup per manager run — so the median paired overhead
+    is asserted to stay within a few percent (CI: ``audit-smoke``).
+
+    Returns ``(overhead, ratios)`` where overhead is the median paired
+    slowdown fraction (positive = installed-off is slower).
+    """
+    from repro.integrity import IntegrityConfig, clear_install, install
+
+    def run_plain():
+        clear_install()
+        return run_once(args, EventQueue, run_engine, nullcontext)
+
+    def run_off():
+        install(IntegrityConfig(audit="off"))
+        try:
+            return run_once(args, EventQueue, run_engine, nullcontext)
+        finally:
+            clear_install()
+
+    run_plain()  # warm-up, discarded
+    run_off()
+    ratios = []
+    for _ in range(args.repeats):
+        plain_events, plain_secs = run_plain()
+        off_events, off_secs = run_off()
+        if plain_events != off_events:
+            raise SystemExit(
+                f"audit=off changed the event count: {off_events} vs "
+                f"{plain_events} — byte-identical discipline broken")
+        ratios.append((off_events / off_secs) / (plain_events / plain_secs))
+    median = sorted(ratios)[len(ratios) // 2]
+    return 1.0 - median, ratios
+
+
 def component_profile(args, top: int = 12) -> dict:
     """One extra profiled run for the per-component event breakdown."""
     manager = build_manager(args, EventQueue)
@@ -152,6 +192,13 @@ def main(argv=None) -> int:
                         help="output path (default: ./BENCH_engine.json)")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny workload, one repeat (CI wiring check)")
+    parser.add_argument("--audit-overhead", action="store_true",
+                        help="also measure the cost of an installed "
+                             "IntegrityConfig(audit='off') vs no config")
+    parser.add_argument("--assert-audit-overhead", type=float, default=None,
+                        metavar="PCT",
+                        help="fail if the audit-off overhead exceeds PCT "
+                             "percent (implies --audit-overhead)")
     args = parser.parse_args(argv)
     args.repeats = max(1, args.repeats)
     if args.smoke:
@@ -179,6 +226,19 @@ def main(argv=None) -> int:
         "profile": component_profile(args),
         "python": sys.version.split()[0],
     }
+    if args.audit_overhead or args.assert_audit_overhead is not None:
+        overhead, audit_ratios = measure_audit_overhead(args)
+        payload["audit_off_overhead"] = overhead
+        payload["audit_off_ratios"] = audit_ratios
+        print(f"audit=off overhead: {overhead * 100:+.2f}% "
+              f"(median of {len(audit_ratios)} paired runs)")
+        limit = args.assert_audit_overhead
+        if limit is not None and overhead * 100 > limit:
+            Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+            raise SystemExit(
+                f"audit=off overhead {overhead * 100:.2f}% exceeds the "
+                f"{limit:g}% budget — the disabled integrity layer must "
+                f"not touch the hot path")
     Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"{args.pair} scale={args.scale}: "
           f"engine {engine['events_per_sec']:,.0f} ev/s vs "

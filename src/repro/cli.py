@@ -12,9 +12,13 @@ Commands:
 * ``campaign`` — plan + execute many figures at once: jobs are
   deduplicated across figures and against the result cache, then run on
   the work-stealing pool (see ``repro.harness.campaign``).
+* ``replay <bundle>`` — re-run the simulation a crash-forensics bundle
+  describes; exits 0 when the recorded failure reproduces, 3 when not.
 
 All commands accept ``--scale`` (workload length multiplier) and
-``--warps`` (warps per SM) to trade fidelity for run time.
+``--warps`` (warps per SM) to trade fidelity for run time, plus the
+integrity flags ``--audit {off,cheap,full}``, ``--watchdog-window`` and
+``--forensics-dir`` (see ``repro.integrity``).
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ import sys
 from typing import List, Optional
 
 from repro.engine.config import GpuConfig
+from repro.engine.simulator import SimulationError
 from repro.harness.experiments import ALL_EXPERIMENTS
 from repro.harness.reporting import format_table
 from repro.harness.runner import Session
@@ -48,6 +53,48 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--warps", type=int, default=4,
                         help="warps per SM (default 4)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--audit", choices=("off", "cheap", "full"),
+                        default="off",
+                        help="runtime invariant auditing: 'cheap' sweeps "
+                             "every --audit-interval events, 'full' checks "
+                             "every event and every walk transition "
+                             "(default off: zero overhead)")
+    parser.add_argument("--audit-interval", type=int, default=2048,
+                        metavar="N",
+                        help="events between sweeps under --audit cheap "
+                             "(default 2048)")
+    parser.add_argument("--watchdog-window", type=int, default=0,
+                        metavar="EVENTS",
+                        help="raise ProgressStall after this many events "
+                             "without forward progress (default 0: "
+                             "disabled)")
+    parser.add_argument("--forensics-dir", default=None, metavar="DIR",
+                        help="write a replayable crash bundle here when a "
+                             "simulation fails (default: no capture)")
+
+
+def _install_integrity(args) -> Optional[str]:
+    """Publish the integrity config from CLI flags, when any are set.
+
+    Returns the previous ``REPRO_INTEGRITY`` value so :func:`main` can
+    restore it (the CLI must not leak config into a calling process's
+    later runs — tests drive ``main()`` in-process).
+    """
+    import os
+
+    from repro.integrity import INTEGRITY_ENV, IntegrityConfig, install
+
+    if (args.audit == "off" and args.watchdog_window == 0
+            and args.forensics_dir is None):
+        return os.environ.get(INTEGRITY_ENV)
+    previous = os.environ.get(INTEGRITY_ENV)
+    install(IntegrityConfig(
+        audit=args.audit,
+        audit_interval=args.audit_interval,
+        watchdog_window=args.watchdog_window,
+        forensics_dir=args.forensics_dir,
+    ))
+    return previous
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -109,6 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the retry/requeue/quarantine report as "
                         "JSON to PATH")
     _add_common(p)
+
+    p = sub.add_parser(
+        "replay",
+        help="re-run the simulation a crash-forensics bundle describes "
+             "and report whether the recorded failure reproduces")
+    p.add_argument("bundle", help="path to a *.forensics.json bundle")
 
     p = sub.add_parser("report", help="regenerate experiments as Markdown")
     p.add_argument("--experiments", default=None,
@@ -251,6 +304,37 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def cmd_replay(args) -> int:
+    from repro.integrity import load_bundle, replay_bundle
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load bundle: {exc}", file=sys.stderr)
+        return 2
+    error = bundle.get("error", {})
+    job = bundle.get("job", {})
+    print(f"replaying {'.'.join(job.get('names', []))} "
+          f"(seed {job.get('seed')}, scale {job.get('scale')}) — "
+          f"recorded failure: {error.get('type')}")
+    try:
+        outcome = replay_bundle(bundle)
+    except ValueError as exc:  # bundle not replayable (custom workloads)
+        print(str(exc), file=sys.stderr)
+        return 2
+    if outcome.reproduced:
+        print(f"reproduced: {type(outcome.error).__name__}: {outcome.error}")
+        return 0
+    if outcome.error is not None:
+        print(f"run failed differently: {type(outcome.error).__name__}: "
+              f"{outcome.error}", file=sys.stderr)
+    else:
+        print("run completed cleanly; the recorded failure did not "
+              "reproduce (environment drift? check the bundle's "
+              "'environment' section)", file=sys.stderr)
+    return 3
+
+
 def cmd_report(args) -> int:
     from repro.harness.report import generate_report
 
@@ -280,13 +364,36 @@ COMMANDS = {
     "compare": cmd_compare,
     "experiment": cmd_experiment,
     "campaign": cmd_campaign,
+    "replay": cmd_replay,
     "report": cmd_report,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    import os
+
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    previous = _install_integrity(args) if hasattr(args, "audit") else None
+    try:
+        return COMMANDS[args.command](args)
+    except SimulationError as exc:
+        # Typed failure with a diagnosis attached: print the digest (and
+        # the forensics bundle when one was captured), not a traceback.
+        print(f"simulation failed: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        bundle = getattr(exc, "bundle_path", None)
+        if bundle:
+            print(f"forensics bundle: {bundle}", file=sys.stderr)
+            print(f"reproduce with: PYTHONPATH=src python -m repro replay "
+                  f"{bundle}", file=sys.stderr)
+        return 1
+    finally:
+        if hasattr(args, "audit"):
+            from repro.integrity import INTEGRITY_ENV
+            if previous is None:
+                os.environ.pop(INTEGRITY_ENV, None)
+            else:
+                os.environ[INTEGRITY_ENV] = previous
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -210,10 +210,27 @@ class PartitionedWalkPolicy(WalkSchedulingPolicy):
         return self.fwa.state_bits() + self.twm.state_bits() + self.wtm.state_bits()
 
     def check_invariants(self) -> None:
-        """Assert FWA counters mirror the ground-truth queues (tests)."""
+        """Assert FWA/TWM counters mirror the ground-truth queues.
+
+        Used by the policy tests and by the runtime integrity auditor
+        (``repro.integrity``): FWA free-slot counts must mirror the
+        per-walker queues, and each tenant's PEND_WALKS counter must be
+        non-negative and cover at least its queued walks (pend also
+        counts walks in dispatch or in service, so it may exceed the
+        queue depth but never undercut it).
+        """
         for w in range(self.num_walkers):
             expected_free = self.per_walker_queue - len(self._queues[w])
             if self.fwa.free_slots(w) != expected_free:
                 raise AssertionError(
                     f"FWA[{w}]={self.fwa.free_slots(w)} != {expected_free}"
                 )
+        for tenant in self._tenants:
+            pend = self.twm.pend_walks(tenant)
+            queued = self.queued_for(tenant)
+            if pend < 0:
+                raise AssertionError(
+                    f"PEND_WALKS[{tenant}]={pend} is negative")
+            if pend < queued:
+                raise AssertionError(
+                    f"PEND_WALKS[{tenant}]={pend} < queued walks {queued}")

@@ -231,3 +231,39 @@ def config_key(config: GpuConfig) -> Tuple:
         (f.name, getattr(config, f.name))
         for f in dataclasses.fields(config)
     )
+
+
+def config_from_dict(data: Dict[str, Any]) -> GpuConfig:
+    """Inverse of ``dataclasses.asdict`` for :class:`GpuConfig`.
+
+    Forensics bundles persist the exact failing configuration as plain
+    JSON; this rebuilds it — including every derived variant (separate
+    TLBs/walkers, page size, policy params) — so a replay runs the same
+    simulation, not a near miss.  Unknown keys raise rather than being
+    dropped: a bundle from a newer schema must not silently replay a
+    different machine.
+    """
+    sm_data = dict(data["sm"])
+    sm = SmConfig(**{
+        **sm_data,
+        "l1_tlb": TlbConfig(**sm_data["l1_tlb"]),
+        "l1_cache": CacheConfig(**sm_data["l1_cache"]),
+    })
+    policy_data = dict(data.get("policy") or {})
+    policy = PolicySpec(name=policy_data.get("name", "baseline"),
+                        params=dict(policy_data.get("params") or {}))
+    scalars = {
+        key: data[key]
+        for key in ("page_size_bits", "interconnect_latency",
+                    "separate_l2_tlb", "separate_walkers", "max_tenants")
+        if key in data
+    }
+    return GpuConfig(
+        sm=sm,
+        l2_tlb=TlbConfig(**data["l2_tlb"]),
+        l2_cache=CacheConfig(**data["l2_cache"]),
+        dram=DramConfig(**data["dram"]),
+        walkers=WalkerConfig(**data["walkers"]),
+        policy=policy,
+        **scalars,
+    )

@@ -29,7 +29,64 @@ from repro.engine.stats import StatsRegistry
 
 
 class SimulationError(RuntimeError):
-    """Raised for impossible simulation states (bugs, bad configs)."""
+    """Raised for impossible simulation states (bugs, bad configs).
+
+    Root of the typed simulation-failure hierarchy.  Subclasses carry
+    structured context — which tenant, which walker, at what simulated
+    time — so supervisors and the crash-forensics layer can act on a
+    failure without parsing its message.  Extra keyword arguments land
+    in :attr:`context` and survive pickling across the worker-process
+    boundary (the default ``BaseException`` reduce protocol restores
+    ``__dict__``).
+    """
+
+    def __init__(self, message: str, *,
+                 tenant_id: Optional[int] = None,
+                 walker_id: Optional[int] = None,
+                 sim_time: Optional[int] = None,
+                 **context: Any) -> None:
+        super().__init__(message)
+        self.message = message
+        self.tenant_id = tenant_id
+        self.walker_id = walker_id
+        self.sim_time = sim_time
+        self.context = context
+
+    def __str__(self) -> str:
+        tags = []
+        if self.tenant_id is not None:
+            tags.append(f"tenant={self.tenant_id}")
+        if self.walker_id is not None:
+            tags.append(f"walker={self.walker_id}")
+        if self.sim_time is not None:
+            tags.append(f"sim_time={self.sim_time}")
+        if not tags:
+            return self.message
+        return f"{self.message} [{', '.join(tags)}]"
+
+    def details(self) -> dict:
+        """JSON-portable view for forensics bundles and reports."""
+        out: dict = {"type": type(self).__name__, "message": self.message}
+        if self.tenant_id is not None:
+            out["tenant_id"] = self.tenant_id
+        if self.walker_id is not None:
+            out["walker_id"] = self.walker_id
+        if self.sim_time is not None:
+            out["sim_time"] = self.sim_time
+        out.update(self.context)
+        return out
+
+
+class WalkerStateError(SimulationError):
+    """A page table walker observed an impossible internal state."""
+
+
+class WalkAccountingError(SimulationError):
+    """Per-tenant walk/occupancy accounting went out of balance."""
+
+
+class EventBudgetExceeded(SimulationError):
+    """A run burned its event budget before reaching its stop condition."""
 
 
 class Simulator:
@@ -40,6 +97,10 @@ class Simulator:
         self.events = EventQueue()
         self.stats = StatsRegistry()
         self.profiler = None  # repro.engine.profile.EngineProfiler or None
+        # Per-event integrity callback (repro.integrity).  Like
+        # ``profiler``, attaching one routes run() through the slow loop;
+        # when it is None — the default — the fast path pays nothing.
+        self.audit_hook: Optional[Callable[[], None]] = None
         self._running = False
         self._stop = False
 
@@ -102,8 +163,10 @@ class Simulator:
         take = events.pop
         recycle = events.recycle
         profiler = self.profiler
+        audit = self.audit_hook
         try:
-            if until is None and stop_when is None and profiler is None:
+            if (until is None and stop_when is None and profiler is None
+                    and audit is None):
                 # Fast path: nothing to peek for, nothing to poll.
                 budget = sys.maxsize if max_events is None else max_events
                 while fired < budget and not self._stop:
@@ -141,6 +204,10 @@ class Simulator:
                     event.fn(*event.args)
                     fired += 1
                     recycle(event)
+                    if audit is not None:
+                        # After the event (and recycling): the hook sees
+                        # quiescent state, exactly between two events.
+                        audit()
         finally:
             self._running = False
         return fired

@@ -210,6 +210,26 @@ class Gpu:
     def walk_subsystem_for(self, tenant_id: int) -> PageWalkSubsystem:
         return self._pws[tenant_id]
 
+    def walk_subsystems(self) -> List[PageWalkSubsystem]:
+        """Unique subsystems: one shared, or one per tenant (S-(TLB+PTW))."""
+        seen, unique = set(), []
+        for tenant_id in self._tenant_ids:
+            pws = self._pws[tenant_id]
+            if id(pws) not in seen:
+                seen.add(id(pws))
+                unique.append(pws)
+        return unique
+
+    def l2_tlbs(self) -> List[Tlb]:
+        """Unique L2 TLBs: one shared, or one per tenant (S-TLB)."""
+        seen, unique = set(), []
+        for tenant_id in self._tenant_ids:
+            tlb = self._l2_tlbs[tenant_id]
+            if id(tlb) not in seen:
+                seen.add(id(tlb))
+                unique.append(tlb)
+        return unique
+
     def launch_warps(self, tenant_id: int, streams) -> None:
         """Distribute warp streams over the tenant's SM partition."""
         context = self.tenants[tenant_id]

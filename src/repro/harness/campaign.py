@@ -488,7 +488,7 @@ def run_campaign(session: Session,
             executed = run_jobs([job for _, job in unique_jobs],
                                 workers=workers, cache=cache, pool=pool,
                                 supervision=supervision, stats=stats,
-                                progress=checkpoint)
+                                progress=checkpoint, validate=True)
     except KeyboardInterrupt:
         # Finished results are already on disk (incremental stores) and
         # checkpointed per job; record any quarantine verdicts so the

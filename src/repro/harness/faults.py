@@ -36,8 +36,9 @@ KIND_CRASH = "crash"          # worker process dies (os._exit)
 KIND_HANG = "hang"            # attempt sleeps past any sane deadline
 KIND_RAISE = "raise"          # attempt raises InjectedFault
 KIND_INTERRUPT = "interrupt"  # parent raises KeyboardInterrupt mid-sweep
+KIND_CORRUPT = "corrupt"      # corrupt simulator state mid-run (integrity)
 
-_KINDS = (KIND_CRASH, KIND_HANG, KIND_RAISE, KIND_INTERRUPT)
+_KINDS = (KIND_CRASH, KIND_HANG, KIND_RAISE, KIND_INTERRUPT, KIND_CORRUPT)
 
 
 class InjectedFault(RuntimeError):
@@ -63,12 +64,16 @@ class FaultSpec:
     fail_attempts: int = 1      # fire while attempt < fail_attempts
     hang_seconds: float = 3600.0
     after_results: int = 0      # interrupt: fire once N results landed
+    after_events: int = 1000    # corrupt: fire once N sim events fired
+    target: str = "busy"        # corrupt: "busy" (occupancy) or "walks"
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.fail_attempts < 1:
             raise ValueError("fail_attempts must be at least 1")
+        if self.kind == KIND_CORRUPT and self.target not in ("busy", "walks"):
+            raise ValueError(f"unknown corruption target {self.target!r}")
 
     def matches(self, label: str, attempt: int) -> bool:
         if self.label not in ("*", label):
@@ -121,7 +126,9 @@ def maybe_inject(label: str, attempt: int) -> None:
     process executes it.
     """
     for spec in active_specs():
-        if spec.kind == KIND_INTERRUPT or not spec.matches(label, attempt):
+        if spec.kind in (KIND_INTERRUPT, KIND_CORRUPT):
+            continue  # fired elsewhere (parent loop / integrity hook)
+        if not spec.matches(label, attempt):
             continue
         if spec.kind == KIND_RAISE:
             raise InjectedFault(
@@ -134,6 +141,18 @@ def maybe_inject(label: str, attempt: int) -> None:
                 os._exit(13)  # a real worker death, not an exception
             raise InjectedWorkerCrash(
                 f"injected worker crash: {label} attempt {attempt}")
+
+
+def corruption_specs() -> Tuple[FaultSpec, ...]:
+    """The installed ``corrupt`` faults, if any.
+
+    These are applied by the integrity layer's per-event hook
+    (:mod:`repro.integrity`), not by :func:`maybe_inject` — state
+    corruption needs a live simulation to corrupt, and catching it is
+    exactly what the invariant auditor exists for.  Installing one
+    without ``--audit`` (or a watchdog) therefore has no effect.
+    """
+    return tuple(s for s in active_specs() if s.kind == KIND_CORRUPT)
 
 
 #: Results the parent has consumed since install (interrupt trigger).

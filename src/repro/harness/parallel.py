@@ -68,10 +68,12 @@ from repro.harness.result_cache import ResultCache, cost_key, job_key
 from repro.harness.supervision import (
     DOMAIN_JOB,
     DOMAIN_TIMEOUT,
+    DOMAIN_VALIDATE,
     DOMAIN_WORKER,
     SupervisionPolicy,
     SupervisionStats,
 )
+from repro.harness.validate import ResultValidationError, validate_result
 from repro.tenancy.manager import MultiTenantManager, RunResult
 from repro.tenancy.tenant import Tenant
 from repro.workloads.base import MemoizedWorkload, TraceMemo
@@ -133,16 +135,43 @@ def _tenant_for(index: int, name: str, scale: float) -> Tenant:
     return Tenant(index, MemoizedWorkload(workload, _TRACE_MEMO))
 
 
-def _execute(job: Job) -> Tuple[str, RunResult]:
+def _execute(job: Job, validate: bool = False) -> Tuple[str, RunResult]:
     tenants = [_tenant_for(i, name, job.scale)
                for i, name in enumerate(job.names)]
     manager = MultiTenantManager(job.config, tenants,
                                  warps_per_sm=job.warps_per_sm,
-                                 seed=job.seed, max_events=job.max_events)
-    return job.label, manager.run()
+                                 seed=job.seed, max_events=job.max_events,
+                                 label=job.label)
+    result = manager.run()
+    if validate:
+        report = validate_result(result)
+        if not report.ok:
+            error = ResultValidationError(report.violations)
+            _capture_validation_forensics(job, error, result)
+            raise error
+    return job.label, result
 
 
-def _execute_attempt(job: Job, attempt: int) -> Tuple[str, RunResult]:
+def _capture_validation_forensics(job: Job, error: ResultValidationError,
+                                  result: RunResult) -> None:
+    """Bundle a validation failure when forensics are configured.
+
+    Runs in whichever process executed the job; the bundle path rides
+    back to the supervisor on the (picklable) exception itself.
+    """
+    from repro.integrity import active_config, capture_job_failure
+    config = active_config()
+    if config is None or config.forensics_dir is None:
+        return
+    try:
+        capture_job_failure(job, error, config.forensics_dir,
+                            stats=result.stats, integrity=config)
+    except OSError:
+        pass  # forensics must never mask the validation failure
+
+
+def _execute_attempt(job: Job, attempt: int,
+                     validate: bool = False) -> Tuple[str, RunResult]:
     """Supervised worker entry point: attempt number ``attempt`` (1-based).
 
     The fault hook sees the 0-based count of *prior* failures, so a
@@ -150,12 +179,22 @@ def _execute_attempt(job: Job, attempt: int) -> Tuple[str, RunResult]:
     succeed.  With no faults installed this is one env lookup.
     """
     faults.maybe_inject(job.label, attempt - 1)
-    return _execute(job)
+    return _execute(job, validate)
 
 
-def _execute_batch(jobs: Sequence[Job]) -> List[Tuple[str, RunResult]]:
+def _execute_batch(jobs: Sequence[Job],
+                   validate: bool = False) -> List[Tuple[str, RunResult]]:
     """Worker entry point for an explicit ``chunksize`` batch."""
-    return [_execute(job) for job in jobs]
+    return [_execute(job, validate) for job in jobs]
+
+
+def _describe(exc: BaseException) -> str:
+    """Quarantine-message form of a failure, with its forensics bundle."""
+    message = f"{type(exc).__name__}: {exc}"
+    bundle = getattr(exc, "bundle_path", None)
+    if bundle:
+        message += f" [bundle: {bundle}]"
+    return message
 
 
 def _execute_unmemoized(job: Job) -> Tuple[str, RunResult]:
@@ -251,10 +290,12 @@ class WorkerPool:
 
 
 def _drain_dynamic(executor: Executor, pending: Sequence[Job],
-                   on_result: Callable[[str, RunResult, Job], None]) -> None:
+                   on_result: Callable[[str, RunResult, Job], None],
+                   validate: bool = False) -> None:
     """Submit every job individually and consume completions as they
     land — the work-stealing dispatch loop."""
-    futures = {executor.submit(_execute, job): job for job in pending}
+    futures = {executor.submit(_execute, job, validate): job
+               for job in pending}
     not_done = set(futures)
     while not_done:
         done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
@@ -265,12 +306,13 @@ def _drain_dynamic(executor: Executor, pending: Sequence[Job],
 
 def _drain_batched(executor: Executor, pending: Sequence[Job],
                    chunksize: int,
-                   on_result: Callable[[str, RunResult, Job], None]) -> None:
+                   on_result: Callable[[str, RunResult, Job], None],
+                   validate: bool = False) -> None:
     """Batched submission for callers that want fewer pool round trips
     (chunking is an IPC knob; results are identical to per-job dispatch)."""
     batches = [pending[i:i + chunksize]
                for i in range(0, len(pending), chunksize)]
-    futures = {executor.submit(_execute_batch, batch): batch
+    futures = {executor.submit(_execute_batch, batch, validate): batch
                for batch in batches}
     not_done = set(futures)
     while not_done:
@@ -301,6 +343,7 @@ def _run_supervised_serial(work: Sequence[Tuple[Job, int]],
                            policy: SupervisionPolicy,
                            stats: SupervisionStats,
                            on_result: Callable[[str, RunResult, Job], None],
+                           validate: bool = False,
                            ) -> None:
     """In-process supervised execution: retry with backoff, quarantine.
 
@@ -320,18 +363,25 @@ def _run_supervised_serial(work: Sequence[Tuple[Job, int]],
                     job.label, "retry budget exhausted before fallback")
                 break
             try:
-                _label, result = _execute_attempt(job, attempt)
+                _label, result = _execute_attempt(job, attempt, validate)
             except KeyboardInterrupt:
                 raise
             except Exception as exc:
-                domain = (DOMAIN_WORKER
+                fatal = isinstance(exc, ResultValidationError)
+                domain = (DOMAIN_VALIDATE if fatal
+                          else DOMAIN_WORKER
                           if isinstance(exc, faults.InjectedWorkerCrash)
                           else DOMAIN_JOB)
                 stats.record_failure(domain)
                 stats.attempts[job.label] = attempt
-                if attempt >= retry.max_attempts:
-                    stats.quarantined[job.label] = (
-                        f"{type(exc).__name__}: {exc}")
+                bundle = getattr(exc, "bundle_path", None)
+                if bundle:
+                    stats.forensics[job.label] = bundle
+                # Validation failures are deterministic — the same run
+                # fails the same way on retry — so they skip the retry
+                # budget and quarantine immediately.
+                if fatal or attempt >= retry.max_attempts:
+                    stats.quarantined[job.label] = _describe(exc)
                     break
                 stats.retries += 1
                 time.sleep(retry.delay_for(attempt, key=job.label))
@@ -344,6 +394,7 @@ def _run_supervised_serial(work: Sequence[Tuple[Job, int]],
 def _drain_supervised(pool: WorkerPool, pending: Sequence[Job],
                       policy: SupervisionPolicy, stats: SupervisionStats,
                       on_result: Callable[[str, RunResult, Job], None],
+                      validate: bool = False,
                       ) -> None:
     """The supervised work-stealing dispatch loop.
 
@@ -367,11 +418,19 @@ def _drain_supervised(pool: WorkerPool, pending: Sequence[Job],
     seq = 0
     inflight: Dict[object, Tuple[Job, int, Optional[float]]] = {}
 
-    def fail(job: Job, attempt: int, domain: str, error: str) -> None:
+    def fail(job: Job, attempt: int, domain: str, error: str,
+             exc: Optional[BaseException] = None) -> None:
         nonlocal seq
         stats.record_failure(domain)
         stats.attempts[job.label] = attempt
-        if attempt >= retry.max_attempts:
+        bundle = getattr(exc, "bundle_path", None) if exc is not None else None
+        if bundle:
+            stats.forensics[job.label] = bundle
+        # A validation failure is deterministic (same inputs, same stats,
+        # same violation on retry); burning the retry budget on it would
+        # just repeat the simulation — quarantine straight away.
+        fatal = isinstance(exc, ResultValidationError)
+        if fatal or attempt >= retry.max_attempts:
             stats.quarantined[job.label] = error
             return
         stats.retries += 1
@@ -409,7 +468,8 @@ def _drain_supervised(pool: WorkerPool, pending: Sequence[Job],
                 job, attempt = ready[0]
                 deadline = (now + policy.job_deadline
                             if policy.job_deadline else None)
-                future = pool.executor.submit(_execute_attempt, job, attempt)
+                future = pool.executor.submit(
+                    _execute_attempt, job, attempt, validate)
                 ready.popleft()
                 inflight[future] = (job, attempt, deadline)
         except BrokenProcessPool as exc:
@@ -438,7 +498,10 @@ def _drain_supervised(pool: WorkerPool, pending: Sequence[Job],
                 pool_broken = str(exc) or "worker process died"
                 fail(job, attempt, DOMAIN_WORKER, pool_broken)
             except Exception as exc:
-                fail(job, attempt, DOMAIN_JOB, f"{type(exc).__name__}: {exc}")
+                domain = (DOMAIN_VALIDATE
+                          if isinstance(exc, ResultValidationError)
+                          else DOMAIN_JOB)
+                fail(job, attempt, domain, _describe(exc), exc=exc)
             else:
                 _finish(stats, job, attempt, result, on_result)
         if pool_broken is not None:
@@ -462,18 +525,20 @@ def _drain_supervised(pool: WorkerPool, pending: Sequence[Job],
 def _run_supervised(pending: Sequence[Job], workers: int,
                     pool: Optional[WorkerPool], policy: SupervisionPolicy,
                     stats: SupervisionStats,
-                    on_result: Callable[[str, RunResult, Job], None]) -> None:
+                    on_result: Callable[[str, RunResult, Job], None],
+                    validate: bool = False) -> None:
     """Entry for supervised execution: pool dispatch with serial fallback."""
     if workers <= 1 or len(pending) <= 1:
         _run_supervised_serial([(job, 1) for job in pending],
-                               policy, stats, on_result)
+                               policy, stats, on_result, validate)
         return
     own_pool = pool is None
     pool = pool if pool is not None else WorkerPool(workers)
     try:
-        _drain_supervised(pool, pending, policy, stats, on_result)
+        _drain_supervised(pool, pending, policy, stats, on_result, validate)
     except _DegradeToSerial as degrade:
-        _run_supervised_serial(degrade.work, policy, stats, on_result)
+        _run_supervised_serial(degrade.work, policy, stats, on_result,
+                               validate)
     finally:
         if own_pool:
             pool.shutdown()
@@ -487,6 +552,7 @@ def run_jobs(jobs: Sequence[Job],
              supervision: Optional[SupervisionPolicy] = None,
              stats: Optional[SupervisionStats] = None,
              progress: Optional[Callable[[Job, RunResult], None]] = None,
+             validate: bool = False,
              ) -> Dict[str, RunResult]:
     """Run every job; returns results keyed by job label.
 
@@ -510,6 +576,13 @@ def run_jobs(jobs: Sequence[Job],
     ``supervision`` the first failure propagates, exactly as before.
     ``progress`` is invoked after each fresh result lands (and is safely
     persisted if a cache is present) — the campaign checkpoint hook.
+
+    ``validate`` runs :func:`~repro.harness.validate.validate_result` on
+    every fresh result in the process that produced it; a violation
+    raises :class:`~repro.harness.validate.ResultValidationError`, which
+    supervision treats as non-retryable (deterministic failures repeat)
+    and quarantines with a forensics bundle when one is configured.
+    Cache hits were validated when first computed and are not re-checked.
     """
     labels = [job.label for job in jobs]
     if len(set(labels)) != len(labels):
@@ -563,19 +636,20 @@ def run_jobs(jobs: Sequence[Job],
         try:
             if supervision is not None:
                 _run_supervised(pending, workers, pool, supervision,
-                                stats, on_result)
+                                stats, on_result, validate)
             elif workers <= 1 or len(pending) <= 1:
                 for job in pending:
-                    label, result = _execute(job)
+                    label, result = _execute(job, validate)
                     on_result(label, result, job)
             else:
                 executor = pool.executor if pool is not None else (
                     ProcessPoolExecutor(max_workers=workers))
                 try:
                     if chunksize is not None and chunksize > 1:
-                        _drain_batched(executor, pending, chunksize, on_result)
+                        _drain_batched(executor, pending, chunksize,
+                                       on_result, validate)
                     else:
-                        _drain_dynamic(executor, pending, on_result)
+                        _drain_dynamic(executor, pending, on_result, validate)
                 finally:
                     if pool is None:
                         executor.shutdown()

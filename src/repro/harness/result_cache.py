@@ -23,6 +23,9 @@ busting).  ``CACHE_FORMAT`` is bumped whenever the simulator's observable
 behaviour changes, orphaning every stale entry at once.  Format 2 added
 ``max_events`` to the payload (it can truncate a simulation, so it is
 result-determining) and the ``wall_seconds`` field to stored results.
+Format 3 added the ``*.lookups`` TLB counters and the per-tenant
+``*.inflight_at_stop`` snapshot keys that the result validator's
+conservation identities rely on.
 
 Storage is one checksummed entry per result under
 ``<root>/<key[:2]>/<key>.pkl``, written atomically (temp file +
@@ -68,7 +71,7 @@ from typing import Dict, Optional
 from repro.harness.fsutil import atomic_write_bytes, atomic_write_json
 
 #: Bump to orphan every existing cache entry (simulator behaviour change).
-CACHE_FORMAT = 2
+CACHE_FORMAT = 3
 
 #: Entry envelope: magic, 4-byte BE format version, sha256(payload), payload.
 ENTRY_MAGIC = b"RPROCACHE1\n"

@@ -39,6 +39,7 @@ DOMAIN_JOB = "job"          # the job body raised an ordinary exception
 DOMAIN_WORKER = "worker"    # a worker process died (BrokenProcessPool)
 DOMAIN_TIMEOUT = "timeout"  # an attempt exceeded its wall-clock deadline
 DOMAIN_CACHE = "cache"      # a cache entry failed integrity checks
+DOMAIN_VALIDATE = "validate"  # a completed result failed validation
 
 
 class JobQuarantinedError(RuntimeError):
@@ -142,6 +143,8 @@ class SupervisionStats:
     failures: Dict[str, int] = field(default_factory=dict)
     #: Attempts used per job label (1 = clean first-try success).
     attempts: Dict[str, int] = field(default_factory=dict)
+    #: Forensics bundles captured for failed jobs: label -> bundle path.
+    forensics: Dict[str, str] = field(default_factory=dict)
 
     def record_failure(self, domain: str) -> None:
         self.failures[domain] = self.failures.get(domain, 0) + 1
@@ -167,6 +170,8 @@ class SupervisionStats:
             parts.append(f"pool respawns {self.pool_respawns}")
         if self.degraded_serial:
             parts.append("degraded to serial")
+        if self.forensics:
+            parts.append(f"forensics bundles {len(self.forensics)}")
         if self.failures:
             domains = ", ".join(f"{k}={v}"
                                 for k, v in sorted(self.failures.items()))
@@ -184,4 +189,5 @@ class SupervisionStats:
             "quarantined": dict(self.quarantined),
             "failures": dict(self.failures),
             "attempts": dict(self.attempts),
+            "forensics": dict(self.forensics),
         }

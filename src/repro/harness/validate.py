@@ -3,8 +3,24 @@
 Simulators rot silently: a lost event or a double-counted stat skews
 results without crashing.  :func:`validate_result` re-derives the
 relationships that must hold between independently-collected statistics
-and reports every violation.  The integration tests run it on every
-policy, and ``python -m repro run`` can surface it to users.
+and reports every violation:
+
+* per-tenant execution accounting (per-execution instructions/cycles sum
+  to the totals, IPC is consistent with retired instructions);
+* walk conservation — walks enqueued equals walks completed plus the
+  walks the stop condition left in flight;
+* double-entry TLB accounting — for every ``*.lookups`` counter,
+  hits + misses equals lookups exactly;
+* L2 miss attribution — the per-tenant ``gpu.l2tlb_misses`` counters
+  sum to the L2 TLBs' own miss counters;
+* bounds: stolen walks never exceed completions, queueing latency never
+  exceeds total walk latency, share metrics are fractions.
+
+Every supervised campaign job runs this automatically (PR 4): a failing
+result raises :class:`ResultValidationError`, which the supervision
+layer treats as non-retryable — determinism means a validation failure
+reproduces on retry, so the job goes straight to quarantine with a
+forensics bundle.
 """
 
 from __future__ import annotations
@@ -13,6 +29,34 @@ from dataclasses import dataclass, field
 from typing import List
 
 from repro.tenancy.manager import RunResult
+
+
+class ResultValidationError(AssertionError):
+    """A completed run's statistics violate a conservation law.
+
+    Subclasses :class:`AssertionError` so pre-existing callers of
+    ``raise_if_failed`` keep working; carries the individual violations
+    for quarantine messages and forensics bundles.
+    """
+
+    def __init__(self, violations: List[str]) -> None:
+        super().__init__(
+            "run validation failed:\n  " + "\n  ".join(violations))
+        self.violations = list(violations)
+
+    def __reduce__(self):
+        # Reconstruct from the violation list, not the joined message
+        # (the default would re-feed the message string to __init__),
+        # and keep extras like ``bundle_path`` via the state dict.
+        return (type(self), (self.violations,), self.__dict__)
+
+    def details(self) -> dict:
+        """JSON-portable form for forensics bundles."""
+        return {
+            "type": type(self).__name__,
+            "message": str(self),
+            "violations": list(self.violations),
+        }
 
 
 @dataclass
@@ -33,9 +77,7 @@ class ValidationReport:
 
     def raise_if_failed(self) -> None:
         if not self.ok:
-            raise AssertionError(
-                "run validation failed:\n  " + "\n  ".join(self.violations)
-            )
+            raise ResultValidationError(self.violations)
 
 
 def _subsystems(result: RunResult) -> List[str]:
@@ -43,6 +85,15 @@ def _subsystems(result: RunResult) -> List[str]:
     for key in result.stats:
         if ".completed.tenant" in key:
             names.add(key.split(".completed.")[0])
+    return sorted(names)
+
+
+def _tlbs(result: RunResult) -> List[str]:
+    """Every TLB-like component that recorded a ``lookups`` counter."""
+    names = set()
+    for key in result.stats:
+        if key.endswith(".lookups"):
+            names.add(key[: -len(".lookups")])
     return sorted(names)
 
 
@@ -66,6 +117,22 @@ def validate_result(result: RunResult) -> ValidationReport:
             f"tenant {t} per-execution cycles do not sum to the total",
         )
         report.expect(stats.ipc >= 0, f"tenant {t} has negative IPC")
+        if stats.cycles:
+            report.expect(
+                abs(stats.ipc * stats.cycles - stats.instructions) < 0.5,
+                f"tenant {t} IPC is inconsistent with retired instructions",
+            )
+        # The GPU-level counter covers the whole run (including a partial
+        # final relaunch); the per-execution total covers completed
+        # executions only, so it can never exceed it.
+        gpu_instructions = result.stat(f"gpu.instructions.tenant{t}", -1.0)
+        if gpu_instructions >= 0:
+            report.expect(
+                stats.instructions <= gpu_instructions,
+                f"tenant {t} completed-execution instructions "
+                f"({stats.instructions}) exceed the GPU counter "
+                f"({gpu_instructions})",
+            )
 
     # -- walk conservation, per subsystem --------------------------------
     for sub in _subsystems(result):
@@ -74,11 +141,22 @@ def validate_result(result: RunResult) -> ValidationReport:
             completed = result.stat(f"{sub}.completed.tenant{t}", -1.0)
             if walks < 0 and completed < 0:
                 continue  # tenant not served by this subsystem
-            report.expect(
-                walks == completed,
-                f"{sub}: tenant {t} enqueued {walks} walks but completed "
-                f"{completed}",
-            )
+            inflight = result.stat(f"{sub}.inflight_at_stop.tenant{t}", -1.0)
+            if inflight >= 0:
+                report.expect(
+                    walks == completed + inflight,
+                    f"{sub}: tenant {t} enqueued {walks} walks but "
+                    f"completed {completed} with {inflight} in flight at "
+                    f"stop",
+                )
+            else:
+                # Result predates the inflight_at_stop stat (old cache
+                # format); the one-sided bound still has to hold.
+                report.expect(
+                    completed <= walks,
+                    f"{sub}: tenant {t} completed {completed} walks but "
+                    f"only {walks} were enqueued",
+                )
             stolen = result.stat(f"{sub}.stolen.tenant{t}")
             report.expect(
                 stolen <= max(completed, 0),
@@ -91,6 +169,33 @@ def validate_result(result: RunResult) -> ValidationReport:
                 f"{sub}: tenant {t} queueing latency exceeds total walk "
                 f"latency",
             )
+
+    # -- double-entry TLB accounting --------------------------------------
+    # Every probe increments lookups exactly once and then exactly one of
+    # hits/misses; the identity catches a lost or double-counted probe.
+    for tlb in _tlbs(result):
+        lookups = result.stat(f"{tlb}.lookups")
+        hits = result.stat(f"{tlb}.hits")
+        misses = result.stat(f"{tlb}.misses")
+        report.expect(
+            hits + misses == lookups,
+            f"{tlb}: {hits} hits + {misses} misses != {lookups} lookups",
+        )
+
+    # -- L2 miss attribution ----------------------------------------------
+    # The GPU attributes every L2 TLB miss to a tenant; those per-tenant
+    # counters must sum to what the L2 TLBs themselves counted.
+    attributed = sum(
+        result.stat(f"gpu.l2tlb_misses.tenant{t}") for t in result.tenant_ids)
+    l2_misses = sum(
+        result.stat(f"{tlb}.misses") for tlb in _tlbs(result)
+        if tlb.split(".")[0] == "l2tlb")  # "l2tlb" shared, "l2tlb.tN" private
+    if attributed or l2_misses:
+        report.expect(
+            attributed == l2_misses,
+            f"per-tenant L2 miss attribution sums to {attributed} but the "
+            f"L2 TLBs counted {l2_misses} misses",
+        )
 
     # -- share metrics are fractions -------------------------------------
     for key, value in result.stats.items():

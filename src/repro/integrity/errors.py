@@ -1,0 +1,71 @@
+"""Typed failures raised by the integrity layer.
+
+Both subclass :class:`~repro.engine.simulator.SimulationError`, so every
+existing ``except RuntimeError`` / ``except SimulationError`` handler —
+including the PR-3 supervision layer — already routes them correctly,
+while the structured fields (tenant, walkers, queue depths) survive the
+worker-process boundary for forensics and quarantine messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.engine.simulator import SimulationError
+
+
+class InvariantViolation(SimulationError):
+    """An auditor conservation/bounds probe failed.
+
+    ``probe`` names the registered check that tripped (e.g.
+    ``pws.walk_accounting``); the message carries the measured values.
+    """
+
+    def __init__(self, message: str, *, probe: str = "",
+                 **kwargs: Any) -> None:
+        super().__init__(message, **kwargs)
+        self.probe = probe
+
+    def details(self) -> dict:
+        out = super().details()
+        if self.probe:
+            out["probe"] = self.probe
+        return out
+
+
+class ProgressStall(SimulationError):
+    """The forward-progress watchdog found a wedged simulation.
+
+    Carries everything an operator needs to see *why* nothing moves:
+    which tenants are stuck, their queue depths and busy-walker counts,
+    and how much pending work exists while no completion, retirement or
+    instruction landed for ``window`` events.
+    """
+
+    def __init__(self, message: str, *,
+                 stalled_tenants: Sequence[int] = (),
+                 queue_depths: Optional[Dict[int, int]] = None,
+                 busy_walkers: Optional[Dict[int, int]] = None,
+                 window: int = 0,
+                 inflight_walks: int = 0,
+                 active_warps: int = 0,
+                 **kwargs: Any) -> None:
+        super().__init__(message, **kwargs)
+        self.stalled_tenants = tuple(stalled_tenants)
+        self.queue_depths = dict(queue_depths or {})
+        self.busy_walkers = dict(busy_walkers or {})
+        self.window = window
+        self.inflight_walks = inflight_walks
+        self.active_warps = active_warps
+
+    def details(self) -> dict:
+        out = super().details()
+        out.update(
+            stalled_tenants=list(self.stalled_tenants),
+            queue_depths={str(k): v for k, v in self.queue_depths.items()},
+            busy_walkers={str(k): v for k, v in self.busy_walkers.items()},
+            window=self.window,
+            inflight_walks=self.inflight_walks,
+            active_warps=self.active_warps,
+        )
+        return out

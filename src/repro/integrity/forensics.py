@@ -1,0 +1,243 @@
+"""Crash forensics: replayable failure bundles.
+
+When a simulation dies — a typed :class:`SimulationError`, an invariant
+violation, a watchdog stall, or a post-run validation failure — the
+interesting state is gone by the time a human reads the traceback.  A
+*forensics bundle* freezes it first: one JSON document holding
+
+* the error with its structured fields (tenant, walker, sim time,
+  probe name, queue depths),
+* the exact failing configuration (``dataclasses.asdict`` of the
+  :class:`~repro.engine.config.GpuConfig`, reversible via
+  :func:`~repro.engine.config.config_from_dict`),
+* the job identity: workload names, scale, warps per SM, seed, event
+  budget,
+* a stats snapshot and the simulated time at death,
+* a bounded ring buffer of recent walk events (the
+  :class:`~repro.engine.trace.Tracer` records),
+* the ambient fault plan and integrity config (``REPRO_FAULTS`` /
+  ``REPRO_INTEGRITY``), because a failure seeded by fault injection
+  only reproduces with the same plan installed, and
+* the exact ``python -m repro replay <bundle>`` command line.
+
+Bundles are written atomically (:mod:`repro.harness.fsutil`), so a
+crash while capturing a crash never publishes a torn bundle.
+:func:`replay_bundle` (and ``python -m repro replay``) rebuilds the
+simulation from the bundle alone and reports whether the recorded
+failure reproduces — the determinism guarantee turned into a tool.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.engine.config import GpuConfig, config_from_dict
+from repro.engine.simulator import SimulationError
+from repro.harness.fsutil import atomic_write_json
+from repro.integrity.config import INTEGRITY_ENV, IntegrityConfig
+
+#: Bumped when the bundle schema changes incompatibly.
+BUNDLE_FORMAT = 1
+
+BUNDLE_SUFFIX = ".forensics.json"
+
+#: Environment variables whose values must travel with the bundle for a
+#: faithful replay.
+_CAPTURED_ENV = ("REPRO_FAULTS", INTEGRITY_ENV)
+
+
+def _error_payload(error: BaseException) -> Dict[str, Any]:
+    details = getattr(error, "details", None)
+    if callable(details):
+        return details()
+    return {"type": type(error).__name__, "message": str(error)}
+
+
+def _trace_payload(subsystems) -> List[Dict[str, Any]]:
+    records: List[Dict[str, Any]] = []
+    for pws in subsystems:
+        tracer = getattr(pws, "tracer", None)
+        if tracer is None:
+            continue
+        for record in tracer.records():
+            entry = {"subsystem": pws.name, "time": record.time,
+                     "kind": record.kind}
+            entry.update(record.fields)
+            records.append(entry)
+    records.sort(key=lambda r: r["time"])
+    return records
+
+
+def _bundle_path(directory: Union[str, Path], label: str) -> Path:
+    safe = "".join(c if (c.isalnum() or c in "._-") else "_"
+                   for c in label) or "run"
+    stamp = f"{os.getpid():x}-{time.time_ns():x}"
+    return Path(directory) / f"{safe}-{stamp}{BUNDLE_SUFFIX}"
+
+
+def _replay_command(path: Path) -> str:
+    return f"PYTHONPATH=src python -m repro replay {path}"
+
+
+def write_bundle(
+    directory: Union[str, Path],
+    *,
+    error: BaseException,
+    names,
+    config: GpuConfig,
+    scale: Optional[float],
+    warps_per_sm: int,
+    seed: int,
+    max_events: int,
+    integrity: Optional[IntegrityConfig] = None,
+    stats: Optional[Dict[str, float]] = None,
+    sim_now: Optional[int] = None,
+    events_fired: Optional[int] = None,
+    trace_records: Optional[List[Dict[str, Any]]] = None,
+    label: Optional[str] = None,
+) -> Path:
+    """Capture one failure as an atomic, self-describing JSON bundle."""
+    path = _bundle_path(directory, label or ".".join(names))
+    payload: Dict[str, Any] = {
+        "format": BUNDLE_FORMAT,
+        "created_unix": time.time(),
+        "error": _error_payload(error),
+        "job": {
+            "label": label,
+            "names": list(names),
+            "scale": scale,
+            "warps_per_sm": warps_per_sm,
+            "seed": seed,
+            "max_events": max_events,
+        },
+        "config": dataclasses.asdict(config),
+        "integrity": dataclasses.asdict(integrity) if integrity else None,
+        "environment": {key: os.environ[key] for key in _CAPTURED_ENV
+                        if os.environ.get(key)},
+        "sim": {"now": sim_now, "events_fired": events_fired},
+        "stats": stats or {},
+        "recent_events": trace_records or [],
+        "command": _replay_command(path),
+    }
+    atomic_write_json(path, payload, indent=1, sort_keys=True)
+    return path
+
+
+def load_bundle(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and structurally validate a forensics bundle."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or data.get("format") != BUNDLE_FORMAT:
+        raise ValueError(
+            f"{path}: not a format-{BUNDLE_FORMAT} forensics bundle")
+    for key in ("error", "job", "config"):
+        if key not in data:
+            raise ValueError(f"{path}: bundle is missing {key!r}")
+    return data
+
+
+@dataclass
+class ReplayOutcome:
+    """What re-running a bundle's simulation produced."""
+
+    #: True when the replay failed with the recorded error type.
+    reproduced: bool
+    #: The recorded error type name (from the bundle).
+    expected_type: str
+    #: The error the replay raised, if any.
+    error: Optional[BaseException] = None
+    #: The result, when the replay completed cleanly (no reproduction).
+    result: Optional[object] = None
+
+
+def replay_bundle(bundle: Union[str, Path, Dict[str, Any]],
+                  forensics_dir: Optional[str] = None) -> ReplayOutcome:
+    """Re-run the simulation a bundle describes.
+
+    The replay installs the bundle's captured environment (fault plan
+    and integrity config) for its duration, rebuilds the exact
+    :class:`GpuConfig`, and runs the same workloads/seed/budget.  By
+    default no nested forensics are captured (``forensics_dir=None``
+    overrides the recorded directory) — replaying a crash should
+    diagnose it, not mint another bundle.
+    """
+    from repro.tenancy.manager import MultiTenantManager
+    from repro.tenancy.tenant import Tenant
+    from repro.workloads.suite import BENCHMARKS, benchmark
+
+    if not isinstance(bundle, dict):
+        bundle = load_bundle(bundle)
+    job = bundle["job"]
+    names = list(job["names"])
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        raise ValueError(
+            f"bundle references unknown workloads {unknown}; only "
+            f"benchmark-suite runs can be replayed from a bundle")
+    if job.get("scale") is None:
+        raise ValueError("bundle does not record a workload scale")
+    config = config_from_dict(bundle["config"])
+    integrity_data = bundle.get("integrity")
+    integrity = None
+    if integrity_data:
+        integrity = dataclasses.replace(
+            IntegrityConfig(**integrity_data), forensics_dir=forensics_dir)
+    expected = bundle["error"].get("type", "SimulationError")
+
+    saved = {key: os.environ.get(key) for key in _CAPTURED_ENV}
+    try:
+        for key in _CAPTURED_ENV:
+            value = bundle.get("environment", {}).get(key)
+            if value is not None:
+                os.environ[key] = value
+            else:
+                os.environ.pop(key, None)
+        tenants = [Tenant(i, benchmark(name, scale=job["scale"]))
+                   for i, name in enumerate(names)]
+        manager = MultiTenantManager(
+            config, tenants, warps_per_sm=job["warps_per_sm"],
+            seed=job["seed"], max_events=job["max_events"],
+            integrity=integrity)
+        try:
+            result = manager.run()
+        except SimulationError as exc:
+            return ReplayOutcome(
+                reproduced=(type(exc).__name__ == expected),
+                expected_type=expected, error=exc)
+        return ReplayOutcome(reproduced=False, expected_type=expected,
+                             result=result)
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def capture_job_failure(job, error: BaseException,
+                        forensics_dir: Union[str, Path],
+                        stats: Optional[Dict[str, float]] = None,
+                        integrity: Optional[IntegrityConfig] = None) -> Path:
+    """Bundle a harness-level failure (e.g. result validation) of a
+    :class:`~repro.harness.parallel.Job` — no live simulator needed."""
+    path = write_bundle(
+        forensics_dir,
+        error=error,
+        names=job.names,
+        config=job.config,
+        scale=job.scale,
+        warps_per_sm=job.warps_per_sm,
+        seed=job.seed,
+        max_events=job.max_events,
+        integrity=integrity,
+        stats=stats,
+        label=job.label,
+    )
+    error.bundle_path = str(path)
+    return path

@@ -22,8 +22,9 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.engine.config import GpuConfig
 from repro.engine.rng import DeterministicRng
-from repro.engine.simulator import Simulator
+from repro.engine.simulator import EventBudgetExceeded, Simulator
 from repro.gpu.gpu import Gpu
+from repro.integrity.config import IntegrityConfig, active_config
 from repro.tenancy.tenant import Tenant
 
 
@@ -106,6 +107,8 @@ class MultiTenantManager:
         seed: int = 0,
         max_events: int = 100_000_000,
         min_executions: int = 1,
+        integrity: Optional[IntegrityConfig] = None,
+        label: Optional[str] = None,
     ) -> None:
         if min_executions < 1:
             raise ValueError("min_executions must be at least 1")
@@ -120,6 +123,8 @@ class MultiTenantManager:
         self.rng = DeterministicRng(seed)
         self.max_events = max_events
         self.min_executions = min_executions
+        self.integrity = integrity
+        self.label = label
         self.sim = Simulator()
         self.gpu = Gpu(self.sim, config, ids)
         self._stats: Dict[int, TenantRunStats] = {}
@@ -138,6 +143,29 @@ class MultiTenantManager:
     # Execution
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
+        harness = self._integrity_harness()
+        if harness is None:
+            return self._run()
+        with harness:
+            return self._run()
+
+    def _integrity_harness(self):
+        """The integrity attachment for this run, or None for the
+        zero-overhead default.
+
+        The explicit ``integrity=`` constructor argument wins; otherwise
+        the ambient ``REPRO_INTEGRITY`` config (installed by the CLI or
+        inherited by a campaign worker) applies.  The uninstalled cost
+        is one environment lookup per *run*, never per event.
+        """
+        config = self.integrity if self.integrity is not None \
+            else active_config()
+        if config is None or not config.enabled:
+            return None
+        from repro.integrity.harness import IntegrityHarness
+        return IntegrityHarness(self, config, label=self.label)
+
+    def _run(self) -> RunResult:
         start = time.perf_counter()
         for tenant in self.tenants:
             self._launch(tenant)
@@ -146,9 +174,14 @@ class MultiTenantManager:
         # poll would — without paying for the poll on every event.
         fired = self.sim.run(max_events=self.max_events)
         if not self._all_completed_once():
-            raise RuntimeError(
+            raise EventBudgetExceeded(
                 "simulation exhausted max_events before every tenant "
-                "completed once; raise max_events or shrink the workload"
+                "completed once; raise max_events or shrink the workload",
+                sim_time=self.sim.now,
+                events_fired=fired,
+                incomplete_tenants=sorted(
+                    t for t, s in self._stats.items()
+                    if s.completed_executions < self.min_executions),
             )
         snapshot = self.sim.stats.snapshot()
         self._add_share_stats(snapshot)
@@ -170,10 +203,18 @@ class MultiTenantManager:
             pws = self.gpu.walk_subsystem_for(tid)
             if id(pws) not in seen_pws:
                 seen_pws.add(id(pws))
+                inflight = pws.inflight_by_tenant()
                 for other in self.tenants:
                     snapshot[f"{pws.name}.walker_share.tenant{other.tenant_id}"] = (
                         pws.mean_walker_share(other.tenant_id)
                     )
+                    # The stop condition (every tenant completed once)
+                    # legitimately leaves walks in flight; recording how
+                    # many lets validate_result close the conservation
+                    # identity walks == completed + inflight_at_stop.
+                    snapshot[
+                        f"{pws.name}.inflight_at_stop.tenant{other.tenant_id}"
+                    ] = float(inflight.get(other.tenant_id, 0))
             tlb = self.gpu.l2_tlb_for(tid)
             if id(tlb) not in seen_tlbs:
                 seen_tlbs.add(id(tlb))

@@ -24,7 +24,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional
 
-from repro.engine.simulator import Simulator
+from repro.engine.simulator import Simulator, WalkAccountingError
 from repro.vm.page_table import PageTable
 from repro.vm.pwc import PageWalkCache
 from repro.vm.walk import WalkRequest, WalkSchedulingPolicy
@@ -93,6 +93,10 @@ class PageWalkSubsystem:
         #: optional repro.engine.trace.Tracer; emits walk.{enqueue,
         #: overflow,start,steal,complete} records when attached
         self.tracer = None
+        #: optional repro.integrity.auditor.Auditor; in ``full`` mode it
+        #: re-checks this subsystem's invariants on every walk service
+        #: start and completion, not just between events
+        self.auditor = None
         policy.attach(self)
 
     # ------------------------------------------------------------------
@@ -244,6 +248,8 @@ class PageWalkSubsystem:
                 )
             stolen.inc()
         self._update_busy(tenant, +1)
+        if self.auditor is not None:
+            self.auditor.check_component(self)
 
     def note_completion(self, walker: Walker, request: WalkRequest) -> None:
         tenant = request.tenant_id
@@ -286,9 +292,18 @@ class PageWalkSubsystem:
         for callback in request.callbacks:
             callback(request)
         self._dispatch_idle_walkers()
+        if self.auditor is not None:
+            self.auditor.check_component(self)
 
     def _update_busy(self, tenant_id: int, delta: int) -> None:
         level = self._busy_by_tenant.get(tenant_id, 0) + delta
+        if level < 0:
+            # A negative count would silently skew mean_walker_share
+            # (Figure 9) for the rest of the run; fail loudly instead.
+            raise WalkAccountingError(
+                f"{self.name}: busy-walker count driven negative "
+                f"(delta {delta})",
+                tenant_id=tenant_id, sim_time=self.sim.now)
         self._busy_by_tenant[tenant_id] = level
         occ = self._busy_occ.get(tenant_id)
         if occ is None:
@@ -310,6 +325,20 @@ class PageWalkSubsystem:
 
     def busy_walkers(self) -> int:
         return sum(1 for w in self.walkers if w.busy)
+
+    def inflight_for(self, tenant_id: int) -> int:
+        """In-flight walks (queued, overflowed or in service) of a tenant."""
+        return sum(1 for (t, _vpn) in self._inflight if t == tenant_id)
+
+    def inflight_by_tenant(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for (t, _vpn) in self._inflight:
+            counts[t] = counts.get(t, 0) + 1
+        return counts
+
+    def busy_for(self, tenant_id: int) -> int:
+        """Walkers currently servicing this tenant's walks."""
+        return self._busy_by_tenant.get(tenant_id, 0)
 
     def mean_walker_share(self, tenant_id: int) -> float:
         """Time-weighted mean fraction of walkers busy for a tenant."""

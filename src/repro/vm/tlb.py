@@ -37,6 +37,10 @@ class Tlb:
         self._hits = stats.counter(f"{name}.hits")
         self._misses = stats.counter(f"{name}.misses")
         self._evictions = stats.counter(f"{name}.evictions")
+        # Counted on every probe, independently of the hit/miss branch,
+        # so validate_result can enforce hits + misses == lookups as a
+        # double-entry check on the lookup path.
+        self._lookups = stats.counter(f"{name}.lookups")
 
     def _set_for(self, vpn: int) -> OrderedDict:
         return self._sets[vpn % self._num_sets]
@@ -48,6 +52,7 @@ class Tlb:
         """True on hit (and refreshes LRU position)."""
         key = (tenant_id, vpn)
         tlb_set = self._sets[vpn % self._num_sets]
+        self._lookups.inc()
         if key in tlb_set:
             tlb_set.move_to_end(key)
             self._hits.inc()
@@ -101,6 +106,10 @@ class Tlb:
 
     def resident(self, tenant_id: int) -> int:
         return self._resident_by_tenant.get(tenant_id, 0)
+
+    def residency_by_tenant(self) -> Dict[int, int]:
+        """Per-tenant resident-entry counts (auditor view; a copy)."""
+        return dict(self._resident_by_tenant)
 
     def resident_total(self) -> int:
         return sum(len(s) for s in self._sets)

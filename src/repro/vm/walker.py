@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.engine.simulator import Simulator
+from repro.engine.simulator import Simulator, WalkerStateError
 from repro.vm.walk import WalkRequest
 
 
@@ -42,7 +42,10 @@ class Walker:
     def start(self, request: WalkRequest) -> None:
         """Begin servicing ``request`` (assigned by the policy)."""
         if self.busy:
-            raise RuntimeError(f"walker {self.id} is already busy")
+            raise WalkerStateError(
+                f"walker {self.id} is already busy",
+                tenant_id=request.tenant_id, walker_id=self.id,
+                sim_time=self.sim.now)
         self.busy = True
         self.current = request
         request.walker_id = self.id
@@ -53,14 +56,21 @@ class Walker:
         addrs = self.subsystem.walk_addresses(request)
         remaining = addrs[skip:]
         if not remaining:  # pragma: no cover - probe() caps below depth
-            raise RuntimeError("PWC cannot skip the leaf level")
+            raise WalkerStateError(
+                "PWC cannot skip the leaf level",
+                tenant_id=request.tenant_id, walker_id=self.id,
+                sim_time=self.sim.now)
         request.memory_accesses = len(remaining)
         self.sim.after(self.subsystem.pwc_latency,
                        self._issue_level, request, remaining, 0)
 
     def _issue_level(self, request: WalkRequest, addrs, index: int) -> None:
         if request is not self.current:  # pragma: no cover - defensive
-            raise RuntimeError("walker state corrupted")
+            raise WalkerStateError(
+                "walker is servicing a different request than it issued "
+                "levels for",
+                tenant_id=request.tenant_id, walker_id=self.id,
+                sim_time=self.sim.now)
         if index >= len(addrs):
             self._finish(request)
             return

@@ -117,10 +117,10 @@ class TestIncrementalStores:
         cache = ResultCache(tmp_path)
         real_execute = parallel_module._execute
 
-        def fail_on_b(job):
+        def fail_on_b(job, validate=False):
             if job.label == "b":
                 raise RuntimeError("worker died")
-            return real_execute(job)
+            return real_execute(job, validate)
 
         monkeypatch.setattr(parallel_module, "_execute", fail_on_b)
         jobs = [tiny_job("a"), tiny_job("b", pair="FFT.HS")]

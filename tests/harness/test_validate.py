@@ -85,3 +85,74 @@ class TestCorruptionDetected:
         result.stats["pws.walker_share.tenant0"] = -3.0
         with pytest.raises(AssertionError):
             validate_result(result).raise_if_failed()
+
+    def test_raise_carries_typed_violations(self):
+        from repro.harness.validate import ResultValidationError
+
+        result = self.make_result()
+        result.stats["pws.walker_share.tenant0"] = -3.0
+        with pytest.raises(ResultValidationError) as excinfo:
+            validate_result(result).raise_if_failed()
+        assert excinfo.value.violations
+        assert excinfo.value.details()["violations"]
+
+    def test_validation_error_pickles(self):
+        import pickle
+
+        from repro.harness.validate import ResultValidationError
+
+        error = ResultValidationError(["a bad thing", "another"])
+        error.bundle_path = "/tmp/b.forensics.json"
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.violations == ["a bad thing", "another"]
+        assert clone.bundle_path == "/tmp/b.forensics.json"
+        assert "a bad thing" in str(clone)
+
+    def test_lookup_identity_detected(self):
+        result = self.make_result()
+        for key in list(result.stats):
+            if key.endswith(".lookups"):
+                result.stats[key] += 1  # a probe that counted nothing
+                break
+        report = validate_result(result)
+        assert any("lookups" in v for v in report.violations)
+
+    def test_inflight_identity_detected(self):
+        result = self.make_result()
+        result.stats["pws.inflight_at_stop.tenant0"] += 1
+        report = validate_result(result)
+        assert any("in flight at stop" in v for v in report.violations)
+
+    def test_missing_inflight_falls_back_to_bound(self):
+        # A result from an old cache (format < 3) lacks the
+        # inflight_at_stop keys; only the one-sided bound applies.
+        result = self.make_result()
+        for key in list(result.stats):
+            if ".inflight_at_stop." in key:
+                del result.stats[key]
+        assert validate_result(result).ok
+        result.stats["pws.completed.tenant0"] += 10
+        report = validate_result(result)
+        assert any("only" in v and "enqueued" in v for v in report.violations)
+
+    def test_l2_miss_attribution_detected(self):
+        result = self.make_result()
+        result.stats["gpu.l2tlb_misses.tenant0"] += 3
+        report = validate_result(result)
+        assert any("attribution" in v for v in report.violations)
+
+
+class TestLookupsCounter:
+    def test_hits_plus_misses_equals_lookups(self):
+        cfg = GpuConfig.baseline(num_sms=4)
+        manager = MultiTenantManager(
+            cfg, [Tenant(0, TinyWorkload("a"))], warps_per_sm=2,
+        )
+        result = manager.run()
+        lookup_keys = [k for k in result.stats if k.endswith(".lookups")]
+        assert lookup_keys  # every TLB now counts probes
+        for key in lookup_keys:
+            base = key[: -len(".lookups")]
+            assert (result.stats.get(f"{base}.hits", 0.0)
+                    + result.stats.get(f"{base}.misses", 0.0)
+                    == result.stats[key]), base

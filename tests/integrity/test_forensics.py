@@ -1,0 +1,226 @@
+"""Crash forensics: typed errors, bundle round-trips, CLI replay."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.engine.config import GpuConfig
+from repro.engine.simulator import (
+    EventBudgetExceeded,
+    SimulationError,
+    WalkAccountingError,
+)
+from repro.harness.faults import FaultSpec, clear_faults, install_faults
+from repro.integrity import (
+    BUNDLE_FORMAT,
+    IntegrityConfig,
+    InvariantViolation,
+    load_bundle,
+    replay_bundle,
+    write_bundle,
+)
+from repro.tenancy.manager import MultiTenantManager
+from repro.tenancy.tenant import Tenant
+from repro.workloads.suite import benchmark
+
+
+@pytest.fixture(autouse=True)
+def _clean_env():
+    from repro.integrity import clear_install
+    clear_faults()
+    clear_install()
+    yield
+    clear_faults()
+    clear_install()
+
+
+def _manager(integrity=None, scale=0.04, max_events=100_000_000):
+    config = GpuConfig.baseline(num_sms=4)
+    tenants = [Tenant(i, benchmark(name, scale=scale))
+               for i, name in enumerate(("HS", "MM"))]
+    return MultiTenantManager(config, tenants, warps_per_sm=2, seed=7,
+                              max_events=max_events, integrity=integrity)
+
+
+# ----------------------------------------------------------------------
+# Typed error hierarchy (satellite a/b)
+# ----------------------------------------------------------------------
+def test_negative_busy_count_raises_typed_error():
+    manager = _manager()
+    pws = manager.gpu.walk_subsystems()[0]
+    with pytest.raises(WalkAccountingError) as excinfo:
+        pws._update_busy(0, -1)
+    error = excinfo.value
+    assert error.tenant_id == 0
+    assert error.sim_time == manager.sim.now
+    assert isinstance(error, SimulationError)
+    assert isinstance(error, RuntimeError)  # legacy handlers still match
+    details = error.details()
+    assert details["type"] == "WalkAccountingError"
+    assert details["tenant_id"] == 0
+
+
+def test_event_budget_error_keeps_legacy_message():
+    manager = _manager(scale=0.5, max_events=200)
+    # pre-existing callers match on RuntimeError + "max_events"
+    with pytest.raises(RuntimeError, match="max_events") as excinfo:
+        manager.run()
+    assert isinstance(excinfo.value, EventBudgetExceeded)
+    assert excinfo.value.context["incomplete_tenants"]
+
+
+def test_simulation_error_pickles_with_fields():
+    import pickle
+
+    error = WalkAccountingError("busy count negative", tenant_id=3,
+                                walker_id=2, sim_time=99, extra="x")
+    clone = pickle.loads(pickle.dumps(error))
+    assert clone.tenant_id == 3
+    assert clone.walker_id == 2
+    assert clone.sim_time == 99
+    assert clone.context == {"extra": "x"}
+
+
+# ----------------------------------------------------------------------
+# Bundle round trip (satellite d)
+# ----------------------------------------------------------------------
+def test_bundle_write_load_round_trip(tmp_path):
+    config = GpuConfig.baseline(num_sms=4)
+    error = InvariantViolation("tenant 0: off by one", probe="pws.occupancy",
+                               sim_time=123)
+    path = write_bundle(
+        tmp_path, error=error, names=("HS", "MM"), config=config,
+        scale=0.04, warps_per_sm=2, seed=7, max_events=1000,
+        integrity=IntegrityConfig(audit="full"),
+        stats={"pws.walks.tenant0": 5.0}, sim_now=123, events_fired=456,
+        label="HS.MM/dws")
+    assert path.name.endswith(".forensics.json")
+    bundle = load_bundle(path)
+    assert bundle["format"] == BUNDLE_FORMAT
+    assert bundle["error"]["probe"] == "pws.occupancy"
+    assert bundle["job"]["names"] == ["HS", "MM"]
+    assert bundle["job"]["seed"] == 7
+    assert bundle["integrity"]["audit"] == "full"
+    assert str(path) in bundle["command"]
+    # the config survives the dict round trip exactly
+    from repro.engine.config import config_from_dict
+    assert config_from_dict(bundle["config"]) == config
+
+
+def test_load_bundle_rejects_garbage(tmp_path):
+    path = tmp_path / "x.forensics.json"
+    path.write_text(json.dumps({"format": 999}))
+    with pytest.raises(ValueError, match="not a format"):
+        load_bundle(path)
+    path.write_text(json.dumps({"format": BUNDLE_FORMAT}))
+    with pytest.raises(ValueError, match="missing"):
+        load_bundle(path)
+
+
+def test_crash_capture_and_replay_reproduces(tmp_path):
+    install_faults([FaultSpec(kind="corrupt", after_events=150,
+                              target="busy")])
+    manager = _manager(IntegrityConfig(audit="full",
+                                       forensics_dir=str(tmp_path)))
+    with pytest.raises(InvariantViolation) as excinfo:
+        manager.run()
+    bundle_path = excinfo.value.bundle_path
+    assert bundle_path and str(tmp_path) in bundle_path
+    bundle = load_bundle(bundle_path)
+    assert bundle["environment"]["REPRO_FAULTS"]  # plan travels along
+    assert bundle["stats"]  # a snapshot at death was captured
+    assert bundle["sim"]["events_fired"] > 0
+
+    # The embedded command's replay must reproduce the exact failure —
+    # even with the fault plan cleared from this process.
+    clear_faults()
+    outcome = replay_bundle(bundle_path)
+    assert outcome.reproduced
+    assert type(outcome.error).__name__ == "InvariantViolation"
+    # deterministic to the message: same probe, same counts, same cycle
+    assert str(outcome.error) == str(excinfo.value)
+
+
+def test_replay_does_not_mint_nested_bundles(tmp_path):
+    install_faults([FaultSpec(kind="corrupt", after_events=150,
+                              target="walks")])
+    manager = _manager(IntegrityConfig(audit="full",
+                                       forensics_dir=str(tmp_path)))
+    with pytest.raises(InvariantViolation) as excinfo:
+        manager.run()
+    clear_faults()
+    before = sorted(tmp_path.glob("*.forensics.json"))
+    assert len(before) == 1
+    outcome = replay_bundle(before[0])
+    assert outcome.reproduced
+    assert sorted(tmp_path.glob("*.forensics.json")) == before
+    assert getattr(excinfo.value, "bundle_path", None) == str(before[0])
+
+
+def test_bundle_ring_buffer_holds_recent_events(tmp_path):
+    install_faults([FaultSpec(kind="corrupt", after_events=400,
+                              target="walks")])
+    manager = _manager(IntegrityConfig(audit="full",
+                                       forensics_dir=str(tmp_path),
+                                       ring_capacity=64))
+    with pytest.raises(InvariantViolation) as excinfo:
+        manager.run()
+    bundle = load_bundle(excinfo.value.bundle_path)
+    events = bundle["recent_events"]
+    assert 0 < len(events) <= 64
+    times = [e["time"] for e in events]
+    assert times == sorted(times)
+    # tracer attached by the harness was detached again afterwards
+    for pws in manager.gpu.walk_subsystems():
+        assert pws.tracer is None
+
+
+# ----------------------------------------------------------------------
+# CLI (satellite: --audit / --forensics-dir / replay command)
+# ----------------------------------------------------------------------
+def test_cli_flags_capture_and_replay(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+
+    monkeypatch.setenv(
+        "REPRO_FAULTS",
+        json.dumps([dataclasses.asdict(
+            FaultSpec(kind="corrupt", after_events=300, target="walks"))]))
+    code = main(["run", "HS.MM", "--scale", "0.04", "--warps", "2",
+                 "--audit", "full", "--forensics-dir", str(tmp_path)])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "InvariantViolation" in err
+    assert "forensics bundle:" in err
+    bundles = list(tmp_path.glob("*.forensics.json"))
+    assert len(bundles) == 1
+
+    monkeypatch.delenv("REPRO_FAULTS")
+    code = main(["replay", str(bundles[0])])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "reproduced: InvariantViolation" in out
+
+
+def test_cli_replay_exit_3_when_not_reproducing(tmp_path, capsys):
+    # A bundle recording a failure that a clean rerun does not hit.
+    config = GpuConfig.baseline(num_sms=4)
+    error = InvariantViolation("phantom", probe="pws.occupancy")
+    path = write_bundle(tmp_path, error=error, names=("HS", "MM"),
+                        config=config, scale=0.04, warps_per_sm=2, seed=7,
+                        max_events=100_000_000)
+    from repro.cli import main
+    assert main(["replay", str(path)]) == 3
+    assert "did not reproduce" in capsys.readouterr().err
+
+
+def test_cli_restores_prior_integrity_env(monkeypatch):
+    from repro.cli import main
+    from repro.integrity import INTEGRITY_ENV
+
+    monkeypatch.setenv(INTEGRITY_ENV, "sentinel")
+    code = main(["run", "HS.MM", "--scale", "0.03", "--warps", "2",
+                 "--audit", "cheap"])
+    assert code == 0
+    import os
+    assert os.environ[INTEGRITY_ENV] == "sentinel"
