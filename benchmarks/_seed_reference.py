@@ -72,6 +72,22 @@ class SeedSimulator:
             raise SimulationError(f"negative delay {delay}")
         return self.events.push(self.now + delay, fn, *args)
 
+    # The shipping handle-free API, for components not patched back to
+    # seed bodies.  HeapEventQueue.push_raw wraps a full Event, so the
+    # seed side keeps per-event allocation cost and canonical ordering.
+    def post_at(self, time: int, fn: Callable[..., Any], *args: Any) -> None:
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < now={self.now}"
+            )
+        self.events.push_raw(time, fn, args)
+
+    def post_after(self, delay: int, fn: Callable[..., Any],
+                   *args: Any) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.events.push_raw(self.now + delay, fn, args)
+
     def stop(self) -> None:
         """API compatibility: the seed loop stops via ``stop_when``."""
 

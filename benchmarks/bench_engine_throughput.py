@@ -1,29 +1,47 @@
-"""Event-kernel throughput microbenchmark: calendar queue vs seed heap.
+"""Engine throughput benchmark: shipping engine vs PR-4 vs seed.
 
-Runs the standard Heavy.Heavy pair (GUPS.SAD) twice per engine and
-reports wall-clock events/sec:
+Sweeps a pair triplet spanning the suite's contention classes, plus an
+L1-resident Light pair that exercises the latency-folding fast path
+(DESIGN.md §12), and reports work-normalized wall-clock events/sec for
+three engine generations side by side:
 
-* **engine** — the shipping kernel: calendar queue + free-list event
-  recycling + the tight no-peek run loop + cached component hot paths.
-* **seed_reference** — the seed engine reconstructed verbatim by
-  :mod:`_seed_reference`: binary-heap queue, per-event ``Event``
-  allocation, a run loop that peeks and polls a ``stop_when`` predicate
-  for every event, and the seed component hot paths (per-call stat-name
-  formatting, config attribute chains, property descriptors).
+* **engine** — the shipping kernel: calendar queue, handle-free raw
+  entries, the fused no-peek run loop, inlined component hot paths, and
+  the latency-folding fast path (fold on, its production default).
+* **pr4_reference** — the immediately preceding engine generation,
+  reconstructed verbatim by :mod:`_pr4_reference`: calendar queue with
+  per-event ``Event`` allocation plus free-list recycling, the PR-4 run
+  loop, and the PR-4 component bodies (no folding, no raw entries).
+  This is the baseline the fold's speedup claims are made against.
+* **seed_reference** — the original seed engine reconstructed verbatim
+  by :mod:`_seed_reference`: binary-heap queue, a run loop that peeks
+  and polls a ``stop_when`` predicate per event, and the seed component
+  hot paths.
 
-Both engines simulate the identical event stream (the simulator is
-deterministic and the kernels are differentially tested for equality;
-the run below asserts both fire the same event count), so the ratio is
-pure engine cost.
+The three sides simulate the identical machine state: the warm-up runs
+assert the engine's stats snapshot is byte-identical to PR-4's, and
+that PR-4 and seed fire the same event count under the same drive.
+With folding on the engine fires *fewer* events than the reference
+sides for the same simulated work, so all rates are normalized to the
+**canonical event count** (the PR-4/seed count): rate = canonical
+events / wall seconds.  The ratio between sides is then pure engine
+cost for identical work.
 
-Methodology: one untimed warm-up pair, then ``--repeats`` interleaved
-(engine, seed) pairs.  Interleaving matters — the effective CPU speed
-of a shared/virtualised host drifts on a scale of seconds, so timing
-all engine runs and then all seed runs lets drift masquerade as (or
-mask) speedup.  The headline ``speedup`` is the **median of paired
-ratios**, which is robust to a slow epoch hitting either side.
-Results land in ``BENCH_engine.json`` together with an
-:class:`~repro.engine.profile.EngineProfiler` component breakdown.
+Methodology: per pair, one untimed warm-up per side (doubles as the
+identity check), then ``--repeats`` interleaved (engine, pr4, seed)
+rounds.  Interleaving matters — the effective CPU speed of a
+shared/virtualised host drifts on a scale of seconds, so timing all of
+one side first lets drift masquerade as (or mask) speedup.  Headline
+numbers are **medians** (of the per-round paired ratios for speedups,
+of the per-round rates for events/sec); min/max are recorded alongside.
+Workload traces are memoized at module level (:class:`TraceMemo`), so
+trace generation is warmed out of every timed region on every side.
+
+Per-pair hit-path fractions (folded / total translated accesses) are
+recorded so the JSON states *which regime* each pair exercises: the
+suite pairs are miss-dominated at their standard footprints and fold
+rarely; the ``light_resident`` pair is built to fold on nearly every
+access.
 
 Usage::
 
@@ -37,7 +55,9 @@ collects nothing from it.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
+import statistics
 import sys
 import time
 from contextlib import nullcontext
@@ -46,6 +66,7 @@ from pathlib import Path
 if __name__ == "__main__":  # allow running without an installed package
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from _pr4_reference import pr4_engine
 from _seed_reference import seed_engine
 
 import repro.engine.simulator as simulator_module
@@ -54,20 +75,58 @@ from repro.engine.event import EventQueue, HeapEventQueue
 from repro.engine.profile import EngineProfiler
 from repro.tenancy.manager import MultiTenantManager
 from repro.tenancy.tenant import Tenant
-from repro.workloads.suite import benchmark
+from repro.workloads.base import MemoizedWorkload, TraceMemo, Workload
+from repro.workloads.suite import BENCHMARKS, benchmark
+
+#: An L1-resident Light variant: the HS spec shrunk to a footprint that
+#: fits entirely in one SM's L1 data cache *and* its L1 TLB reach, so
+#: after the cold misses every access is an L1 TLB hit + L1 data hit.
+#: This is the regime the latency-folding fast path is built for; the
+#: standard suite footprints are deliberately cache-exceeding and fold
+#: rarely (see the per-pair ``fastpath`` records).
+_HSR_SPEC = dataclasses.replace(BENCHMARKS["HS"], name="HSR",
+                                footprint_bytes=4096)
+
+#: (json key, pair, warps override) — the contention sweep.  ``None``
+#: warps means the CLI value.  ``light_resident`` pins warps=1: with a
+#: single warp per SM there is never an in-flight access ahead of the
+#: folding candidate, so the fold gates stay open.
+PAIR_SWEEP = (
+    ("light", "HS.MM", None),
+    ("medium", "JPEG.LIB", None),
+    ("heavy", "GUPS.SAD", None),
+    ("light_resident", "HSR.HSR", 1),
+)
+
+#: Module-level trace memo shared by every build on every side, so no
+#: timed region ever pays for trace generation.
+_MEMO = TraceMemo(max_entries=64)
 
 
-def build_manager(args, kernel) -> MultiTenantManager:
-    """A manager for the pair, with the simulator kernel swapped in."""
+def _workload(name: str, scale: float) -> MemoizedWorkload:
+    if name == "HSR":
+        wl = Workload(_HSR_SPEC, scale)
+    else:
+        wl = benchmark(name, scale=scale)
+    return MemoizedWorkload(wl, _MEMO)
+
+
+def build_manager(pair: str, scale: float, sms: int, warps: int,
+                  kernel) -> MultiTenantManager:
+    """A manager for the pair, with the simulator kernel swapped in.
+
+    ``kernel=None`` leaves the kernel alone — the PR-4 side installs its
+    own queue via its patched ``Simulator``.
+    """
     previous = simulator_module.EventQueue
-    simulator_module.EventQueue = kernel
+    if kernel is not None:
+        simulator_module.EventQueue = kernel
     try:
-        config = GpuConfig.baseline(num_sms=args.sms)
-        names = args.pair.split(".")
-        tenants = [Tenant(i, benchmark(name, scale=args.scale))
-                   for i, name in enumerate(names)]
+        config = GpuConfig.baseline(num_sms=sms)
+        tenants = [Tenant(i, _workload(name, scale))
+                   for i, name in enumerate(pair.split("."))]
         return MultiTenantManager(config, tenants,
-                                  warps_per_sm=args.warps, seed=0)
+                                  warps_per_sm=warps, seed=0)
     finally:
         simulator_module.EventQueue = previous
 
@@ -86,52 +145,103 @@ def run_seed_style(manager: MultiTenantManager) -> int:
 
 
 #: (json key, simulator kernel, drive function, patch context).  The
-#: seed context wraps construction too: the seed ``Walker.__init__``,
-#: for one, differs from the shipping one.
+#: reference contexts wrap construction too: the seed ``Walker.__init__``
+#: and the PR-4 ``Simulator``, for two, differ from the shipping ones.
 ENGINES = (
     ("engine", EventQueue, run_engine, nullcontext),
+    ("pr4_reference", None, run_engine, pr4_engine),
     ("seed_reference", HeapEventQueue, run_seed_style, seed_engine),
 )
 
 
-def run_once(args, kernel, drive, context):
-    """One timed simulation; returns (events fired, wall seconds)."""
+def run_once(pcfg, kernel, drive, context):
+    """One timed simulation; returns (events, wall seconds, manager)."""
+    pair, scale, sms, warps = pcfg
     with context():
-        manager = build_manager(args, kernel)
+        manager = build_manager(pair, scale, sms, warps, kernel)
         start = time.perf_counter()
         events = drive(manager)
         elapsed = time.perf_counter() - start
-    return events, elapsed
+    return events, elapsed, manager
 
 
-def measure(args):
-    """Warm-up pair, then ``args.repeats`` interleaved pairs.
+def _pair_config(entry, args):
+    key, pair, warps_override = entry
+    warps = args.warps if warps_override is None else warps_override
+    return key, (pair, args.scale, args.sms, warps)
 
-    Returns ``(sides, speedup, ratios)``: per-engine run records, the
-    median paired engine/seed ratio, and every paired ratio.
+
+def measure_pair(pcfg, repeats):
+    """Warm-up (identity checks) plus interleaved timed rounds.
+
+    Returns the per-pair record: per-side run lists with
+    median/min/max work-normalized events/sec, the canonical event
+    count, paired speedups vs PR-4 and vs seed, and the engine's
+    fold statistics.
     """
-    for _, kernel, drive, context in ENGINES:  # warm-up, discarded
-        run_once(args, kernel, drive, context)
-    sides = {name: {"events": 0, "runs": []} for name, *_ in ENGINES}
-    ratios = []
-    for _ in range(args.repeats):
-        rates = {}
+    # -- warm-up: one run per side, doubling as the identity check ----
+    warm = {}
+    for name, kernel, drive, context in ENGINES:
+        events, _, manager = run_once(pcfg, kernel, drive, context)
+        warm[name] = events
+        if name == "engine":
+            engine_stats = dict(manager.sim.stats.snapshot())
+            fastpath = manager.gpu.fastpath_stats()
+        elif name == "pr4_reference":
+            if dict(manager.sim.stats.snapshot()) != engine_stats:
+                raise SystemExit(
+                    f"{pcfg[0]}: engine (fold on) and pr4_reference produced "
+                    "different stats snapshots — byte-identity broken")
+    canonical = warm["pr4_reference"]
+    if warm["seed_reference"] != canonical:
+        raise SystemExit(
+            f"{pcfg[0]}: pr4_reference and seed_reference fired different "
+            f"event counts ({canonical} vs {warm['seed_reference']}) — "
+            "determinism broken")
+
+    # -- timed rounds, interleaved across the three sides -------------
+    sides = {name: {"events": warm[name], "runs": []} for name, *_ in ENGINES}
+    walls = {name: [] for name, *_ in ENGINES}
+    for _ in range(repeats):
         for name, kernel, drive, context in ENGINES:
-            events, elapsed = run_once(args, kernel, drive, context)
-            rates[name] = events / elapsed
-            sides[name]["events"] = events
+            events, elapsed, _ = run_once(pcfg, kernel, drive, context)
+            if events != warm[name]:
+                raise SystemExit(
+                    f"{pcfg[0]}: {name} event count drifted between runs "
+                    f"({events} vs {warm[name]}) — determinism broken")
+            walls[name].append(elapsed)
             sides[name]["runs"].append({
                 "events": events, "wall_seconds": elapsed,
-                "events_per_sec": rates[name],
+                "events_per_sec": canonical / elapsed,
             })
-        ratios.append(rates["engine"] / rates["seed_reference"])
     for side in sides.values():
-        side["events_per_sec"] = max(r["events_per_sec"] for r in side["runs"])
-    speedup = sorted(ratios)[len(ratios) // 2]
-    return sides, speedup, ratios
+        rates = [r["events_per_sec"] for r in side["runs"]]
+        side["events_per_sec"] = statistics.median(rates)
+        side["events_per_sec_min"] = min(rates)
+        side["events_per_sec_max"] = max(rates)
+
+    ratios_pr4 = [p / e for e, p in zip(walls["engine"],
+                                        walls["pr4_reference"])]
+    ratios_seed = [s / e for e, s in zip(walls["engine"],
+                                         walls["seed_reference"])]
+    return {
+        "pair": pcfg[0],
+        "scale": pcfg[1],
+        "sms": pcfg[2],
+        "warps_per_sm": pcfg[3],
+        "canonical_events": canonical,
+        "engine": sides["engine"],
+        "pr4_reference": sides["pr4_reference"],
+        "seed_reference": sides["seed_reference"],
+        "speedup_vs_pr4": statistics.median(ratios_pr4),
+        "speedup_vs_seed": statistics.median(ratios_seed),
+        "ratios_vs_pr4": ratios_pr4,
+        "ratios_vs_seed": ratios_seed,
+        "fastpath": fastpath,
+    }
 
 
-def measure_audit_overhead(args):
+def measure_audit_overhead(pcfg, repeats):
     """Cost of an *installed but off* integrity config on the engine.
 
     Interleaves plain runs (no ``REPRO_INTEGRITY``) with runs under an
@@ -147,19 +257,23 @@ def measure_audit_overhead(args):
 
     def run_plain():
         clear_install()
-        return run_once(args, EventQueue, run_engine, nullcontext)
+        events, elapsed, _ = run_once(pcfg, EventQueue, run_engine,
+                                      nullcontext)
+        return events, elapsed
 
     def run_off():
         install(IntegrityConfig(audit="off"))
         try:
-            return run_once(args, EventQueue, run_engine, nullcontext)
+            events, elapsed, _ = run_once(pcfg, EventQueue, run_engine,
+                                          nullcontext)
+            return events, elapsed
         finally:
             clear_install()
 
     run_plain()  # warm-up, discarded
     run_off()
     ratios = []
-    for _ in range(args.repeats):
+    for _ in range(repeats):
         plain_events, plain_secs = run_plain()
         off_events, off_secs = run_off()
         if plain_events != off_events:
@@ -167,13 +281,13 @@ def measure_audit_overhead(args):
                 f"audit=off changed the event count: {off_events} vs "
                 f"{plain_events} — byte-identical discipline broken")
         ratios.append((off_events / off_secs) / (plain_events / plain_secs))
-    median = sorted(ratios)[len(ratios) // 2]
-    return 1.0 - median, ratios
+    return 1.0 - statistics.median(ratios), ratios
 
 
-def component_profile(args, top: int = 12) -> dict:
-    """One extra profiled run for the per-component event breakdown."""
-    manager = build_manager(args, EventQueue)
+def component_profile(pcfg, top: int = 12) -> dict:
+    """One extra profiled run for the per-callsite event breakdown."""
+    pair, scale, sms, warps = pcfg
+    manager = build_manager(pair, scale, sms, warps, EventQueue)
     profiler = EngineProfiler()
     with profiler.attach(manager.sim):
         manager.run()
@@ -182,8 +296,10 @@ def component_profile(args, top: int = 12) -> dict:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--pair", default="GUPS.SAD",
-                        help="workload pair, e.g. GUPS.SAD (Heavy.Heavy)")
+    parser.add_argument("--pairs", default=None,
+                        help="comma-separated sweep keys to run "
+                             f"(default: all of "
+                             f"{','.join(k for k, *_ in PAIR_SWEEP)})")
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--sms", type=int, default=8)
     parser.add_argument("--warps", type=int, default=4)
@@ -204,30 +320,46 @@ def main(argv=None) -> int:
     if args.smoke:
         args.scale = min(args.scale, 0.1)
         args.repeats = 1
+    selected = ([k.strip() for k in args.pairs.split(",")] if args.pairs
+                else [k for k, *_ in PAIR_SWEEP])
+    unknown = set(selected) - {k for k, *_ in PAIR_SWEEP}
+    if unknown:
+        raise SystemExit(f"unknown pair keys: {sorted(unknown)}")
 
-    sides, speedup, ratios = measure(args)
-    engine, seed = sides["engine"], sides["seed_reference"]
-    if engine["events"] != seed["events"]:
-        raise SystemExit(
-            f"engines fired different event counts: {engine['events']} vs "
-            f"{seed['events']} — determinism broken")
+    pairs = {}
+    heavy_pcfg = None
+    for entry in PAIR_SWEEP:
+        key, pcfg = _pair_config(entry, args)
+        if key == "heavy":
+            heavy_pcfg = pcfg
+        if key not in selected:
+            continue
+        record = measure_pair(pcfg, args.repeats)
+        record["key"] = key
+        pairs[key] = record
+        print(f"{key} ({record['pair']}): "
+              f"engine {record['engine']['events_per_sec']:,.0f} ev/s, "
+              f"{record['speedup_vs_pr4']:.2f}x vs pr4, "
+              f"{record['speedup_vs_seed']:.2f}x vs seed, "
+              f"hit-path {record['fastpath']['hit_path_fraction']:.1%} "
+              f"({record['canonical_events']} events)")
+
     payload = {
         "benchmark": "engine_throughput",
-        "pair": args.pair,
         "scale": args.scale,
         "sms": args.sms,
         "warps_per_sm": args.warps,
         "repeats": args.repeats,
         "smoke": args.smoke,
-        "engine": engine,
-        "seed_reference": seed,
-        "speedup": speedup,
-        "paired_ratios": ratios,
-        "profile": component_profile(args),
+        "pairs": pairs,
         "python": sys.version.split()[0],
     }
+    if "heavy" in pairs:
+        payload["profile"] = component_profile(heavy_pcfg)
     if args.audit_overhead or args.assert_audit_overhead is not None:
-        overhead, audit_ratios = measure_audit_overhead(args)
+        audit_pcfg = heavy_pcfg or _pair_config(PAIR_SWEEP[2], args)[1]
+        overhead, audit_ratios = measure_audit_overhead(audit_pcfg,
+                                                        args.repeats)
         payload["audit_off_overhead"] = overhead
         payload["audit_off_ratios"] = audit_ratios
         print(f"audit=off overhead: {overhead * 100:+.2f}% "
@@ -240,11 +372,7 @@ def main(argv=None) -> int:
                 f"{limit:g}% budget — the disabled integrity layer must "
                 f"not touch the hot path")
     Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"{args.pair} scale={args.scale}: "
-          f"engine {engine['events_per_sec']:,.0f} ev/s vs "
-          f"seed {seed['events_per_sec']:,.0f} ev/s "
-          f"-> {speedup:.2f}x median of {len(ratios)} paired runs "
-          f"({engine['events']} events, json: {args.json})")
+    print(f"json: {args.json}")
     return 0
 
 

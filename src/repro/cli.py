@@ -114,6 +114,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="run one workload pair")
     p.add_argument("pair", help="e.g. GUPS.JPEG")
     p.add_argument("--policy", choices=POLICIES, default="dws")
+    p.add_argument("--profile-breakdown", action="store_true",
+                   help="attach the engine profiler and print the top "
+                        "callsites by delivery count (queue events and "
+                        "folded completions)")
     _add_common(p)
 
     p = sub.add_parser("compare", help="compare policies on one pair")
@@ -210,7 +214,11 @@ def cmd_run(args) -> int:
                       seed=args.seed)
     names = split_pair(args.pair)
     config = GpuConfig.baseline().with_policy(args.policy)
-    result = session.run_pair(args.pair, config)
+    profiler = None
+    if args.profile_breakdown:
+        result, profiler = session.run_profiled(names, config)
+    else:
+        result = session.run_pair(args.pair, config)
     standalone = session.standalone_ipcs(names)
     print(f"{args.pair} [{pair_class(args.pair)}] under {args.policy}")
     print(f"  total IPC     : {total_ipc(result):.3f}")
@@ -221,6 +229,9 @@ def cmd_run(args) -> int:
               f"walk lat {walk_latency_of(result, t):7.0f} cyc  "
               f"interleave {interleaving_of(result, t):6.2f}  "
               f"stolen {steal_fraction(result, t) * 100:5.1f}%")
+    if profiler is not None:
+        print("\nengine delivery breakdown (top callsites):")
+        print(profiler.report(top=12))
     return 0
 
 

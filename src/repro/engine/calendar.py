@@ -47,17 +47,98 @@ from typing import List, Optional
 DEFAULT_WINDOW = 4096
 
 
-class CalendarQueue:
-    """Timestamp-ordered storage of ``Event``-like objects.
+class CompletionBatches:
+    """Per-timestamp batched callback lists for the zero-event fast path.
 
-    Objects must expose ``time`` (int), ``seq`` (int, unique, assigned
-    in push order) and ``cancelled`` (bool) attributes.  The queue does
-    no lifecycle accounting — that is the caller's job (see
+    The latency-folding fast path (see DESIGN.md §12) computes an
+    access's completion time arithmetically instead of threading it
+    through per-stage events.  Those folded completions still have to
+    fire at their computed cycle, but they need none of the event
+    machinery — no cancellation handle, no ordering against each other
+    beyond FIFO.  This store keeps one plain ``(fn, args)`` list per
+    timestamp; the event queue schedules a single *carrier* event per
+    distinct timestamp which drains the whole list, so N folded
+    completions at one cycle cost one heap entry and zero Event
+    allocations.
+
+    FIFO order within a batch is append order, matching the order the
+    equivalent per-stage events would have fired in (folds are applied
+    in issue order, and same-cycle events fire in schedule order).
+
+    ``delivery_observer`` is an optional per-callback hook used by
+    :class:`~repro.engine.profile.EngineProfiler` so batched deliveries
+    stay visible in the per-callsite breakdown; ``None`` (the default)
+    costs one comparison per batch, not per callback.
+    """
+
+    __slots__ = ("_pending", "delivery_observer")
+
+    def __init__(self) -> None:
+        self._pending: dict = {}
+        self.delivery_observer = None
+
+    def add(self, time: int, fn, args=()) -> bool:
+        """Append ``fn(*args)`` to the batch at ``time``.
+
+        Returns ``True`` when this was the first callback at ``time`` —
+        the caller must then schedule one carrier event that calls
+        :meth:`fire` at that cycle.
+        """
+        pending = self._pending
+        batch = pending.get(time)
+        if batch is None:
+            pending[time] = [(fn, args)]
+            return True
+        batch.append((fn, args))
+        return False
+
+    def fire(self, time: int) -> None:
+        """Deliver and discard every callback batched at ``time``."""
+        batch = self._pending.pop(time)
+        observer = self.delivery_observer
+        if observer is None:
+            for fn, args in batch:
+                fn(*args)
+        else:
+            for fn, args in batch:
+                observer(fn)
+                fn(*args)
+
+    def pending_callbacks(self) -> int:
+        """Callbacks batched but not yet delivered (diagnostics)."""
+        return sum(len(batch) for batch in self._pending.values())
+
+    def __len__(self) -> int:
+        """Distinct timestamps with an undelivered batch."""
+        return len(self._pending)
+
+
+class CalendarQueue:
+    """Timestamp-ordered storage of scheduled entries.
+
+    Two entry kinds share the calendar:
+
+    * **Event objects** — expose ``time`` (int), ``seq`` (int, unique,
+      assigned in push order) and ``cancelled`` (bool).  These carry the
+      cancellation handle returned by ``push``.
+    * **raw pairs** — plain ``(fn, args)`` tuples, used for the
+      overwhelming majority of scheduling: component callbacks whose
+      handle nobody ever holds.  A raw pair has no identity, no seq and
+      cannot be cancelled, which is exactly why it can skip the Event
+      free-list, the refcount-guarded recycling and the per-pop
+      ``cancelled`` check.  Raw pairs live only in ring buckets (their
+      timestamp is the bucket position); the caller wraps an Event when
+      a push lands in a heap region.
+
+    FIFO order within a cycle is bucket append order for both kinds, so
+    mixing them preserves exact schedule order.  The queue does no
+    lifecycle accounting — that is the caller's job (see
     :class:`repro.engine.event.EventQueue`).
     """
 
     __slots__ = ("_window", "_mask", "_buckets", "_floor", "_cursor",
-                 "_ring_count", "_past", "_over", "_front", "_front_src")
+                 "_ring_count", "_past", "_over", "_front", "_front_src",
+                 "_front_time")
 
     def __init__(self, window: int = DEFAULT_WINDOW) -> None:
         if window <= 0 or window & (window - 1):
@@ -70,8 +151,9 @@ class CalendarQueue:
         self._ring_count = 0   # events physically resident in the ring
         self._past: list = []  # (time, seq, ev) heap, time < floor
         self._over: list = []  # (time, seq, ev) heap, time >= floor + window
-        self._front = None       # cached earliest live event (still stored)
+        self._front = None       # cached earliest live entry (still stored)
         self._front_src = None   # region holding it: deque or one of the heaps
+        self._front_time = -1    # its timestamp (tuples don't carry one)
 
     # ------------------------------------------------------------------
     # Insert
@@ -89,28 +171,42 @@ class CalendarQueue:
                 heappush(self._past, (t, ev.seq, ev))
         else:
             heappush(self._over, (t, ev.seq, ev))
-        front = self._front
-        if front is not None and t < front.time:
+        if self._front is not None and t < self._front_time:
             # the cached front is no longer the minimum; recompute lazily
             self._front = self._front_src = None
+
+    def insert_raw(self, time: int, entry: tuple) -> bool:
+        """Append a raw ``(fn, args)`` pair at ``time`` if the ring
+        covers it.  Returns ``False`` when ``time`` falls in a heap
+        region — the caller must then wrap an Event and :meth:`insert`.
+        """
+        if not (0 <= time - self._floor < self._window):
+            return False
+        self._buckets[time & self._mask].append(entry)
+        self._ring_count += 1
+        if time < self._cursor:
+            self._cursor = time
+        if self._front is not None and time < self._front_time:
+            self._front = self._front_src = None
+        return True
 
     # ------------------------------------------------------------------
     # Extract / peek
     # ------------------------------------------------------------------
     def _scan(self):
-        """Locate the earliest live event, leaving it in place.
+        """Locate the earliest live entry, leaving it in place.
 
         The single home of lazy cancelled-event deletion: cancelled
         events reaching the front of any region are dropped here.
-        Returns ``(event, region)`` or ``(None, None)``.
+        Returns ``(entry, region, time)`` or ``(None, None, -1)``.
         """
         past = self._past
         while past:
-            ev = past[0][2]
+            t, _seq, ev = past[0]
             if ev.cancelled:
                 heappop(past)
             else:
-                return ev, past
+                return ev, past, t
         if self._ring_count:
             buckets = self._buckets
             mask = self._mask
@@ -119,52 +215,59 @@ class CalendarQueue:
                 bucket = buckets[t & mask]
                 while bucket:
                     ev = bucket[0]
-                    if ev.cancelled:
-                        bucket.popleft()
-                        self._ring_count -= 1
-                    else:
+                    if type(ev) is tuple or not ev.cancelled:
                         self._cursor = t
-                        return ev, bucket
+                        return ev, bucket, t
+                    bucket.popleft()
+                    self._ring_count -= 1
                 if not self._ring_count:
                     break
                 t += 1
         over = self._over
         while over:
-            ev = over[0][2]
+            t, _seq, ev = over[0]
             if ev.cancelled:
                 heappop(over)
             else:
-                return ev, over
-        return None, None
+                return ev, over, t
+        return None, None, -1
 
     def front(self):
-        """The earliest live event without removing it, or ``None``."""
+        """The earliest live entry without removing it, or ``None``."""
         ev = self._front
-        if ev is not None and not ev.cancelled:
+        if ev is not None and (type(ev) is tuple or not ev.cancelled):
             return ev
-        ev, src = self._scan()
+        ev, src, t = self._scan()
         self._front = ev
         self._front_src = src
+        self._front_time = t
         return ev
 
+    def front_time(self) -> int:
+        """Timestamp of the earliest live entry, or ``-1`` when empty."""
+        if self.front() is None:
+            return -1
+        return self._front_time
+
     def take(self):
-        """Remove and return the earliest live event, or ``None``."""
+        """Remove and return ``(entry, time)`` for the earliest live
+        entry, or ``(None, -1)`` when the queue is drained."""
         ev = self._front
         src = self._front_src
+        t = self._front_time
         self._front = self._front_src = None
-        if ev is None or ev.cancelled:
-            ev, src = self._scan()
+        if ev is None or (type(ev) is not tuple and ev.cancelled):
+            ev, src, t = self._scan()
             if ev is None:
-                return None
+                return None, -1
         if src is self._past or src is self._over:
             heappop(src)
         else:
             src.popleft()
             self._ring_count -= 1
-        t = ev.time
         if t > self._floor:
             self._advance_floor(t)
-        return ev
+        return ev, t
 
     def _advance_floor(self, t: int) -> None:
         """Slide the ring window forward and migrate newly covered events."""

@@ -26,9 +26,11 @@ from __future__ import annotations
 import heapq
 import itertools
 import sys
+from heapq import heappop
 from typing import Any, Callable, Optional, Tuple
 
-from repro.engine.calendar import DEFAULT_WINDOW, CalendarQueue
+from repro.engine.calendar import (DEFAULT_WINDOW, CalendarQueue,
+                                   CompletionBatches)
 
 
 class Event:
@@ -83,11 +85,25 @@ def _calibrate_recycle_threshold() -> int:
     return _probe_refcount(probe)
 
 
+def _calibrate_inline_threshold() -> int:
+    """Refcount of an event with no outside holder as seen *inside* the
+    fused run loop (:meth:`EventQueue.run_fast`): one loop local plus
+    the getrefcount argument — no intermediate call frame."""
+    if sys.implementation.name != "cpython":
+        return -1
+    probe = Event(0, 0, None, ())
+    return sys.getrefcount(probe)
+
+
 #: An event whose refcount at recycle time exceeds this has an outside
 #: holder (someone kept the handle returned by ``push``) and must not be
 #: reused — a later ``cancel()`` through that handle would otherwise hit
 #: an unrelated rescheduled event.
 _RECYCLE_REFS = _calibrate_recycle_threshold()
+
+#: Same guard for the fused run loop, whose recycle check is inlined
+#: (one fewer frame holding a reference).
+_RECYCLE_REFS_INLINE = _calibrate_inline_threshold()
 
 #: Free-list cap; beyond this, fired events are left to the GC.
 _FREE_LIST_MAX = 4096
@@ -106,6 +122,7 @@ class EventQueue:
         self._seq = 0
         self._live = 0
         self._free: list = []
+        self._batches = CompletionBatches()
 
     def __len__(self) -> int:
         return self._live
@@ -119,8 +136,8 @@ class EventQueue:
 
     def push_packed(self, time: int, fn: Callable[..., Any],
                     args: Tuple[Any, ...]) -> Event:
-        """Like :meth:`push` with ``args`` already packed — the hot path
-        used by :class:`Simulator`, avoiding one tuple repack per event."""
+        """Like :meth:`push` with ``args`` already packed — used where a
+        cancellation handle is required, avoiding one tuple repack."""
         seq = self._seq
         self._seq = seq + 1
         free = self._free
@@ -138,23 +155,133 @@ class EventQueue:
         self._calendar.insert(event)
         return event
 
+    def push_raw(self, time: int, fn: Callable[..., Any],
+                 args: Tuple[Any, ...]) -> None:
+        """Handle-free scheduling: the production hot path.
+
+        The entry is a plain ``(fn, args)`` pair with no Event object,
+        no sequence number and no cancellation support — the simulator's
+        components never cancel and never hold the handle, so they skip
+        the whole Event lifecycle (free-list, refcount-guarded
+        recycling, per-pop ``cancelled`` checks).  Same-cycle FIFO order
+        against Event pushes is preserved exactly: both kinds append to
+        the same ring bucket.  Pushes outside the ring window (rare —
+        every modeled latency sits far below it) fall back to a wrapped
+        Event so the heap regions keep their ``(time, seq)`` ordering.
+        """
+        if not self._calendar.insert_raw(time, (fn, args)):
+            self.push_packed(time, fn, args)
+            return
+        self._live += 1
+
+    def schedule_batch(self, time: int, fn: Callable[..., Any],
+                       args: Tuple[Any, ...] = ()) -> None:
+        """Batched scheduling for the latency-folding fast path.
+
+        Appends ``fn(*args)`` to the per-timestamp completion list
+        (:class:`~repro.engine.calendar.CompletionBatches`); only the
+        first callback at a given ``time`` pays for a heap entry — the
+        carrier event that drains the batch.  No handle is returned:
+        batched callbacks cannot be cancelled, which is exactly the
+        contract of folded completions (nothing ever holds them).
+        """
+        if self._batches.add(time, fn, args):
+            self.push_raw(time, self._batches.fire, (time,))
+
+    @property
+    def delivery_observer(self):
+        """Per-callback hook for batched deliveries (profiler use)."""
+        return self._batches.delivery_observer
+
+    @delivery_observer.setter
+    def delivery_observer(self, hook) -> None:
+        self._batches.delivery_observer = hook
+
     # ------------------------------------------------------------------
     # Extraction
     # ------------------------------------------------------------------
     def pop(self) -> Optional[Event]:
-        """Remove and return the earliest non-cancelled event, or ``None``."""
-        event = self._calendar.take()
-        if event is not None:
-            self._live -= 1
-            # Once delivered, a late cancel() is a no-op for accounting
-            # (the event is no longer pending).
-            event._queue = None
-        return event
+        """Remove and return the earliest pending entry as an Event.
+
+        Raw entries are wrapped into an Event on the way out so the
+        compatibility surface (``step()``, the peeking run loop, tests)
+        sees one uniform type; the fused fast loop (:meth:`run_fast`)
+        never pays for this.
+        """
+        entry, time = self._calendar.take()
+        if entry is None:
+            return None
+        self._live -= 1
+        if type(entry) is tuple:
+            fn, args = entry
+            seq = self._seq
+            self._seq = seq + 1
+            return Event(time, seq, fn, args)
+        # Once delivered, a late cancel() is a no-op for accounting
+        # (the event is no longer pending).
+        entry._queue = None
+        return entry
 
     def peek_time(self) -> Optional[int]:
-        """Time of the earliest pending event without removing it."""
-        event = self._calendar.front()
-        return None if event is None else event.time
+        """Time of the earliest pending entry without removing it."""
+        time = self._calendar.front_time()
+        return None if time < 0 else time
+
+    def run_fast(self, sim, budget: int) -> int:
+        """The fused hot loop: pop, fire and recycle without peeking.
+
+        Equivalent to repeatedly calling :meth:`pop` and firing, but
+        with the calendar scan, the dispatch and the Event recycling
+        inlined into one frame.  ``sim.now`` is advanced before each
+        callback; the loop honours ``sim._stop`` exactly like the
+        outer loop (checked after every delivery).  Returns the number
+        of entries fired.
+        """
+        cal = self._calendar
+        free = self._free
+        getrefcount = sys.getrefcount
+        scan = cal._scan
+        past = cal._past
+        over = cal._over
+        fired = 0
+        try:
+            while fired < budget and not sim._stop:
+                # -- inline CalendarQueue.take ------------------------
+                ev = cal._front
+                if ev is not None:
+                    src = cal._front_src
+                    t = cal._front_time
+                    cal._front = cal._front_src = None
+                    if type(ev) is not tuple and ev.cancelled:
+                        ev, src, t = scan()
+                else:
+                    ev, src, t = scan()
+                if ev is None:
+                    break
+                if src is past or src is over:
+                    heappop(src)
+                else:
+                    src.popleft()
+                    cal._ring_count -= 1
+                if t > cal._floor:
+                    cal._advance_floor(t)
+                # -- dispatch -----------------------------------------
+                sim.now = t
+                if type(ev) is tuple:
+                    fn, args = ev
+                    fn(*args)
+                else:
+                    ev.fn(*ev.args)
+                    ev._queue = None
+                    if (len(free) < _FREE_LIST_MAX
+                            and getrefcount(ev) == _RECYCLE_REFS_INLINE):
+                        ev.fn = None
+                        ev.args = None
+                        free.append(ev)
+                fired += 1
+        finally:
+            self._live -= fired
+        return fired
 
     def recycle(self, event: Event) -> None:
         """Return a fired event to the free list if nothing else holds it.
@@ -186,6 +313,7 @@ class HeapEventQueue:
     def __init__(self) -> None:
         self._heap: list = []
         self._seq = itertools.count()
+        self._batches = CompletionBatches()
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -201,6 +329,41 @@ class HeapEventQueue:
         event = Event(time, next(self._seq), fn, args)
         heapq.heappush(self._heap, event)
         return event
+
+    def push_raw(self, time: int, fn: Callable[..., Any],
+                 args: Tuple[Any, ...]) -> None:
+        """Handle-free scheduling, Event-backed here: the reference
+        kernel keeps one representation so its ordering stays the
+        canonical ``(time, seq)`` FIFO the calendar must reproduce."""
+        self.push_packed(time, fn, args)
+
+    def run_fast(self, sim, budget: int) -> int:
+        """Reference counterpart of :meth:`EventQueue.run_fast` (plain
+        pop/fire loop; no inlining — this kernel is never timed)."""
+        fired = 0
+        while fired < budget and not sim._stop:
+            event = self.pop()
+            if event is None:
+                break
+            sim.now = event.time
+            event.fn(*event.args)
+            fired += 1
+        return fired
+
+    def schedule_batch(self, time: int, fn: Callable[..., Any],
+                       args: Tuple[Any, ...] = ()) -> None:
+        """Same batched-completion semantics as :class:`EventQueue`, so
+        the kernels stay differentially comparable with folding on."""
+        if self._batches.add(time, fn, args):
+            self.push_raw(time, self._batches.fire, (time,))
+
+    @property
+    def delivery_observer(self):
+        return self._batches.delivery_observer
+
+    @delivery_observer.setter
+    def delivery_observer(self, hook) -> None:
+        self._batches.delivery_observer = hook
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest non-cancelled event, or ``None``."""

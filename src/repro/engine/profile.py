@@ -34,32 +34,67 @@ class EngineProfiler:
 
     def __init__(self) -> None:
         self.events = 0
+        self.batched_deliveries = 0
         self.wall_seconds = 0.0
         self.component_counts: Dict[str, int] = {}
+        self.delivery_counts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Collection
     # ------------------------------------------------------------------
+    @staticmethod
+    def _key(fn) -> str:
+        # Callable instances (e.g. ``_Fill``) have no __qualname__ of
+        # their own; key them by type so runs aggregate and the label
+        # carries no id() address.
+        qualname = getattr(fn, "__qualname__", None)
+        if qualname is None:
+            fn = type(fn)
+            qualname = getattr(fn, "__qualname__", None) or repr(fn)
+        return (getattr(fn, "__module__", None) or "?") + "." + qualname
+
     def record(self, event) -> None:
         """Count one fired event (called by the simulator's run loop)."""
         self.events += 1
-        fn = event.fn
-        key = (getattr(fn, "__module__", None) or "?") + "." + (
-            getattr(fn, "__qualname__", None) or repr(fn))
+        key = self._key(event.fn)
         counts = self.component_counts
+        counts[key] = counts.get(key, 0) + 1
+
+    def record_delivery(self, fn) -> None:
+        """Count one batched (folded) completion delivery.
+
+        Folded completions never appear as queue events — N of them
+        share one carrier event — so without this hook the breakdown
+        would show the carrier (``CompletionBatches.fire``) and lose
+        the callsites it delivered to.
+        """
+        self.batched_deliveries += 1
+        key = self._key(fn)
+        counts = self.delivery_counts
         counts[key] = counts.get(key, 0) + 1
 
     @contextmanager
     def attach(self, sim) -> Iterator["EngineProfiler"]:
-        """Install on ``sim`` and time everything run while attached."""
+        """Install on ``sim`` and time everything run while attached.
+
+        Also hooks the queue's batched-completion observer (when the
+        kernel has one) so folded deliveries are counted per callsite.
+        """
         previous = sim.profiler
         sim.profiler = self
+        queue = sim.events
+        has_observer = hasattr(type(queue), "delivery_observer")
+        if has_observer:
+            previous_observer = queue.delivery_observer
+            queue.delivery_observer = self.record_delivery
         start = perf_counter()
         try:
             yield self
         finally:
             self.wall_seconds += perf_counter() - start
             sim.profiler = previous
+            if has_observer:
+                queue.delivery_observer = previous_observer
 
     # ------------------------------------------------------------------
     # Results
@@ -76,22 +111,44 @@ class EngineProfiler:
                         key=lambda item: (-item[1], item[0]))
         return ranked[:n]
 
+    def breakdown(self, top: int = 10) -> List[Tuple[str, int, str]]:
+        """The ``n`` busiest callsites across both delivery kinds.
+
+        Each row is ``(callsite, count, kind)`` with kind ``"event"``
+        (one queue entry fired per delivery) or ``"folded"`` (delivered
+        from a shared carrier's completion batch).  A callsite reached
+        both ways appears twice — the split *is* the information: it
+        shows how much of a component's traffic the fold absorbed.
+        """
+        rows = [(name, count, "event")
+                for name, count in self.component_counts.items()]
+        rows += [(name, count, "folded")
+                 for name, count in self.delivery_counts.items()]
+        rows.sort(key=lambda row: (-row[1], row[0], row[2]))
+        return rows[:top]
+
     def summary(self, top: int = 10) -> Dict:
         """JSON-portable view, as written into ``BENCH_engine.json``."""
         return {
             "events": self.events,
+            "batched_deliveries": self.batched_deliveries,
             "wall_seconds": self.wall_seconds,
             "events_per_sec": self.events_per_sec,
             "components": dict(self.top_components(top)),
+            "folded_deliveries": dict(sorted(
+                self.delivery_counts.items(),
+                key=lambda item: (-item[1], item[0]))[:top]),
         }
 
     def report(self, top: int = 10) -> str:
-        """Human-readable breakdown of where the events went."""
+        """Human-readable top-N table of where the deliveries went."""
+        total = self.events + self.batched_deliveries
         lines = [
-            f"{self.events} events in {self.wall_seconds:.3f}s "
+            f"{self.events} events (+{self.batched_deliveries} folded "
+            f"deliveries) in {self.wall_seconds:.3f}s "
             f"({self.events_per_sec:,.0f} events/sec)"
         ]
-        for name, count in self.top_components(top):
-            share = count / self.events if self.events else 0.0
-            lines.append(f"  {count:>10}  {share:6.1%}  {name}")
+        for name, count, kind in self.breakdown(top):
+            share = count / total if total else 0.0
+            lines.append(f"  {count:>10}  {share:6.1%}  {kind:<6}  {name}")
         return "\n".join(lines)

@@ -121,6 +121,40 @@ class Simulator:
             raise SimulationError(f"negative delay {delay}")
         return self.events.push_packed(self.now + delay, fn, args)
 
+    def post_at(self, time: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Handle-free :meth:`at`: same firing time and FIFO order, but
+        no :class:`Event` is created and the callback cannot be
+        cancelled.  The hot scheduling path for component callbacks —
+        nothing in the simulator ever cancels or holds those handles,
+        and skipping the Event lifecycle is a first-order win (see
+        DESIGN.md §12)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < now={self.now}"
+            )
+        self.events.push_raw(time, fn, args)
+
+    def post_after(self, delay: int, fn: Callable[..., Any],
+                   *args: Any) -> None:
+        """Handle-free :meth:`after` (see :meth:`post_at`)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.events.push_raw(self.now + delay, fn, args)
+
+    def batch_at(self, time: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at ``time`` via the per-timestamp
+        completion batch: N calls for one cycle share a single event.
+
+        Used by the latency-folding fast path.  Unlike :meth:`at`, no
+        :class:`Event` handle is returned and the callback cannot be
+        cancelled.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < now={self.now}"
+            )
+        self.events.schedule_batch(time, fn, args)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -167,16 +201,11 @@ class Simulator:
         try:
             if (until is None and stop_when is None and profiler is None
                     and audit is None):
-                # Fast path: nothing to peek for, nothing to poll.
+                # Fast path: nothing to peek for, nothing to poll — the
+                # fused loop inside the event queue does pop, dispatch
+                # and recycling in one frame.
                 budget = sys.maxsize if max_events is None else max_events
-                while fired < budget and not self._stop:
-                    event = take()
-                    if event is None:
-                        break
-                    self.now = event.time
-                    event.fn(*event.args)
-                    fired += 1
-                    recycle(event)
+                fired = events.run_fast(self, budget)
             else:
                 while True:
                     if self._stop or (stop_when is not None and stop_when()):

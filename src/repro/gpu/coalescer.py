@@ -13,7 +13,32 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+from repro.gpu.warp import WarpOp
 from repro.vm.address import AddressLayout
+
+
+def coalesce_addrs(addrs: Sequence[int], line_bytes: int,
+                   page_size_bits: int) -> List[Tuple[int, int]]:
+    """Pure form of :meth:`Coalescer.coalesce` for a given geometry.
+
+    Lane order matters: the representative address of a page is the
+    first line-aligned address touching it, so the input must never be
+    re-sorted.  The *output* is page-sorted — the static "address runs"
+    the SM's hot loop walks.
+    """
+    by_page = {}
+    seen_lines = set()
+    page_shift = page_size_bits
+    for addr in addrs:
+        line = addr // line_bytes
+        page = addr >> page_shift
+        if line in seen_lines:
+            continue
+        seen_lines.add(line)
+        if page not in by_page:
+            by_page[page] = [addr - (addr % line_bytes), 0]
+        by_page[page][1] += 1
+    return [(page, rep) for page, (rep, _count) in sorted(by_page.items())]
 
 
 class Coalescer:
@@ -22,6 +47,9 @@ class Coalescer:
     def __init__(self, layout: AddressLayout, line_bytes: int) -> None:
         self.layout = layout
         self.line_bytes = line_bytes
+        #: geometry tag for per-op memoized results; a WarpOp carrying a
+        #: run list computed under a different geometry is recomputed.
+        self.geometry = (line_bytes, layout.page_size_bits)
 
     def coalesce(self, addrs: Sequence[int]) -> List[Tuple[int, int]]:
         """Reduce lane addresses to unique (page, representative addr) pairs.
@@ -31,18 +59,27 @@ class Coalescer:
         address on that page and the count of unique lines it covers —
         the SM issues that many data accesses after one translation.
         """
-        by_page = {}
-        seen_lines = set()
-        for addr in addrs:
-            line = addr // self.line_bytes
-            page = self.layout.vpn(addr)
-            if line in seen_lines:
-                continue
-            seen_lines.add(line)
-            if page not in by_page:
-                by_page[page] = [addr - (addr % self.line_bytes), 0]
-            by_page[page][1] += 1
-        return [(page, rep) for page, (rep, _count) in sorted(by_page.items())]
+        return coalesce_addrs(addrs, self.line_bytes,
+                              self.layout.page_size_bits)
+
+    def coalesce_op(self, op: WarpOp) -> List[Tuple[int, int]]:
+        """Coalesce one op, memoized on the op itself.
+
+        :class:`WarpOp` objects are immutable and shared — the trace
+        memo replays the same ops across executions and config sweeps —
+        so the page-run list of an op is static per geometry.  The first
+        coalesce under this geometry stores the runs on the op
+        (tagged, so a sweep that changes line size or page size never
+        reuses a stale list); every later issue is a single attribute
+        fetch instead of the dict-building scan.
+        """
+        if op.coal_geometry == self.geometry:
+            return op.coal_runs
+        runs = coalesce_addrs(op.addrs, self.line_bytes,
+                              self.layout.page_size_bits)
+        op.coal_runs = runs
+        op.coal_geometry = self.geometry
+        return runs
 
     def unique_lines(self, addrs: Sequence[int]) -> int:
         return len({a // self.line_bytes for a in addrs})

@@ -22,8 +22,9 @@ of cache-unfriendly tenants straight to DRAM (PTE bypass).
 
 from __future__ import annotations
 
+import os
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.factory import build_mask_controller, build_policy
 from repro.engine.config import GpuConfig, PolicySpec
@@ -111,9 +112,13 @@ class Gpu:
         # access_memory/_translate, so attribute chains into the config
         # dataclasses and per-call f-string registry lookups are lifted
         # out.  Stat objects are cached lazily to keep creation at first
-        # use, exactly as before.
+        # use — except the L1 TLB MSHR-stall counters, which are created
+        # here for every SM so the counter exists (at zero) in every
+        # snapshot: a stalling and a non-stalling run of the same config
+        # must not differ in snapshot *keys*.
         self._page_bits = self.layout.page_size_bits
         self._page_mask = (1 << self._page_bits) - 1
+        self._frame_bytes = self.memory.frames.frame_bytes
         self._l1_hit_latency = config.sm.l1_tlb.hit_latency
         self._l1_miss_step = (
             config.sm.l1_tlb.hit_latency + config.interconnect_latency
@@ -122,7 +127,27 @@ class Gpu:
         self._l2_hit_latency = config.l2_tlb.hit_latency
         self._l2_miss_c: Dict[int, Any] = {}
         self._instr_c: Dict[int, Any] = {}
-        self._mshr_stall_c: Dict[int, Any] = {}
+        self._mshr_stall_c: Dict[int, Any] = {
+            i: sim.stats.counter(f"l1tlb.sm{i}.mshr_stalls")
+            for i in range(config.sm.num_sms)
+        }
+
+        # Latency-folding fast path (DESIGN.md §12).  ``fold_enabled``
+        # is the kill switch (REPRO_FASTPATH=0 disables; tests and the
+        # benchmark toggle the attribute directly); folding additionally
+        # auto-disables whenever an audit hook is installed, so every
+        # audit level observes the canonical per-stage event stream.
+        # ``_pending_hits[sm]`` counts scheduled-but-undelivered
+        # unfolded L1-TLB-hit continuations: while one is in flight its
+        # deferred data-cache probe has not happened yet, so folding a
+        # later access would reorder the bank arithmetic.  The fold
+        # tallies are deliberately plain ints, not registry counters — a
+        # counter would appear in snapshots and break the folded ==
+        # unfolded byte-identity it exists to preserve.
+        self.fold_enabled = os.environ.get("REPRO_FASTPATH", "1") != "0"
+        self._pending_hits: List[int] = [0] * config.sm.num_sms
+        self._folded_accesses = 0
+        self._unfolded_accesses = 0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -246,24 +271,92 @@ class Gpu:
     # ------------------------------------------------------------------
     def access_memory(self, sm_id: int, tenant_id: int, vaddr: int,
                       is_write: bool, on_done: Callable[[], None]) -> None:
-        """Translate then access memory; ``on_done`` at data return."""
+        """Translate then access memory; ``on_done`` at data return.
+
+        When the whole access is combinational — L1 TLB hit plus an L1
+        data-cache hit on a quiescent path — its completion cycle is
+        computed arithmetically and ``on_done`` joins the per-timestamp
+        completion batch: zero per-stage events.  The first miss, MSHR
+        activity, back-pressure, pending unfolded probe, or installed
+        audit hook falls back to the per-stage event path, whose
+        behaviour is byte-identical to the pre-fold engine.
+        """
         vpn = vaddr >> self._page_bits
-        self.tenants[tenant_id].page_table.ensure_mapped(vpn)
+        page_table = self.tenants[tenant_id].page_table
+        page_table.ensure_mapped(vpn)
         offset = vaddr & self._page_mask
+        tlat = self.l1_tlbs[sm_id].probe_fast(tenant_id, vpn)
+        if tlat >= 0:
+            # L1 TLB hit: the translation itself is pure arithmetic.
+            sim = self.sim
+            paddr = page_table.translate(vpn) * self._frame_bytes + offset
+            if (self.fold_enabled
+                    and sim.audit_hook is None
+                    and not self._pending_hits[sm_id]
+                    and not self._xlat_mshrs[sm_id]
+                    and not self.sms[sm_id]._mem_wait
+                    and self.memory.data_ready_fast(sm_id)):
+                completion = self.memory.data_probe_fast(
+                    sm_id, paddr, is_write, sim.now + tlat
+                )
+                if completion >= 0:
+                    self._folded_accesses += 1
+                    sim.events.schedule_batch(completion, on_done)
+                    return
+            self._unfolded_accesses += 1
+            self._pending_hits[sm_id] += 1
+            sim.events.push_raw(
+                sim.now + tlat, self._deliver_hit,
+                (sm_id, paddr, is_write, on_done, tenant_id),
+            )
+            return
+        self._unfolded_accesses += 1
 
         def translated(frame: int) -> None:
-            paddr = self.memory.frames.frame_to_addr(frame) + offset
+            paddr = frame * self._frame_bytes + offset
             self.memory.data_access(sm_id, paddr, is_write, on_done, tenant_id)
 
-        self._translate(sm_id, tenant_id, vpn, translated)
+        self._translate_miss(sm_id, tenant_id, vpn, translated)
+
+    def access_burst(self, sm_id: int, tenant_id: int,
+                     accesses: Sequence[Tuple[int, int]], is_write: bool,
+                     on_done: Callable[[], None]) -> None:
+        """Issue a coalesced op's unique-page accesses back to back.
+
+        ``on_done`` is invoked once per access (the SM passes a join
+        object).  Accesses that fold to the same completion cycle land
+        in the same batch, so a fully hit op costs one heap entry for
+        its entire hit subset.
+        """
+        access = self.access_memory
+        for _page, addr in accesses:
+            access(sm_id, tenant_id, addr, is_write, on_done)
+
+    def _deliver_hit(self, sm_id: int, paddr: int, is_write: bool,
+                     on_done: Callable[[], None], tenant_id: int) -> None:
+        """The unfolded L1-TLB-hit continuation: probe the data cache."""
+        self._pending_hits[sm_id] -= 1
+        self.memory.data_access(sm_id, paddr, is_write, on_done, tenant_id)
 
     def _translate(self, sm_id: int, tenant_id: int, vpn: int,
                    on_translated: Callable[[int], None]) -> None:
         l1 = self.l1_tlbs[sm_id]
         if l1.lookup(tenant_id, vpn):
             frame = self.tenants[tenant_id].page_table.translate(vpn)
-            self.sim.after(self._l1_hit_latency, on_translated, frame)
+            self._pending_hits[sm_id] += 1
+            self.sim.post_after(self._l1_hit_latency, self._fire_pending_hit,
+                                sm_id, on_translated, frame)
             return
+        self._translate_miss(sm_id, tenant_id, vpn, on_translated)
+
+    def _fire_pending_hit(self, sm_id: int,
+                          on_translated: Callable[[int], None],
+                          frame: int) -> None:
+        self._pending_hits[sm_id] -= 1
+        on_translated(frame)
+
+    def _translate_miss(self, sm_id: int, tenant_id: int, vpn: int,
+                        on_translated: Callable[[int], None]) -> None:
         # L1 miss: merge into the SM's translation MSHRs.
         mshrs = self._xlat_mshrs[sm_id]
         key = (tenant_id, vpn)
@@ -272,16 +365,12 @@ class Gpu:
             return
         if len(mshrs) >= self._mshr_entries:
             self._xlat_overflow[sm_id].append((tenant_id, vpn, on_translated))
-            stall = self._mshr_stall_c.get(sm_id)
-            if stall is None:
-                stall = self._mshr_stall_c[sm_id] = self.sim.stats.counter(
-                    f"l1tlb.sm{sm_id}.mshr_stalls"
-                )
-            stall.inc()
+            self._mshr_stall_c[sm_id].value += 1
             return
         mshrs[key] = [on_translated]
-        self.sim.after(self._l1_miss_step,
-                       self._l2_tlb_lookup, sm_id, tenant_id, vpn)
+        sim = self.sim
+        sim.events.push_raw(sim.now + self._l1_miss_step,
+                            self._l2_tlb_lookup, (sm_id, tenant_id, vpn))
 
     def _l2_tlb_lookup(self, sm_id: int, tenant_id: int, vpn: int) -> None:
         l2 = self._l2_tlbs[tenant_id]
@@ -290,16 +379,16 @@ class Gpu:
             self.mask.note_l2_tlb_lookup(tenant_id, hit)
         if hit:
             frame = self.tenants[tenant_id].page_table.translate(vpn)
-            self.sim.after(self._l2_hit_latency, self._finish_translation,
-                           sm_id, tenant_id, vpn, frame, False)
+            self.sim.post_after(self._l2_hit_latency, self._finish_translation,
+                                sm_id, tenant_id, vpn, frame, False)
             return
         miss = self._l2_miss_c.get(tenant_id)
         if miss is None:
             miss = self._l2_miss_c[tenant_id] = self.sim.stats.counter(
                 f"gpu.l2tlb_misses.tenant{tenant_id}"
             )
-        miss.inc()
-        self.sim.after(
+        miss.value += 1
+        self.sim.post_after(
             self._l2_hit_latency,
             lambda: self._pws[tenant_id].request_walk(
                 tenant_id, vpn,
@@ -335,6 +424,21 @@ class Gpu:
             # re-checks capacity either way.
 
     # ------------------------------------------------------------------
+    # Fast-path introspection (benchmark / tests; not simulated state)
+    # ------------------------------------------------------------------
+    def fastpath_stats(self) -> Dict[str, float]:
+        """Fold tallies for the throughput benchmark's hit-path-fraction
+        report.  Execution metadata like ``events_fired`` — never part
+        of a snapshot, so folded and unfolded runs stay byte-identical.
+        """
+        total = self._folded_accesses + self._unfolded_accesses
+        return {
+            "folded_accesses": self._folded_accesses,
+            "unfolded_accesses": self._unfolded_accesses,
+            "hit_path_fraction": self._folded_accesses / total if total else 0.0,
+        }
+
+    # ------------------------------------------------------------------
     # Accounting: called by SMs
     # ------------------------------------------------------------------
     def count_instructions(self, tenant_id: int, count: int) -> None:
@@ -345,7 +449,7 @@ class Gpu:
             counter = self._instr_c[tenant_id] = self.sim.stats.counter(
                 f"gpu.instructions.tenant{tenant_id}"
             )
-        counter.inc(count)
+        counter.value += count
 
     def note_warp_done(self, sm_id: int, warp: Warp) -> None:
         context = self.tenants[warp.tenant_id]

@@ -24,6 +24,29 @@ from repro.gpu.coalescer import Coalescer
 from repro.gpu.warp import Warp, WarpOp
 
 
+class _Join:
+    """Countdown join for one coalesced memory op.
+
+    The GPU invokes it once per issued access (folded or evented); the
+    final invocation releases the warp.  A slotted object instead of a
+    per-op closure: the memory path runs once per warp op, and the
+    closure variant cost one cell object plus a fresh function object
+    each time.
+    """
+
+    __slots__ = ("sm", "warp", "remaining")
+
+    def __init__(self, sm: "Sm", warp: Warp, remaining: int) -> None:
+        self.sm = sm
+        self.warp = warp
+        self.remaining = remaining
+
+    def __call__(self) -> None:
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.sm._mem_complete(self.warp)
+
+
 class Sm:
     """One streaming multiprocessor assigned to a single tenant."""
 
@@ -45,7 +68,7 @@ class Sm:
     # ------------------------------------------------------------------
     def add_warp(self, warp: Warp) -> None:
         self.active_warps += 1
-        self.sim.after(0, self._advance_warp, warp)
+        self.sim.post_after(0, self._advance_warp, warp)
 
     def _advance_warp(self, warp: Warp) -> None:
         op = warp.next_op()
@@ -55,11 +78,17 @@ class Sm:
             return
         # Reserve the issue port for the burst (greedy: the whole stretch
         # of compute plus the memory instruction issues back to back).
-        start = max(self.sim.now, self._issue_free)
-        duration = max(1, op.instructions)
-        self._issue_free = start + duration
+        sim = self.sim
+        start = self._issue_free
+        if start < sim.now:
+            start = sim.now
+        duration = op.instructions
+        if duration < 1:
+            duration = 1
+        done = start + duration
+        self._issue_free = done
         self.gpu.count_instructions(warp.tenant_id, op.instructions)
-        self.sim.at(start + duration, self._after_issue, warp, op)
+        sim.events.push_raw(done, self._after_issue, (warp, op))
 
     def _after_issue(self, warp: Warp, op: WarpOp) -> None:
         if not op.addrs:
@@ -76,18 +105,9 @@ class Sm:
     # ------------------------------------------------------------------
     def _issue_mem(self, warp: Warp, op: WarpOp) -> None:
         self._outstanding += 1
-        accesses = self.coalescer.coalesce(op.addrs)
-        remaining = len(accesses)
-
-        def one_done() -> None:
-            nonlocal remaining
-            remaining -= 1
-            if remaining == 0:
-                self._mem_complete(warp)
-
-        for _page, addr in accesses:
-            self.gpu.access_memory(self.sm_id, warp.tenant_id, addr,
-                                   op.is_write, one_done)
+        accesses = self.coalescer.coalesce_op(op)
+        self.gpu.access_burst(self.sm_id, warp.tenant_id, accesses,
+                              op.is_write, _Join(self, warp, len(accesses)))
 
     def _mem_complete(self, warp: Warp) -> None:
         self._outstanding -= 1

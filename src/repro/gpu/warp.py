@@ -18,9 +18,18 @@ from typing import Iterator, Optional, Sequence, Tuple
 
 
 class WarpOp:
-    """``compute`` instructions followed by one memory instruction."""
+    """``compute`` instructions followed by one memory instruction.
 
-    __slots__ = ("compute", "addrs", "is_write")
+    The op's semantic fields (``compute``, ``addrs``, ``is_write``) are
+    immutable after construction, which is what lets the trace memo
+    share one op across executions and sweeps.  ``coal_runs`` /
+    ``coal_geometry`` memoize the coalescer's page-run list for one
+    (line size, page size) geometry — derived data, recomputed on a
+    geometry change, never observable in simulation results.
+    """
+
+    __slots__ = ("compute", "addrs", "is_write", "coal_runs",
+                 "coal_geometry")
 
     def __init__(self, compute: int, addrs: Sequence[int] = (),
                  is_write: bool = False) -> None:
@@ -29,6 +38,8 @@ class WarpOp:
         self.compute = compute
         self.addrs = tuple(addrs)
         self.is_write = is_write
+        self.coal_runs = None
+        self.coal_geometry = None
 
     @property
     def instructions(self) -> int:

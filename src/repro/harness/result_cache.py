@@ -71,7 +71,9 @@ from typing import Dict, Optional
 from repro.harness.fsutil import atomic_write_bytes, atomic_write_json
 
 #: Bump to orphan every existing cache entry (simulator behaviour change).
-CACHE_FORMAT = 3
+#: 4: snapshots gained the hoisted per-SM ``l1tlb.smN.mshr_stalls``
+#: counters (present at zero), so cached stats dicts changed shape.
+CACHE_FORMAT = 4
 
 #: Entry envelope: magic, 4-byte BE format version, sha256(payload), payload.
 ENTRY_MAGIC = b"RPROCACHE1\n"

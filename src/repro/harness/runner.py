@@ -133,6 +133,30 @@ class Session:
         """Run a paper-style pair like ``"BLK.3DS"`` under ``config``."""
         return self.run_names(split_pair(pair), config)
 
+    def run_profiled(self, names: Sequence[str], config: GpuConfig,
+                     profiler=None):
+        """Run with an :class:`EngineProfiler` attached; never cached.
+
+        Returns ``(result, profiler)``.  The result is byte-identical to
+        :meth:`run_names` (profiling only instruments the run loop), so
+        it primes the session caches on the way out — a profiled run
+        costs no extra simulation later.
+        """
+        from repro.engine.profile import EngineProfiler
+
+        if profiler is None:
+            profiler = EngineProfiler()
+        manager = MultiTenantManager(
+            config, self.tenants_for(names),
+            warps_per_sm=self.warps_per_sm, seed=self.seed,
+            max_events=self.max_events,
+        )
+        with profiler.attach(manager.sim):
+            result = manager.run()
+        self.simulations_executed += 1
+        self.prime(names, config, result)
+        return result, profiler
+
     def run_custom(self, label: str, workloads: Sequence[Workload],
                    config: GpuConfig) -> RunResult:
         """Run ad-hoc workload objects (e.g. footprint-enhanced variants).

@@ -30,6 +30,25 @@ class _MshrEntry:
         self.any_write = False
 
 
+class _Fill:
+    """Fill-completion callback for one outstanding miss.
+
+    A slotted callable instead of a per-miss closure: every miss used to
+    allocate a cell object plus a fresh lambda; this reuses one small
+    object with direct attribute dispatch.
+    """
+
+    __slots__ = ("cache", "line", "tenant_id")
+
+    def __init__(self, cache: "Cache", line: int, tenant_id: int) -> None:
+        self.cache = cache
+        self.line = line
+        self.tenant_id = tenant_id
+
+    def __call__(self) -> None:
+        self.cache._on_fill(self.line, self.tenant_id)
+
+
 class Cache:
     """A non-blocking set-associative cache level.
 
@@ -94,48 +113,91 @@ class Cache:
         tenant_id: int = 0,
     ) -> None:
         """Look up ``addr``; ``on_done`` fires when the data is available."""
-        # line_of / _bank_latency / _set_index inlined: this is the
-        # hottest component path in the simulator.
+        # line_of / _bank_latency / _set_index inlined, counters bumped
+        # through their value field, and the scheduler entered through
+        # the handle-free raw push: this is the hottest component path
+        # in the simulator.
         line = addr // self._line_bytes
         bank_free = self._bank_free
         bank = line % self._banks
-        now = self.sim.now
-        start = max(now, bank_free[bank])
+        sim = self.sim
+        now = sim.now
+        start = bank_free[bank]
+        if start < now:
+            start = now
         bank_free[bank] = start + self.bank_cycles
-        latency = (start - now) + self._hit_latency
+        done = start + self._hit_latency
         cache_set = self._sets[line % self._num_sets]
         if line in cache_set:
-            self._hits.inc()
+            self._hits.value += 1
             cache_set.move_to_end(line)  # LRU touch
             if is_write:
                 cache_set[line] = True  # mark dirty
-            self.sim.after(latency, on_done)
+            sim.events.push_raw(done, on_done, ())
             return
         # Miss path.
         pending = self._mshrs.get(line)
         if pending is not None:
-            self._merges.inc()
+            self._merges.value += 1
             pending.waiters.append(on_done)
             pending.any_write = pending.any_write or is_write
             return
         if len(self._mshrs) >= self._mshr_entries:
-            self._stalls.inc()
+            self._stalls.value += 1
             self._overflow.append((addr, is_write, on_done, tenant_id))
             return
-        self._misses.inc()
+        self._misses.value += 1
         entry = _MshrEntry(line)
         entry.waiters.append(on_done)
         entry.any_write = is_write
         self._mshrs[line] = entry
         # Fetch from the lower level after our own lookup latency.
-        self.sim.after(
-            latency,
+        sim.events.push_raw(
+            done,
             self.lower.access,
-            line * self._line_bytes,
-            False,
-            lambda: self._on_fill(line, tenant_id),
-            tenant_id,
+            (line * self._line_bytes, False, _Fill(self, line, tenant_id),
+             tenant_id),
         )
+
+    def probe_fast(self, addr: int, is_write: bool, at_time: int) -> int:
+        """Side-effect-complete hit probe for the latency-folding path.
+
+        Behaves exactly like the hit branch of :meth:`access` evaluated
+        at the (future) cycle ``at_time``, but without scheduling: on a
+        hit it applies every side effect — bank reservation, hit
+        counter, LRU touch, dirty mark — and returns the absolute cycle
+        the data is available.  On a miss it returns ``-1`` having
+        touched *nothing*, so the caller can fall back to the ordinary
+        event path whose probe then runs the miss machinery unchanged.
+
+        Soundness rests on the caller guaranteeing quiescence: no other
+        probe of this cache may occur in the open interval
+        ``(now, at_time)``, so applying the bank arithmetic early with
+        ``start = max(at_time, bank_free[bank])`` reserves the bank in
+        the same order the deferred probes would have (see
+        :meth:`fast_ready` and DESIGN.md §12).
+        """
+        line = addr // self._line_bytes
+        cache_set = self._sets[line % self._num_sets]
+        if line not in cache_set:
+            return -1
+        bank_free = self._bank_free
+        bank = line % self._banks
+        start = bank_free[bank]
+        if start < at_time:
+            start = at_time
+        bank_free[bank] = start + self.bank_cycles
+        self._hits.value += 1
+        cache_set.move_to_end(line)
+        if is_write:
+            cache_set[line] = True
+        return start + self._hit_latency
+
+    def fast_ready(self) -> bool:
+        """True when no fill or replay can touch this cache before the
+        next scheduled event: folding is only sound while the cache has
+        neither outstanding misses nor overflow backlog."""
+        return not self._mshrs and not self._overflow
 
     def _bank_latency(self, line: int) -> int:
         """Hit latency plus bank serialization delay."""

@@ -53,14 +53,17 @@ class Dram:
         tenant_id: int = 0,
     ) -> None:
         """Perform a DRAM access; ``on_done`` fires at completion time."""
-        self._accesses.inc()
+        self._accesses.value += 1
         channel = (addr // self.line_bytes) % self._channels
         free = self._channel_free
-        now = self.sim.now
-        start = max(now, free[channel])
+        sim = self.sim
+        now = sim.now
+        start = free[channel]
+        if start < now:
+            start = now
         self._queue_delay.add(start - now)
         free[channel] = start + self._cycles_per_access
-        self.sim.at(start + self._access_latency, on_done)
+        sim.events.push_raw(start + self._access_latency, on_done, ())
 
     def utilization_horizon(self) -> int:
         """Latest busy cycle across channels (used by tests)."""

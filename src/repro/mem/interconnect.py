@@ -50,11 +50,14 @@ class Interconnect:
     def access(self, addr: int, is_write: bool, on_done: Callable[[], None],
                tenant_id: int = 0) -> None:
         """Traverse the interconnect, then access the lower component."""
-        self._transfers.inc()
-        port = self.port_of(addr)
-        now = self.sim.now
-        start = max(now, self._port_free[port])
+        self._transfers.value += 1
+        port = (addr // self.line_bytes) % self.ports
+        sim = self.sim
+        now = sim.now
+        start = self._port_free[port]
+        if start < now:
+            start = now
         self._queue_delay.add(start - now)
         self._port_free[port] = start + self.cycles_per_transfer
-        self.sim.at(start + self.latency, self.lower.access, addr, is_write,
-                    on_done, tenant_id)
+        sim.events.push_raw(start + self.latency, self.lower.access,
+                            (addr, is_write, on_done, tenant_id))

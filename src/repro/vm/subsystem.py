@@ -200,7 +200,7 @@ class PageWalkSubsystem:
             return
         if self.dispatch_latency:
             walker.reserved = True
-            self.sim.after(self.dispatch_latency, self._start_reserved, walker, request)
+            self.sim.post_after(self.dispatch_latency, self._start_reserved, walker, request)
         else:
             walker.start(request)
 

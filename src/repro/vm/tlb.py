@@ -31,6 +31,7 @@ class Tlb:
         self._num_sets = config.num_sets
         self._assoc = config.associativity
         self._entries = config.entries
+        self._hit_latency = config.hit_latency
         self._resident_by_tenant: Dict[int, int] = {}
         self._occupancy: Dict[int, object] = {}
         stats = sim.stats
@@ -52,13 +53,32 @@ class Tlb:
         """True on hit (and refreshes LRU position)."""
         key = (tenant_id, vpn)
         tlb_set = self._sets[vpn % self._num_sets]
-        self._lookups.inc()
+        self._lookups.value += 1
         if key in tlb_set:
             tlb_set.move_to_end(key)
-            self._hits.inc()
+            self._hits.value += 1
             return True
-        self._misses.inc()
+        self._misses.value += 1
         return False
+
+    def probe_fast(self, tenant_id: int, vpn: int) -> int:
+        """Side-effect-complete probe for the latency-folding path.
+
+        Identical side effects to :meth:`lookup` (lookup/hit/miss
+        counters, LRU refresh), but reports the outcome as a latency:
+        the TLB's hit latency on a hit, ``-1`` on a miss.  Lookups are
+        already synchronous, so this only saves the caller the config
+        attribute chain — and states the folding contract explicitly.
+        """
+        key = (tenant_id, vpn)
+        tlb_set = self._sets[vpn % self._num_sets]
+        self._lookups.value += 1
+        if key in tlb_set:
+            tlb_set.move_to_end(key)
+            self._hits.value += 1
+            return self._hit_latency
+        self._misses.value += 1
+        return -1
 
     def insert(self, tenant_id: int, vpn: int, frame: int) -> None:
         """Fill a translation, evicting the set's LRU entry if needed."""

@@ -61,7 +61,7 @@ class Walker:
                 tenant_id=request.tenant_id, walker_id=self.id,
                 sim_time=self.sim.now)
         request.memory_accesses = len(remaining)
-        self.sim.after(self.subsystem.pwc_latency,
+        self.sim.post_after(self.subsystem.pwc_latency,
                        self._issue_level, request, remaining, 0)
 
     def _issue_level(self, request: WalkRequest, addrs, index: int) -> None:

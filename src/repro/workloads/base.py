@@ -7,7 +7,10 @@ from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.engine.config import GpuConfig
+from repro.gpu.coalescer import Coalescer
 from repro.gpu.warp import WarpOp
+from repro.vm.address import AddressLayout
 from repro.workloads.patterns import PATTERNS
 
 
@@ -114,6 +117,17 @@ class TraceMemo:
         self._entries: "OrderedDict[Tuple, Tuple[Tuple[WarpOp, ...], ...]]" = (
             OrderedDict()
         )
+        # Trace materialization is the one place every op of a stream is
+        # walked anyway, so the coalescer's static per-op metadata (the
+        # page-sorted address runs, see Coalescer.coalesce_op) is
+        # precomputed here under the Table I baseline geometry.  A run
+        # with a different line/page size just recomputes lazily — the
+        # runs are tagged with their geometry.
+        baseline = GpuConfig.baseline()
+        self._warm_coalescer = Coalescer(
+            AddressLayout(page_size_bits=baseline.page_size_bits),
+            baseline.sm.l1_cache.line_bytes,
+        )
 
     @staticmethod
     def _key(workload: Workload, num_warps: int, rng) -> Optional[Tuple]:
@@ -145,6 +159,11 @@ class TraceMemo:
                 tuple(stream)
                 for stream in workload.build_streams(num_warps, rng)
             )
+            warm = self._warm_coalescer
+            for ops in cached:
+                for op in ops:
+                    if op.addrs:
+                        warm.coalesce_op(op)
             self._entries[key] = cached
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)

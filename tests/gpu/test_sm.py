@@ -24,6 +24,10 @@ class StubGpu:
         self.mem_ops.append((self.sim.now, vaddr))
         self.sim.after(self.mem_latency, on_done)
 
+    def access_burst(self, sm_id, tenant_id, accesses, is_write, on_done):
+        for _page, addr in accesses:
+            self.access_memory(sm_id, tenant_id, addr, is_write, on_done)
+
     def count_instructions(self, tenant_id, count):
         self.instructions[tenant_id] = self.instructions.get(tenant_id, 0) + count
 
@@ -101,3 +105,42 @@ def test_divergent_op_issues_one_access_per_page():
     sim.drain()
     assert len(gpu.mem_ops) == 3
     assert len(gpu.done_warps) == 1  # completes only after all 3 return
+
+
+def test_join_releases_warp_after_last_access():
+    """The countdown join completes the op exactly once, when the final
+    coalesced access returns — staggered completions must not release
+    the warp early or double-complete it."""
+    from repro.gpu.sm import _Join
+
+    sim, sm, gpu = make_sm()
+    completed = []
+    sm._mem_complete = lambda warp: completed.append((sim.now, warp))
+    warp = Warp(0, 0, iter([]))
+    join = _Join(sm, warp, 3)
+    join()
+    join()
+    assert completed == []
+    join()
+    assert completed == [(sim.now, warp)]
+
+
+def test_divergent_op_completes_once_via_join():
+    """A multi-page op with staggered per-access latencies retires its
+    warp once, after the slowest access."""
+    sim, sm, gpu = make_sm()
+    delays = iter([30, 300, 100])
+
+    def staggered(sm_id, tenant_id, vaddr, is_write, on_done):
+        gpu.mem_ops.append((sim.now, vaddr))
+        sim.after(next(delays), on_done)
+
+    gpu.access_memory = staggered
+    # three distinct pages -> three coalesced accesses
+    op = WarpOp(compute=1, addrs=[0x1000, 0x2000, 0x3000])
+    sm.add_warp(Warp(0, 0, iter([op])))
+    sim.drain()
+    assert len(gpu.mem_ops) == 3
+    assert len(gpu.done_warps) == 1
+    issue_done = 1 + 1  # issue at cycle >= 1 after the compute stretch
+    assert gpu.done_warps[0][0] >= issue_done + 300

@@ -1,0 +1,139 @@
+"""Byte-identity of the latency-folding fast path (DESIGN.md §12).
+
+The fold is a pure scheduling optimisation: a combinational access (L1
+TLB hit + L1 data hit with no in-flight state that could reorder it)
+completes arithmetically instead of through the event queue.  Nothing
+observable may change — these tests run every suite archetype under
+every policy with folding on and off and require the full observable
+state (stats snapshot, per-tenant run stats, total cycles) to match
+exactly.
+
+The audit levels get the same treatment: an installed audit hook
+disables folding (the auditor samples *event-path* state that folds
+bypass), so a fold-requested run under ``audit=cheap``/``full`` must be
+byte-identical to a fold-off run under the same audit level — and must
+fold nothing.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.engine.config import GpuConfig
+from repro.integrity import IntegrityConfig
+from repro.tenancy.manager import MultiTenantManager
+from repro.tenancy.tenant import Tenant
+from repro.workloads.base import Workload
+from repro.workloads.suite import BENCHMARKS, benchmark
+
+SCALE = 0.05
+#: The resident pair needs a longer trace: folds only start once the
+#: 4 KiB footprint's cold misses are behind it.
+RESIDENT_SCALE = 0.5
+POLICIES = ("baseline", "static", "dws", "dwspp")
+
+#: An L1-resident variant of HS: the fast path's home regime (every
+#: post-warm-up access is an L1 TLB + L1 data hit).  The suite
+#: archetypes at their standard footprints rarely fold; this one folds
+#: on nearly every access, so it is the case that actually stresses the
+#: folded completion ordering.
+RESIDENT_SPEC = dataclasses.replace(BENCHMARKS["HS"], name="HSR",
+                                    footprint_bytes=4096)
+
+
+def run_once(workloads, policy, fold, warps=2, integrity=None, sms=4):
+    os.environ["REPRO_FASTPATH"] = "1" if fold else "0"
+    try:
+        cfg = GpuConfig.baseline(num_sms=sms).with_policy(policy)
+        tenants = [Tenant(i, wl) for i, wl in enumerate(workloads)]
+        manager = MultiTenantManager(cfg, tenants, warps_per_sm=warps,
+                                     seed=3, integrity=integrity)
+        result = manager.run()
+    finally:
+        os.environ.pop("REPRO_FASTPATH", None)
+    return result, manager
+
+
+def observable(result):
+    """Everything a fold is forbidden to change.
+
+    ``events_fired`` is deliberately excluded: folding completes hits
+    without queue events, so firing fewer of them is the one permitted
+    difference.
+    """
+    return (
+        result.total_cycles,
+        result.stats,
+        {t: dataclasses.asdict(s) for t, s in result.tenants.items()},
+    )
+
+
+@pytest.mark.parametrize("archetype", sorted(BENCHMARKS))
+def test_fold_identity_all_policies(archetype):
+    """Fold on == fold off for every archetype under every policy."""
+    for policy in POLICIES:
+        pair = [benchmark(archetype, scale=SCALE), benchmark("HS", scale=SCALE)]
+        on, _ = run_once(pair, policy, fold=True)
+        pair = [benchmark(archetype, scale=SCALE), benchmark("HS", scale=SCALE)]
+        off, _ = run_once(pair, policy, fold=False)
+        assert observable(on) == observable(off), (
+            f"{archetype} under {policy}: folding changed observable state")
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_fold_identity_resident_pair(policy):
+    """The hit-dominated regime, where folds actually fire en masse."""
+    def pair():
+        return [Workload(RESIDENT_SPEC, RESIDENT_SCALE),
+                Workload(RESIDENT_SPEC, RESIDENT_SCALE)]
+
+    on, manager = run_once(pair(), policy, fold=True, warps=1)
+    off, off_manager = run_once(pair(), policy, fold=False, warps=1)
+    assert observable(on) == observable(off)
+    stats = manager.gpu.fastpath_stats()
+    assert stats["folded_accesses"] > 0, "resident pair must exercise the fold"
+    assert stats["hit_path_fraction"] > 0.5
+    assert off_manager.gpu.fastpath_stats()["folded_accesses"] == 0
+    # folding must strictly reduce queue traffic when it fires
+    assert on.events_fired < off.events_fired
+
+
+@pytest.mark.parametrize("audit", ["cheap", "full"])
+def test_fold_disabled_under_audit(audit):
+    """An installed audit hook closes the fold gate entirely."""
+    integrity = IntegrityConfig(audit=audit, audit_interval=64)
+
+    def pair():
+        return [Workload(RESIDENT_SPEC, RESIDENT_SCALE),
+                Workload(RESIDENT_SPEC, RESIDENT_SCALE)]
+
+    on, manager = run_once(pair(), "dws", fold=True, warps=1,
+                           integrity=integrity)
+    assert manager.gpu.fastpath_stats()["folded_accesses"] == 0, (
+        "folds must not fire while the auditor's per-event hook is installed")
+    off, _ = run_once(pair(), "dws", fold=False, warps=1, integrity=integrity)
+    assert observable(on) == observable(off)
+    assert on.events_fired == off.events_fired
+
+
+def test_kill_switch_disables_folding():
+    """REPRO_FASTPATH=0 must zero the fold counters outright."""
+    _, manager = run_once(
+        [Workload(RESIDENT_SPEC, RESIDENT_SCALE)], "baseline", fold=False, warps=1)
+    assert manager.gpu.fold_enabled is False
+    stats = manager.gpu.fastpath_stats()
+    assert stats["folded_accesses"] == 0
+    assert stats["hit_path_fraction"] == 0.0
+
+
+def test_mshr_stall_counters_present_at_zero():
+    """The hoisted per-SM mshr_stalls counters must appear in every
+    snapshot, zero-valued when no stall occurred, so fold-on and
+    fold-off snapshots stay key-identical."""
+    result, manager = run_once(
+        [Workload(RESIDENT_SPEC, RESIDENT_SCALE)], "baseline", fold=True, warps=1)
+    keys = [k for k in result.stats
+            if k.startswith("l1tlb.") and k.endswith(".mshr_stalls")]
+    assert len(keys) == manager.config.sm.num_sms
+    assert all(result.stats[k] == 0 for k in keys)
