@@ -43,6 +43,12 @@ suite pairs are miss-dominated at their standard footprints and fold
 rarely; the ``light_resident`` pair is built to fold on nearly every
 access.
 
+Each pair also records a **sharded-engine speedup curve** at 1/2/4/8
+shards (:func:`measure_shard_curve`): every sharded run is checked
+byte-identical to the serial oracle, then the honest wall ratio and the
+modeled multi-core speedup (serial wall over the window-critical-path
+wall) are recorded.  ``check_perf_gate.py`` gates the modeled ratios.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
@@ -87,15 +93,19 @@ from repro.workloads.suite import BENCHMARKS, benchmark
 _HSR_SPEC = dataclasses.replace(BENCHMARKS["HS"], name="HSR",
                                 footprint_bytes=4096)
 
-#: (json key, pair, warps override) — the contention sweep.  ``None``
-#: warps means the CLI value.  ``light_resident`` pins warps=1: with a
-#: single warp per SM there is never an in-flight access ahead of the
-#: folding candidate, so the fold gates stay open.
+#: (json key, pair, warps override, scale multiplier) — the contention
+#: sweep.  ``None`` warps means the CLI value.  ``light_resident`` pins
+#: warps=1 (with a single warp per SM there is never an in-flight access
+#: ahead of the folding candidate, so the fold gates stay open) and
+#: doubles the trace length: both of its regimes — folding and the
+#: sharded engine's windows — are steady-state behaviours that only
+#: dominate once the 4 KiB footprint's cold misses are a small fraction
+#: of the run.
 PAIR_SWEEP = (
-    ("light", "HS.MM", None),
-    ("medium", "JPEG.LIB", None),
-    ("heavy", "GUPS.SAD", None),
-    ("light_resident", "HSR.HSR", 1),
+    ("light", "HS.MM", None, 1.0),
+    ("medium", "JPEG.LIB", None, 1.0),
+    ("heavy", "GUPS.SAD", None, 1.0),
+    ("light_resident", "HSR.HSR", 1, 2.0),
 )
 
 #: Module-level trace memo shared by every build on every side, so no
@@ -112,11 +122,12 @@ def _workload(name: str, scale: float) -> MemoizedWorkload:
 
 
 def build_manager(pair: str, scale: float, sms: int, warps: int,
-                  kernel) -> MultiTenantManager:
+                  kernel, shards: int = 1) -> MultiTenantManager:
     """A manager for the pair, with the simulator kernel swapped in.
 
     ``kernel=None`` leaves the kernel alone — the PR-4 side installs its
-    own queue via its patched ``Simulator``.
+    own queue via its patched ``Simulator``.  ``shards > 1`` selects the
+    sharded parallel engine (DESIGN.md §13) instead.
     """
     previous = simulator_module.EventQueue
     if kernel is not None:
@@ -126,7 +137,7 @@ def build_manager(pair: str, scale: float, sms: int, warps: int,
         tenants = [Tenant(i, _workload(name, scale))
                    for i, name in enumerate(pair.split("."))]
         return MultiTenantManager(config, tenants,
-                                  warps_per_sm=warps, seed=0)
+                                  warps_per_sm=warps, seed=0, shards=shards)
     finally:
         simulator_module.EventQueue = previous
 
@@ -166,9 +177,9 @@ def run_once(pcfg, kernel, drive, context):
 
 
 def _pair_config(entry, args):
-    key, pair, warps_override = entry
+    key, pair, warps_override, scale_mult = entry
     warps = args.warps if warps_override is None else warps_override
-    return key, (pair, args.scale, args.sms, warps)
+    return key, (pair, args.scale * scale_mult, args.sms, warps)
 
 
 def measure_pair(pcfg, repeats):
@@ -239,6 +250,94 @@ def measure_pair(pcfg, repeats):
         "ratios_vs_seed": ratios_seed,
         "fastpath": fastpath,
     }
+
+
+#: Shard counts for the parallel-engine speedup curve.  8 SMs is the
+#: bench default, so x8 is one SM per shard.
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def _observable(result) -> tuple:
+    """Everything the sharded engine is forbidden to change."""
+    return (result.total_cycles, result.stats,
+            {t: dataclasses.asdict(s) for t, s in result.tenants.items()})
+
+
+def measure_shard_curve(pcfg, repeats, shard_counts=SHARD_COUNTS):
+    """Sharded-engine speedup curve vs the serial oracle (DESIGN.md §13).
+
+    Every shard count's warm-up run is asserted byte-identical to the
+    serial oracle (stats snapshot, cycle count, per-tenant tables)
+    before anything is timed — the benchmark doubles as a differential
+    check at full workload scale.  Two speedups are recorded per shard
+    count, both medians of paired interleaved rounds so host speed
+    divides out:
+
+    * ``wall_speedup`` — honest single-machine wall ratio.  On a
+      GIL-bound interpreter with the inline backend this prices the
+      window/barrier machinery, not parallelism, and sits near or
+      below 1.0.
+    * ``modeled_speedup`` — serial wall over the modeled multi-core
+      wall: the measured run wall with the shard-advance time replaced
+      by the per-window critical path (the longest single shard's
+      slice), i.e. the wall a machine with one core per shard would
+      see.  This is the metric ``check_perf_gate.py`` gates.
+    """
+    pair, scale, sms, warps = pcfg
+
+    def run_k(k):
+        manager = build_manager(pair, scale, sms, warps, EventQueue,
+                                shards=k)
+        start = time.perf_counter()
+        result = manager.run()
+        elapsed = time.perf_counter() - start
+        return result, manager, elapsed
+
+    serial_result, _, _ = run_k(1)  # warm-up; also the oracle
+    oracle = _observable(serial_result)
+    curve = {}
+    for k in shard_counts:
+        if k == 1:
+            continue
+        result, manager, _ = run_k(k)  # warm-up + identity check
+        if _observable(result) != oracle:
+            raise SystemExit(
+                f"{pair}: shards={k} diverged from the serial oracle — "
+                "byte-identity broken")
+        pstats = manager.sim.parallel_stats()
+        events = pstats["window_events"] + pstats["serial_events"]
+        curve[str(k)] = {
+            "windows": pstats["windows"],
+            "window_events": pstats["window_events"],
+            "window_fraction": (pstats["window_events"] / events
+                                if events else 0.0),
+            "intents_flushed": pstats["intents_flushed"],
+            "walls": [],
+            "modeled": [],
+        }
+
+    serial_walls = []
+    for _ in range(repeats):
+        _, _, serial_wall = run_k(1)
+        serial_walls.append(serial_wall)
+        for k_key, rec in curve.items():
+            _, manager, elapsed = run_k(int(k_key))
+            rec["walls"].append(elapsed)
+            rec["modeled"].append(
+                manager.sim.parallel_stats()["modeled_wall_ns"] / 1e9)
+
+    for rec in curve.values():
+        rec["wall_seconds"] = statistics.median(rec["walls"])
+        rec["wall_speedup"] = statistics.median(
+            s / w for s, w in zip(serial_walls, rec["walls"]))
+        rec["modeled_speedup"] = statistics.median(
+            s / m for s, m in zip(serial_walls, rec["modeled"]))
+    curve["1"] = {
+        "wall_seconds": statistics.median(serial_walls),
+        "wall_speedup": 1.0,
+        "modeled_speedup": 1.0,
+    }
+    return curve
 
 
 def measure_audit_overhead(pcfg, repeats):
@@ -343,6 +442,12 @@ def main(argv=None) -> int:
               f"{record['speedup_vs_seed']:.2f}x vs seed, "
               f"hit-path {record['fastpath']['hit_path_fraction']:.1%} "
               f"({record['canonical_events']} events)")
+        record["shards"] = measure_shard_curve(pcfg, args.repeats)
+        print("  shards: " + "  ".join(
+            f"x{k}: {record['shards'][k]['modeled_speedup']:.2f} modeled"
+            f" ({record['shards'][k]['wall_speedup']:.2f} wall,"
+            f" {record['shards'][k]['window_fraction']:.0%} windowed)"
+            for k in sorted(record["shards"], key=int) if k != "1"))
 
     payload = {
         "benchmark": "engine_throughput",
@@ -352,6 +457,7 @@ def main(argv=None) -> int:
         "repeats": args.repeats,
         "smoke": args.smoke,
         "pairs": pairs,
+        "shard_counts": list(SHARD_COUNTS),
         "python": sys.version.split()[0],
     }
     if "heavy" in pairs:

@@ -11,6 +11,12 @@ which varies wildly between CI runners and has nothing to do with the
 code — divides out.  Raw rates are still recorded in both files for
 eyeballing trends.
 
+The sharded-engine curve is gated the same way (per pair, per shard
+count, on the modeled multi-core speedup), plus one absolute floor:
+at least one pair must clear ``REQUIRED_SHARD4_SPEEDUP`` modeled
+speedup at 4 shards in the fresh run, so the parallel engine cannot
+silently regress into pure overhead.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py --json fresh.json
@@ -25,6 +31,17 @@ import sys
 from pathlib import Path
 
 GATED_METRICS = ("speedup_vs_pr4", "speedup_vs_seed")
+
+#: The sharded-engine metric gated per pair per shard count.  Only the
+#: *modeled* ratio is gated: it is a paired same-process ratio (host
+#: speed divides out) of the critical-path model, where the honest wall
+#: ratio on a GIL-bound 1-core runner mostly measures scheduler noise.
+SHARD_GATED_METRIC = "modeled_speedup"
+
+#: Absolute acceptance floor: at least one pair's modeled speedup at
+#: 4 shards must clear this, or the parallel engine has stopped paying
+#: for itself.
+REQUIRED_SHARD4_SPEEDUP = 1.4
 
 
 def compare(baseline: dict, fresh: dict, tolerance: float) -> list:
@@ -47,7 +64,43 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list:
                 failures.append(
                     f"{key}: {metric} {got:.3f} < {floor:.3f} "
                     f"(baseline {base:.3f} - {tolerance:.0%})")
+        base_curve = base_pairs[key].get("shards", {})
+        fresh_curve = fresh_pairs[key].get("shards", {})
+        for k in sorted(set(base_curve) & set(fresh_curve), key=int):
+            if k == "1":
+                continue
+            base = base_curve[k].get(SHARD_GATED_METRIC)
+            got = fresh_curve[k].get(SHARD_GATED_METRIC)
+            if base is None or got is None:
+                continue
+            floor = base * (1.0 - tolerance)
+            if got < floor:
+                failures.append(
+                    f"{key} shards x{k}: {SHARD_GATED_METRIC} {got:.3f} "
+                    f"< {floor:.3f} (baseline {base:.3f} - {tolerance:.0%})")
+    failures.extend(check_shard_floor(fresh))
     return failures
+
+
+def check_shard_floor(fresh: dict) -> list:
+    """The absolute shard-speedup acceptance check on the fresh run."""
+    fresh_pairs = fresh.get("pairs", {})
+    at_four = {
+        key: record["shards"]["4"][SHARD_GATED_METRIC]
+        for key, record in fresh_pairs.items()
+        if record.get("shards", {}).get("4", {}).get(SHARD_GATED_METRIC)
+        is not None
+    }
+    if not at_four:
+        return ["fresh results carry no 4-shard speedup curve — "
+                "the shard sweep was dropped from the benchmark"]
+    best_key = max(at_four, key=at_four.get)
+    if at_four[best_key] < REQUIRED_SHARD4_SPEEDUP:
+        return [
+            f"no pair reaches {REQUIRED_SHARD4_SPEEDUP:.1f}x modeled "
+            f"speedup at 4 shards (best: {best_key} at "
+            f"{at_four[best_key]:.2f}x)"]
+    return []
 
 
 def main(argv=None) -> int:
@@ -77,6 +130,11 @@ def main(argv=None) -> int:
         base = baseline["pairs"].get(key, {})
         print(f"  {key}: speedup_vs_pr4 {record.get('speedup_vs_pr4', 0):.3f} "
               f"(baseline {base.get('speedup_vs_pr4', 0):.3f}) ok")
+        curve = record.get("shards", {})
+        if curve:
+            print("    shards: " + "  ".join(
+                f"x{k} {curve[k].get(SHARD_GATED_METRIC, 0):.2f}"
+                for k in sorted(curve, key=int) if k != "1") + " modeled ok")
     print("perf gate passed")
     return 0
 

@@ -18,7 +18,11 @@ Commands:
 All commands accept ``--scale`` (workload length multiplier) and
 ``--warps`` (warps per SM) to trade fidelity for run time, plus the
 integrity flags ``--audit {off,cheap,full}``, ``--watchdog-window`` and
-``--forensics-dir`` (see ``repro.integrity``).
+``--forensics-dir`` (see ``repro.integrity``).  ``run`` and ``campaign``
+additionally accept ``--shards K`` to execute on the sharded parallel
+engine (``repro.engine.parallel_sim``) — byte-identical results, with a
+campaign-level guard that keeps ``workers x shards`` within the CPU
+count.
 """
 
 from __future__ import annotations
@@ -45,6 +49,22 @@ from repro.workloads.pairs import WORKLOAD_PAIRS, pair_class, split_pair
 from repro.workloads.suite import BENCHMARKS, benchmark
 
 POLICIES = ("baseline", "static", "dws", "dwspp", "mask", "mask+dws")
+
+
+def _positive_int(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return n
+
+
+def _add_shards(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--shards", type=_positive_int, default=None,
+                        metavar="K",
+                        help="partition the simulation across K engine "
+                             "shards (published as REPRO_SHARDS; default: "
+                             "inherit the environment, else 1 = serial "
+                             "kernel; results are byte-identical at any K)")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -97,6 +117,24 @@ def _install_integrity(args) -> Optional[str]:
     return previous
 
 
+def _install_shards(args) -> Optional[str]:
+    """Publish ``--shards`` as ``REPRO_SHARDS``, when given.
+
+    Returns the previous value so :func:`main` can restore it — campaign
+    worker processes inherit the variable, but the CLI must not leak it
+    into a calling process's later runs (tests drive ``main()``
+    in-process, same contract as :func:`_install_integrity`).
+    """
+    import os
+
+    from repro.engine.parallel_sim import SHARDS_ENV
+
+    previous = os.environ.get(SHARDS_ENV)
+    if getattr(args, "shards", None) is not None:
+        os.environ[SHARDS_ENV] = str(args.shards)
+    return previous
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -117,7 +155,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile-breakdown", action="store_true",
                    help="attach the engine profiler and print the top "
                         "callsites by delivery count (queue events and "
-                        "folded completions)")
+                        "folded completions), plus the barrier/window "
+                        "breakdown when the run is sharded")
+    _add_shards(p)
     _add_common(p)
 
     p = sub.add_parser("compare", help="compare policies on one pair")
@@ -159,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--supervision-report", default=None, metavar="PATH",
                    help="write the retry/requeue/quarantine report as "
                         "JSON to PATH")
+    _add_shards(p)
     _add_common(p)
 
     p = sub.add_parser(
@@ -385,6 +426,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     args = build_parser().parse_args(argv)
     previous = _install_integrity(args) if hasattr(args, "audit") else None
+    previous_shards = (_install_shards(args)
+                       if hasattr(args, "shards") else None)
     try:
         return COMMANDS[args.command](args)
     except SimulationError as exc:
@@ -405,6 +448,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 os.environ.pop(INTEGRITY_ENV, None)
             else:
                 os.environ[INTEGRITY_ENV] = previous
+        if hasattr(args, "shards"):
+            from repro.engine.parallel_sim import SHARDS_ENV
+            if previous_shards is None:
+                os.environ.pop(SHARDS_ENV, None)
+            else:
+                os.environ[SHARDS_ENV] = previous_shards
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,553 @@
+"""The sharded parallel engine's conductor (DESIGN.md §13).
+
+:class:`ParallelSimulator` runs one simulation as K shards — contiguous
+SM blocks with their private L1 TLBs, L1 caches, warp schedulers and
+event streams — plus a shared boundary (page tables, L2 TLB, walker
+pool, NoC/L2/DRAM).  Execution alternates two regimes:
+
+* **serial steps** — the globally earliest entry across the boundary
+  queue and every shard queue fires with the serial engine's exact
+  ordering (time, then :class:`~repro.engine.shard.OrderKey`).  Pushes
+  made during a serial step mint keys from one shared context, so the
+  interleaving of new entries is byte-for-byte the serial schedule.
+* **conservative windows** — when the next global entry is shard-local,
+  every shard advances its own queue up to the horizon ``H``, parking
+  boundary touches as keyed intents.  At the barrier the intents enter
+  the boundary queue *as entries* carrying their execution's own key,
+  so the main loop replays them in exact serial order against any
+  not-yet-executed shard work at the same cycles.
+
+The horizon is the minimum of: the window span, the boundary queue's
+front (every in-flight boundary chain keeps an entry queued until its
+delivery, so nothing can reach a shard before that front), and the
+completion floor — the earliest cycle any warp could possibly retire
+(``now + remaining ops``, since consecutive op issues are at least one
+cycle apart).  The floor guarantees no tenant's active-warp count can
+cross zero inside a window, which is what makes relaunch/stop handling
+and the parked completion deltas safe.  Each shard additionally respects
+a dynamic cap: once it parks an intent whose response could re-enter the
+shard (an L1 TLB miss or a data miss), it must not advance past the
+earliest possible delivery of that response.
+
+Identity contract (same discipline as ``REPRO_FASTPATH``): for any K,
+``REPRO_SHARDS=K`` produces byte-identical stats snapshots, cycle counts
+and per-tenant tables to the single-core oracle.  ``events_fired`` and
+wall-clock are the only permitted deltas — latency folding is disabled
+inside the sharded engine (per-shard completion batches would reorder
+cross-shard intents), and PR 5's fold-identity guarantee transfers the
+byte-identity to the folding oracle.  ``max_events`` remains a hard
+budget but is enforced per window rather than per event, so the exact
+count fired on the over-budget *error* path may differ.
+
+An installed audit hook, ``stop_when`` or ``until`` disables windows
+entirely: the conductor then runs pure serial steps, firing the hook
+after every event with globally ordered state — which is also what
+keeps the integrity watchdog's progress accounting global (it counts
+every event on every shard, and cannot stall on an idle shard).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from heapq import heappop
+from time import perf_counter_ns
+from typing import Any, Dict, List, Optional
+
+from repro.engine.shard import (ENSURE, LOOKUP, NOC, CountingStream, Ctx,
+                                KeyedQueue, Shard, ShardGpuPort,
+                                ShardNocPort)
+from repro.engine.simulator import SimulationError, Simulator
+
+#: Maximum window span in cycles.  The horizon is usually bound by the
+#: boundary-queue front or the completion floor long before this; the
+#: span only caps how far a fully decoupled shard may run ahead.
+DEFAULT_WINDOW = 4096
+
+#: Environment variable carrying the requested shard count.  The CLI's
+#: ``--shards`` flag publishes through it so campaign worker processes
+#: inherit the setting.
+SHARDS_ENV = "REPRO_SHARDS"
+
+_BACKENDS = ("inline", "threads")
+
+
+def shards_from_env(default: int = 1) -> int:
+    """The requested shard count: ``REPRO_SHARDS`` or ``default``."""
+    raw = os.environ.get(SHARDS_ENV)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_SHARDS must be an integer, got {raw!r}")
+    if value < 1:
+        raise ValueError(f"REPRO_SHARDS must be >= 1, got {value}")
+    return value
+
+
+class ParallelSimulator(Simulator):
+    """Sharded discrete-event kernel, byte-identical to :class:`Simulator`.
+
+    Construct, build the :class:`~repro.gpu.gpu.Gpu` against it, then
+    call :meth:`attach_gpu` *before* any warp launch so the per-SM
+    components are rebound to their shard facades from the first push.
+    """
+
+    def __init__(self, num_shards: int, window: Optional[int] = None,
+                 backend: Optional[str] = None) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        super().__init__()
+        self.events = KeyedQueue()  # the shared boundary queue
+        self.num_shards = num_shards
+        if window is None:
+            window = int(os.environ.get("REPRO_SHARD_WINDOW", DEFAULT_WINDOW))
+        self.window = window
+        backend = backend or os.environ.get("REPRO_SHARD_BACKEND", "inline")
+        if backend not in _BACKENDS:
+            raise ValueError(f"unknown shard backend {backend!r}; "
+                             f"expected one of {_BACKENDS}")
+        self.backend = backend
+        self.in_window = False
+        self.shards: List[Shard] = []
+        self.gpu = None
+        self._noc = None
+        self._queues: List[KeyedQueue] = [self.events]
+        self._streams: List[CountingStream] = []
+        self._floor = float("inf")
+        self._xlat_response_min = 0
+        self._data_response_min = 0
+        self._pool = None
+        # --- telemetry (engine/profile.py barrier/window breakdown) ---
+        self.windows_opened = 0
+        self.window_events = 0
+        self.serial_events = 0
+        self.intents_flushed = 0
+        self.window_ns = 0    # wall time inside shard advances
+        self.critical_ns = 0  # sum over windows of the slowest shard slice
+        self.barrier_ns = 0   # wall time merging deltas + flushing intents
+        self.run_wall_ns = 0
+
+    # ------------------------------------------------------------------
+    # Partitioning
+    # ------------------------------------------------------------------
+    def attach_gpu(self, gpu) -> None:
+        """Partition the GPU's per-SM state into shards and rebind it.
+
+        SMs are split into ``num_shards`` contiguous blocks.  Each SM,
+        its L1 data cache and its L1 TLB are rebound to the shard's
+        facade sim (own clock + keyed queue); the SM's GPU reference and
+        the L1's lower port become the window-aware proxies.  Latency
+        folding is turned off for the whole run — the window datapath
+        has no folded path, and per-shard completion batches would break
+        cross-shard ordering (see DESIGN.md §13).
+        """
+        if self.shards:
+            raise SimulationError("attach_gpu called twice")
+        num_sms = len(gpu.sms)
+        if self.num_shards > num_sms:
+            raise SimulationError(
+                f"cannot shard {num_sms} SMs {self.num_shards} ways")
+        self.gpu = gpu
+        self._noc = gpu.memory.noc
+        # Earliest possible response deliveries for the dynamic caps:
+        # a parked L1 TLB miss cannot re-enter its shard before the L2
+        # TLB hit path returns; a parked data miss cannot before the
+        # NoC hop lands it at the L2 (an L2 MSHR merge may fire the
+        # waiting fill callback that same cycle, so nothing longer is
+        # safe to assume).
+        self._xlat_response_min = gpu._l2_hit_latency
+        self._data_response_min = self._noc.latency
+        root_ctx = self.events.ctx
+        base, extra = divmod(num_sms, self.num_shards)
+        next_sm = 0
+        for shard_id in range(self.num_shards):
+            size = base + (1 if shard_id < extra else 0)
+            sm_ids = list(range(next_sm, next_sm + size))
+            next_sm += size
+            shard = Shard(self, shard_id, sm_ids)
+            shard.sim.events.ctx = root_ctx
+            port = ShardGpuPort(gpu, self, shard)
+            for sm_id in sm_ids:
+                sm = gpu.sms[sm_id]
+                sm.sim = shard.sim
+                sm.gpu = port
+                l1 = gpu.memory.l1s[sm_id]
+                l1.sim = shard.sim
+                l1.lower = ShardNocPort(self._noc, self, shard)
+                gpu.l1_tlbs[sm_id].sim = shard.sim
+            self.shards.append(shard)
+            self._queues.append(shard.sim.events)
+        gpu.fold_enabled = False
+        launch = gpu.launch_warps
+
+        def launch_counted(tenant_id, streams, _launch=launch,
+                           _register=self._register_streams):
+            counted = [s if type(s) is CountingStream else CountingStream(s)
+                       for s in streams]
+            _register(counted)
+            _launch(tenant_id, counted)
+
+        gpu.launch_warps = launch_counted
+
+    def _register_streams(self, streams: List[CountingStream]) -> None:
+        self._streams.extend(streams)
+        now = self.now
+        floor = self._floor
+        for stream in streams:
+            cand = now + len(stream.ops)
+            if cand < floor:
+                floor = cand
+        self._floor = floor
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until=None, stop_when=None, max_events=None) -> int:
+        budget = sys.maxsize if max_events is None else max_events
+        fired = 0
+        self._running = True
+        self._stop = False
+        profiler = self.profiler
+        audit = self.audit_hook
+        # Windows require the pure manager-driven mode: a per-event
+        # audit hook, stop predicate or time bound must observe every
+        # event in global order, which only serial steps provide.  The
+        # profiler keeps windows but forces the in-process backend so
+        # its per-callsite counts stay exact.
+        windows_ok = (self.shards and audit is None and stop_when is None
+                      and until is None and self.window > 0)
+        backend = "inline" if profiler is not None else self.backend
+        parent = self.events
+        queues = self._queues
+        shards = self.shards
+        t_run = perf_counter_ns()
+        try:
+            while fired < budget and not self._stop:
+                # -- global minimum across boundary + shard queues -----
+                best = None
+                best_q = None
+                for q in queues:
+                    heap = q.heap
+                    if heap:
+                        front = heap[0]
+                        if (best is None or front[0] < best[0]
+                                or (front[0] == best[0]
+                                    and front[1] < best[1])):
+                            best = front
+                            best_q = q
+                if best is None:
+                    if until is not None and until > self.now:
+                        self.now = until
+                    break
+                t = best[0]
+                if until is not None and t > until:
+                    self.now = until
+                    break
+                if windows_ok and best_q is not parent:
+                    horizon = t + self.window
+                    p_heap = parent.heap
+                    if p_heap and p_heap[0][0] < horizon:
+                        horizon = p_heap[0][0]
+                    floor = self._floor
+                    if floor < horizon:
+                        floor = self._completion_floor(t)
+                        if floor < horizon:
+                            horizon = floor
+                    if horizon > t:
+                        fired += self._run_window(horizon, budget - fired,
+                                                  backend)
+                        continue
+                # -- serial step ---------------------------------------
+                entry = heappop(best_q.heap)
+                best_q._live -= 1
+                self.now = t
+                for shard in shards:
+                    ssim = shard.sim
+                    if ssim.now < t:
+                        ssim.now = t
+                ctx = Ctx(entry[1], 0)
+                for q in queues:
+                    q.ctx = ctx
+                if profiler is not None:
+                    profiler.record_fn(entry[3])
+                entry[3](*entry[4])
+                fired += 1
+                self.serial_events += 1
+                if audit is not None:
+                    audit()
+                if stop_when is not None and stop_when():
+                    break
+        finally:
+            self._running = False
+            self.run_wall_ns += perf_counter_ns() - t_run
+        return fired
+
+    def step(self) -> bool:
+        """Fire the globally next entry (serial semantics)."""
+        best_q = None
+        best = None
+        for q in self._queues:
+            heap = q.heap
+            if heap:
+                front = heap[0]
+                if (best is None or front[0] < best[0]
+                        or (front[0] == best[0] and front[1] < best[1])):
+                    best = front
+                    best_q = q
+        if best_q is None:
+            return False
+        entry = heappop(best_q.heap)
+        best_q._live -= 1
+        t = entry[0]
+        self.now = t
+        for shard in self.shards:
+            if shard.sim.now < t:
+                shard.sim.now = t
+        ctx = Ctx(entry[1], 0)
+        for q in self._queues:
+            q.ctx = ctx
+        entry[3](*entry[4])
+        return True
+
+    # ------------------------------------------------------------------
+    # Windows
+    # ------------------------------------------------------------------
+    def _completion_floor(self, t: int) -> float:
+        """Earliest cycle any live warp could retire, recomputed from
+        the counted streams.  ``now + remaining`` per stream is
+        monotone non-decreasing (issues are >= 1 cycle apart), so the
+        cached value stays a valid lower bound between recomputes."""
+        best = float("inf")
+        live = []
+        append = live.append
+        for stream in self._streams:
+            if stream.done:
+                continue
+            append(stream)
+            cand = t + len(stream.ops) - stream.idx
+            if cand < best:
+                best = cand
+        self._streams = live
+        self._floor = best
+        return best
+
+    def _run_window(self, horizon: int, budget: int, backend: str) -> int:
+        self.windows_opened += 1
+        self.in_window = True
+        shards = self.shards
+        total = 0
+        t0 = perf_counter_ns()
+        if backend == "threads" and len(shards) > 1:
+            pool = self._ensure_pool()
+            futures = [pool.submit(self._advance_shard_timed, shard,
+                                   horizon, budget)
+                       for shard in shards]
+            worst = 0
+            for future in futures:
+                fired, elapsed = future.result()
+                total += fired
+                if elapsed > worst:
+                    worst = elapsed
+            self.critical_ns += worst
+        else:
+            worst = 0
+            for shard in shards:
+                fired, elapsed = self._advance_shard_timed(
+                    shard, horizon, budget - total)
+                total += fired
+                if elapsed > worst:
+                    worst = elapsed
+            self.critical_ns += worst
+        self.window_ns += perf_counter_ns() - t0
+        self.in_window = False
+        b0 = perf_counter_ns()
+        self._flush_barrier()
+        self.barrier_ns += perf_counter_ns() - b0
+        self.window_events += total
+        return total
+
+    def _advance_shard_timed(self, shard: Shard, horizon: int, budget: int):
+        s0 = perf_counter_ns()
+        fired = self._advance_shard(shard, horizon, budget)
+        elapsed = perf_counter_ns() - s0
+        shard.work_ns += elapsed
+        return fired, elapsed
+
+    def _advance_shard(self, shard: Shard, horizon: int, budget: int) -> int:
+        """Advance one shard to min(horizon, its dynamic cap).
+
+        The cap is re-read every iteration: a parked intent tightens it
+        mid-advance, and the shard must not run past the earliest cycle
+        that intent's response could re-enter it.
+        """
+        sim = shard.sim
+        q = sim.events
+        heap = q.heap
+        profiler = self.profiler
+        fired = 0
+        while heap:
+            top = heap[0]
+            t = top[0]
+            if t >= horizon or t >= shard.cap or fired >= budget:
+                break
+            heappop(heap)
+            q._live -= 1
+            sim.now = t
+            q.ctx = Ctx(top[1], 0)
+            if profiler is not None:
+                profiler.record_fn(top[3])
+            top[3](*top[4])
+            fired += 1
+        shard.events_fired += fired
+        return fired
+
+    def _flush_barrier(self) -> None:
+        """Deterministic merge at a window boundary.
+
+        Accounting deltas are summed (commutative — the floor proof
+        guarantees no zero-crossing happened inside the window), and
+        parked intents re-enter the boundary queue as entries carrying
+        their execution's own key, so the main loop replays each one in
+        exact serial position against all remaining work.
+        """
+        gpu = self.gpu
+        parent = self.events
+        fire = self._fire_intent
+        for shard in self.shards:
+            if shard.unfolded:
+                gpu._unfolded_accesses += shard.unfolded
+                shard.unfolded = 0
+            deltas = shard.instr_delta
+            if deltas:
+                count = gpu.count_instructions
+                for tenant_id in sorted(deltas):
+                    count(tenant_id, deltas[tenant_id])
+                deltas.clear()
+            done = shard.warp_done_delta
+            if done:
+                for tenant_id in sorted(done):
+                    context = gpu.tenants[tenant_id]
+                    context.active_warps -= done[tenant_id]
+                    if context.active_warps <= 0:
+                        raise SimulationError(
+                            "tenant's active-warp count crossed zero inside "
+                            "a parallel window; the completion floor is "
+                            "supposed to make this impossible",
+                            tenant_id=tenant_id, sim_time=self.now)
+                done.clear()
+            intents = shard.intents
+            if intents:
+                self.intents_flushed += len(intents)
+                for t, key, seq, code, payload in intents:
+                    parent.push_keyed(t, key, seq, fire, (code, payload))
+                intents.clear()
+            shard.cap = float("inf")
+
+    def _fire_intent(self, code: int, payload: tuple) -> None:
+        """Replay one parked boundary intent at its serial position.
+
+        Fired as an ordinary boundary-queue entry: the clock already
+        stands at the intent's time and the conductor has raised every
+        shard clock to it, so the replayed call observes exactly the
+        state the serial engine would have.
+        """
+        gpu = self.gpu
+        if code == NOC:
+            exec_key, i_snap, addr, is_write, on_done, tenant_id = payload
+            # Restore the parking execution's minting context so the
+            # interconnect's push lands with its serial key.
+            ctx = Ctx(exec_key, i_snap)
+            for q in self._queues:
+                q.ctx = ctx
+            self._noc.access(addr, is_write, on_done, tenant_id)
+        elif code == LOOKUP:
+            tenant_id, vpn, sm_id, sched, key = payload
+            gpu.tenants[tenant_id].page_table.ensure_mapped(vpn)
+            self.events.push_keyed(sched, key, 0, gpu._l2_tlb_lookup,
+                                   (sm_id, tenant_id, vpn))
+        else:  # ENSURE
+            tenant_id, vpn = payload
+            gpu.tenants[tenant_id].page_table.ensure_mapped(vpn)
+
+    # ------------------------------------------------------------------
+    # Stop / drain
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request the run loop to stop at the next deterministic point.
+
+        During a serial step this is the exact serial semantics: the
+        loop exits before the next entry fires.  If a callback inside a
+        window requests a stop, the window runs to its horizon and the
+        barrier flushes first — the conductor only reads the flag
+        between globally ordered steps, so the queues are always left
+        in the same state regardless of shard interleaving, and a
+        subsequent :meth:`run` resumes byte-identically.  (Manager-driven
+        completion can only happen at serial steps anyway: the window
+        horizon never crosses a tenant's completion time.)
+        """
+        self._stop = True
+
+    def drain(self, max_events: int = 10_000_000) -> int:
+        """Run until *every* queue is empty (bounded as a bug backstop).
+
+        The serial kernel's check reads ``len(self.events)``, which here
+        is only the boundary queue; a budget exhaustion mid-window could
+        leave work parked in shard queues with the boundary empty, so
+        the backstop counts :attr:`pending_events` across all of them.
+        """
+        fired = self.run(max_events=max_events)
+        if self.pending_events and fired >= max_events:
+            raise SimulationError(
+                "drain() exceeded max_events; runaway event loop?")
+        return fired
+
+    # ------------------------------------------------------------------
+    # Backends / reporting
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+            self._pool = ThreadPoolExecutor(
+                max_workers=len(self.shards), thread_name_prefix="shard")
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (threads backend only)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    @property
+    def pending_events(self) -> int:
+        """Live entries across the boundary and every shard queue."""
+        return sum(len(q) for q in self._queues)
+
+    def parallel_stats(self) -> Dict[str, Any]:
+        """Telemetry for the profiler breakdown and the benchmark.
+
+        ``modeled_wall_ns`` replaces the measured (possibly serialized)
+        shard-advance time with the per-window critical path — the wall
+        time a machine with one core per shard would see.  On a
+        free-threaded build with enough cores, ``run_wall_ns`` itself
+        approaches this number under the threads backend.
+        """
+        total = self.run_wall_ns
+        modeled = total - self.window_ns + self.critical_ns
+        return {
+            "num_shards": self.num_shards,
+            "backend": self.backend,
+            "window_span": self.window,
+            "windows": self.windows_opened,
+            "window_events": self.window_events,
+            "serial_events": self.serial_events,
+            "intents_flushed": self.intents_flushed,
+            "window_ns": self.window_ns,
+            "critical_ns": self.critical_ns,
+            "barrier_ns": self.barrier_ns,
+            "run_wall_ns": total,
+            "modeled_wall_ns": modeled,
+            "per_shard_events": [s.events_fired for s in self.shards],
+            "per_shard_work_ns": [s.work_ns for s in self.shards],
+        }

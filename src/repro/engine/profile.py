@@ -38,6 +38,9 @@ class EngineProfiler:
         self.wall_seconds = 0.0
         self.component_counts: Dict[str, int] = {}
         self.delivery_counts: Dict[str, int] = {}
+        #: sharded-engine telemetry (``ParallelSimulator.parallel_stats``),
+        #: captured at detach when the attached kernel was sharded.
+        self.parallel: Dict = {}
 
     # ------------------------------------------------------------------
     # Collection
@@ -57,6 +60,19 @@ class EngineProfiler:
         """Count one fired event (called by the simulator's run loop)."""
         self.events += 1
         key = self._key(event.fn)
+        counts = self.component_counts
+        counts[key] = counts.get(key, 0) + 1
+
+    def record_fn(self, fn) -> None:
+        """Count one fired entry given its bare callback.
+
+        The sharded kernel's queues store raw ``(fn, args)`` entries
+        with no Event wrapper, so its conductor reports callbacks
+        directly instead of building a throwaway Event for
+        :meth:`record`.
+        """
+        self.events += 1
+        key = self._key(fn)
         counts = self.component_counts
         counts[key] = counts.get(key, 0) + 1
 
@@ -95,6 +111,9 @@ class EngineProfiler:
             sim.profiler = previous
             if has_observer:
                 queue.delivery_observer = previous_observer
+            parallel_stats = getattr(sim, "parallel_stats", None)
+            if parallel_stats is not None:
+                self.parallel = parallel_stats()
 
     # ------------------------------------------------------------------
     # Results
@@ -129,7 +148,7 @@ class EngineProfiler:
 
     def summary(self, top: int = 10) -> Dict:
         """JSON-portable view, as written into ``BENCH_engine.json``."""
-        return {
+        summary = {
             "events": self.events,
             "batched_deliveries": self.batched_deliveries,
             "wall_seconds": self.wall_seconds,
@@ -139,6 +158,9 @@ class EngineProfiler:
                 self.delivery_counts.items(),
                 key=lambda item: (-item[1], item[0]))[:top]),
         }
+        if self.parallel:
+            summary["parallel"] = dict(self.parallel)
+        return summary
 
     def report(self, top: int = 10) -> str:
         """Human-readable top-N table of where the deliveries went."""
@@ -151,4 +173,35 @@ class EngineProfiler:
         for name, count, kind in self.breakdown(top):
             share = count / total if total else 0.0
             lines.append(f"  {count:>10}  {share:6.1%}  {kind:<6}  {name}")
+        parallel = self.parallel
+        if parallel:
+            lines.append(self._parallel_report(parallel))
+        return "\n".join(lines)
+
+    @staticmethod
+    def _parallel_report(stats: Dict) -> str:
+        """Barrier/window breakdown of a sharded run: where the wall
+        time went (shard-local advance vs boundary sync vs merge) and
+        what the per-window critical path models as the multi-core
+        wall time."""
+        wall = stats.get("run_wall_ns", 0) or 1
+        window = stats.get("window_ns", 0)
+        barrier = stats.get("barrier_ns", 0)
+        serial = max(wall - window - barrier, 0)
+        events = stats.get("window_events", 0) + stats.get("serial_events", 0)
+        in_window = (stats.get("window_events", 0) / events) if events else 0.0
+        lines = [
+            f"sharded x{stats.get('num_shards')} "
+            f"({stats.get('backend')}, window={stats.get('window_span')}): "
+            f"{stats.get('windows')} windows, "
+            f"{stats.get('window_events')} window events "
+            f"({in_window:.1%}), {stats.get('serial_events')} serial events, "
+            f"{stats.get('intents_flushed')} intents",
+            f"  shard advance {window / wall:6.1%}   "
+            f"boundary sync {serial / wall:6.1%}   "
+            f"merge {barrier / wall:6.1%}   of {wall / 1e6:,.1f} ms",
+            f"  critical path {stats.get('critical_ns', 0) / 1e6:,.1f} ms -> "
+            f"modeled multi-core wall "
+            f"{stats.get('modeled_wall_ns', 0) / 1e6:,.1f} ms",
+        ]
         return "\n".join(lines)

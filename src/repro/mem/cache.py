@@ -164,11 +164,11 @@ class Cache:
 
         Behaves exactly like the hit branch of :meth:`access` evaluated
         at the (future) cycle ``at_time``, but without scheduling: on a
-        hit it applies every side effect — bank reservation, hit
-        counter, LRU touch, dirty mark — and returns the absolute cycle
-        the data is available.  On a miss it returns ``-1`` having
-        touched *nothing*, so the caller can fall back to the ordinary
-        event path whose probe then runs the miss machinery unchanged.
+        hit it applies the internal side effects — bank reservation, LRU
+        touch, dirty mark — and returns the absolute cycle the data is
+        available.  On a miss it returns ``-1`` having touched
+        *nothing*, so the caller can fall back to the ordinary event
+        path whose probe then runs the miss machinery unchanged.
 
         Soundness rests on the caller guaranteeing quiescence: no other
         probe of this cache may occur in the open interval
@@ -176,6 +176,22 @@ class Cache:
         ``start = max(at_time, bank_free[bank])`` reserves the bank in
         the same order the deferred probes would have (see
         :meth:`fast_ready` and DESIGN.md §12).
+
+        The **hit counter** is the one side effect that must not apply
+        early: the event path bumps it inside the deferred probe at
+        ``at_time`` (not at the completion!), so a ``sim.stop()`` can
+        land on either side of that tick and the snapshot must agree.
+        The fold therefore pushes the tick as a *raw entry at the probe
+        cycle* — created at the same moment the event path would have
+        pushed its probe, it lands at the identical FIFO position in
+        the identical ring bucket, so it fires exactly when the probe
+        would have and is dropped exactly when the probe would have
+        been.  (A completion batch is not equivalent: its carrier may
+        have been pushed earlier in the cycle by a previous fold, which
+        lets the tick overtake a same-cycle stop that the probe event
+        would not have survived.)  Bank/LRU/dirty state stays eager: it
+        is internal, never appears in a stats snapshot, and quiescence
+        makes early application order-equivalent.
         """
         line = addr // self._line_bytes
         cache_set = self._sets[line % self._num_sets]
@@ -187,11 +203,16 @@ class Cache:
         if start < at_time:
             start = at_time
         bank_free[bank] = start + self.bank_cycles
-        self._hits.value += 1
+        done = start + self._hit_latency
+        self.sim.events.push_raw(at_time, self._count_hit, ())
         cache_set.move_to_end(line)
         if is_write:
             cache_set[line] = True
-        return start + self._hit_latency
+        return done
+
+    def _count_hit(self) -> None:
+        """Deferred hit tick for folded probes (see :meth:`probe_fast`)."""
+        self._hits.value += 1
 
     def fast_ready(self) -> bool:
         """True when no fill or replay can touch this cache before the

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.engine.config import GpuConfig
+from repro.engine.parallel_sim import ParallelSimulator, shards_from_env
 from repro.engine.rng import DeterministicRng
 from repro.engine.simulator import EventBudgetExceeded, Simulator
 from repro.gpu.gpu import Gpu
@@ -109,6 +110,7 @@ class MultiTenantManager:
         min_executions: int = 1,
         integrity: Optional[IntegrityConfig] = None,
         label: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> None:
         if min_executions < 1:
             raise ValueError("min_executions must be at least 1")
@@ -125,8 +127,22 @@ class MultiTenantManager:
         self.min_executions = min_executions
         self.integrity = integrity
         self.label = label
-        self.sim = Simulator()
+        # Engine selection: an explicit ``shards=`` wins; otherwise the
+        # ambient REPRO_SHARDS applies (same precedence as integrity
+        # config).  K is clamped to the SM count — a shard must own at
+        # least one SM — and K=1 (or unset) is the serial oracle: the
+        # plain kernel, byte-identical to every sharded run.
+        requested = shards if shards is not None else shards_from_env(1)
+        self.shards = max(1, min(requested, config.sm.num_sms))
+        if self.shards > 1:
+            self.sim: Simulator = ParallelSimulator(self.shards)
+        else:
+            self.sim = Simulator()
         self.gpu = Gpu(self.sim, config, ids)
+        if self.shards > 1:
+            # Partition before any launch so the per-SM components are
+            # rebound to their shard facades from the very first push.
+            self.sim.attach_gpu(self.gpu)
         self._stats: Dict[int, TenantRunStats] = {}
         self._launch_time: Dict[int, int] = {}
         self._launch_instructions: Dict[int, int] = {}

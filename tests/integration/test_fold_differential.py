@@ -127,6 +127,49 @@ def test_kill_switch_disables_folding():
     assert stats["hit_path_fraction"] == 0.0
 
 
+def test_fold_identity_across_stop_boundary():
+    """Hit ticks must not leak past ``sim.stop()``.
+
+    At 8 SMs this seed stops the run with deferred data-cache probes
+    still queued; the event path never fires them, so the fold's
+    eagerly-probed accesses must not count their hits up front —
+    the eager tick made ``l1c.sm3.hits`` differ by 2.
+    """
+    def pair():
+        return [Workload(RESIDENT_SPEC, RESIDENT_SCALE),
+                Workload(RESIDENT_SPEC, RESIDENT_SCALE)]
+
+    on, _ = run_once(pair(), "dws", fold=True, warps=1, sms=8)
+    off, _ = run_once(pair(), "dws", fold=False, warps=1, sms=8)
+    assert observable(on) == observable(off)
+
+
+def test_fold_tick_rides_the_probe_slot():
+    """The deferred hit tick must occupy the probe's exact queue slot.
+
+    Deferring the tick to a *completion batch* at the probe cycle is
+    not enough: a batch carrier pushed earlier in the same cycle by a
+    previous fold lets the tick fire ahead of a same-cycle stop that
+    the probe event would not have survived, over-counting hits
+    (``l1c.sm7.hits`` +2 on this trace).  Pushing the tick as a raw
+    entry at the probe cycle reproduces the probe's FIFO position, so
+    it fires or drops exactly with the event it replaces.  This is the
+    benchmark sweep's ``light_resident`` configuration (seed 0).
+    """
+    def run(fold):
+        os.environ["REPRO_FASTPATH"] = "1" if fold else "0"
+        try:
+            cfg = GpuConfig.baseline(num_sms=8)
+            tenants = [Tenant(i, Workload(RESIDENT_SPEC, 2.0))
+                       for i in range(2)]
+            return MultiTenantManager(cfg, tenants, warps_per_sm=1,
+                                      seed=0).run()
+        finally:
+            os.environ.pop("REPRO_FASTPATH", None)
+
+    assert observable(run(True)) == observable(run(False))
+
+
 def test_mshr_stall_counters_present_at_zero():
     """The hoisted per-SM mshr_stalls counters must appear in every
     snapshot, zero-valued when no stall occurred, so fold-on and

@@ -59,6 +59,10 @@ class TestCacheProbeFast:
         slow.access(0x100, False, lambda: completed.append(sim_b.now))
         sim_b.drain()
         assert done == completed[0]
+        # The hit tick is deferred to the probe cycle (it must fire or
+        # drop exactly with the event-path probe across a stop); drain
+        # so both sides have counted.
+        sim_a.drain()
         assert snapshot(fast) == snapshot(slow)
 
     def test_write_probe_marks_dirty_and_touches_lru(self):
