@@ -37,7 +37,16 @@ from repro.gpu.sm import Sm
 from repro.mem.cache import Cache, _MshrEntry
 from repro.mem.dram import Dram
 from repro.mem.interconnect import Interconnect
+from repro.core.partitioned import PartitionedWalkPolicy
+from repro.core.structures import TenantWalkerMap
+from repro.engine.simulator import WalkerStateError
+from repro.vm.address import PTE_BYTES
+from repro.vm.page_table import PageTable
+from repro.vm.pwc import PageWalkCache
+from repro.vm.subsystem import PageWalkSubsystem
 from repro.vm.tlb import Tlb
+from repro.vm.walk import WalkRequest
+from repro.vm.walker import Walker
 
 
 # ----------------------------------------------------------------------
@@ -496,8 +505,232 @@ def _sm_issue_mem(self, warp, op):
                                op.is_write, one_done)
 
 
+def _pws_try_dispatch(self, walker):
+    # Pre-fold body: no walk-fold hook — the reference must dispatch
+    # every walk through the event path.
+    request = self.policy.select(walker.id)
+    if request is None:
+        return
+    if self.dispatch_latency:
+        walker.reserved = True
+        self.sim.post_after(self.dispatch_latency, self._start_reserved,
+                            walker, request)
+    else:
+        walker.start(request)
+
+
+def _pws_dispatch_idle_walkers(self):
+    # PR-4 body: scan every idle walker, no pending-total early exit.
+    for walker in self.walkers:
+        if not walker.busy and not walker.reserved:
+            self._try_dispatch(walker)
+
+
+# ----------------------------------------------------------------------
+# PR-4 walk-policy hot path, verbatim: the shipping bodies were later
+# rewritten (bitmap-decode memo, manual argmax loops) for the always-on
+# policy-cost cut; the reference must keep paying the original cost or
+# the speedup ratio silently divides it out.
+# ----------------------------------------------------------------------
+def _twm_owned_walkers(self, tenant_id):
+    bitmap = self._bitmap.get(tenant_id, 0)
+    return [w for w in range(self.num_walkers) if bitmap & (1 << w)]
+
+
+def _policy_on_arrival(self, request):
+    tenant = request.tenant_id
+    owned = self.twm.owned_walkers(tenant)
+    if not owned:
+        raise ValueError(f"tenant {tenant} owns no walkers; not registered?")
+    best = max(owned, key=lambda w: (self.fwa.free_slots(w), -w))
+    if self.fwa.free_slots(best) == 0:
+        return False
+    self._queues[best].append(request)
+    self.fwa.consume_slot(best)
+    self.twm.inc_pend(tenant)
+    self._note_arrival(request)
+    return True
+
+
+def _policy_dequeue_for_tenant(self, tenant_id):
+    owned = self.twm.owned_walkers(tenant_id)
+    candidates = [w for w in owned if self._queues[w]]
+    if not candidates:
+        return None
+    source = max(candidates, key=lambda w: (len(self._queues[w]), -w))
+    return self._pop_queue(source)
+
+
+def _policy_queued_for(self, tenant_id):
+    return sum(len(self._queues[w]) for w in self.twm.owned_walkers(tenant_id))
+
+
+def _policy_pending_total(self):
+    return sum(len(q) for q in self._queues)
+
+
+# ----------------------------------------------------------------------
+# Pre-fold walk-service hot path, verbatim: the shipping bodies were
+# rewritten alongside the fold rungs (radix walk-address memo, inlined
+# PWC prefix probes, bound-method level continuation, direct counter
+# bumps).  All behaviour-identical — but they leak speed into the
+# reconstructed engines through unpatched shared code, so the reference
+# must keep paying the original cost.
+# ----------------------------------------------------------------------
+def _walker_start(self, request):
+    if self.busy:
+        raise WalkerStateError(
+            f"walker {self.id} is already busy",
+            tenant_id=request.tenant_id, walker_id=self.id,
+            sim_time=self.sim.now)
+    self.busy = True
+    self.current = request
+    request.walker_id = self.id
+    request.service_start = self.sim.now
+    self.subsystem.note_service_start(self, request)
+    pwc = self.subsystem.pwc
+    skip = pwc.probe(request.tenant_id, request.vpn)
+    addrs = self.subsystem.walk_addresses(request)
+    remaining = addrs[skip:]
+    if not remaining:  # pragma: no cover - probe() caps below depth
+        raise WalkerStateError(
+            "PWC cannot skip the leaf level",
+            tenant_id=request.tenant_id, walker_id=self.id,
+            sim_time=self.sim.now)
+    request.memory_accesses = len(remaining)
+    self.sim.post_after(self.subsystem.pwc_latency,
+                        self._issue_level, request, remaining, 0)
+
+
+def _walker_issue_level(self, request, addrs, index):
+    if request is not self.current:  # pragma: no cover - defensive
+        raise WalkerStateError(
+            "walker is servicing a different request than it issued "
+            "levels for",
+            tenant_id=request.tenant_id, walker_id=self.id,
+            sim_time=self.sim.now)
+    if index >= len(addrs):
+        self._finish(request)
+        return
+    self.subsystem.memory.walker_access(
+        addrs[index],
+        lambda: self._issue_level(request, addrs, index + 1),
+        request.tenant_id,
+    )
+
+
+def _pt_walk_addresses(self, vpn):
+    if vpn not in self._translations:
+        raise KeyError(f"vpn {vpn:#x} not mapped for tenant {self.tenant_id}")
+    addrs = []
+    node = self._root
+    for level in range(self.layout.depth):
+        idx = self.layout.level_index(vpn, level)
+        base = self.frames.frame_to_addr(node.frame)
+        addrs.append(base + (idx * PTE_BYTES) % self.frames.frame_bytes)
+        if level < self.layout.depth - 1:
+            node = node.children[idx]
+    return addrs
+
+
+def _pwc_probe(self, tenant_id, vpn):
+    for depth in range(self.max_depth, 0, -1):
+        key = (tenant_id, depth, self.layout.prefix(vpn, depth))
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            self._hits.inc()
+            self._skipped.inc(depth)
+            return depth
+    self._misses.inc()
+    return 0
+
+
+def _pwc_fill(self, tenant_id, vpn):
+    for depth in range(1, self.max_depth + 1):
+        self._insert((tenant_id, depth, self.layout.prefix(vpn, depth)))
+
+
+def _pws_request_walk(self, tenant_id, vpn, on_done):
+    key = (tenant_id, vpn)
+    inflight = self._inflight.get(key)
+    if inflight is not None:
+        merged = self._merged_c
+        if merged is None:
+            merged = self._merged_c = self.sim.stats.counter(
+                f"{self.name}.merged"
+            )
+        merged.inc()
+        inflight.callbacks.append(on_done)
+        return inflight
+    request = WalkRequest(tenant_id, vpn, self.sim.now)
+    request.callbacks.append(on_done)
+    request._candidate_walkers = tuple(self.policy.candidate_walkers(tenant_id))
+    request._other_service_snapshot = self._other_starts_on(
+        request._candidate_walkers, tenant_id
+    )
+    self._inflight[key] = request
+    walks = self._walks_c.get(tenant_id)
+    if walks is None:
+        walks = self._walks_c[tenant_id] = self.sim.stats.counter(
+            f"{self.name}.walks.tenant{tenant_id}"
+        )
+    walks.inc()
+    depth = self._queue_depth_h
+    if depth is None:
+        depth = self._queue_depth_h = self.sim.stats.histogram(
+            f"{self.name}.queue_depth", edges=(0, 1, 2, 4, 8, 16, 32, 64, 128)
+        )
+    depth.add(self.policy.pending_total())
+    if self.tracer is not None:
+        self.tracer.emit(self.sim.now, "walk.enqueue",
+                         walk=request.id, tenant=tenant_id, vpn=vpn)
+    if self.policy.on_arrival(request):
+        self._dispatch_idle_walkers()
+    else:
+        overflow = self._overflow_c
+        if overflow is None:
+            overflow = self._overflow_c = self.sim.stats.counter(
+                f"{self.name}.overflow"
+            )
+        overflow.inc()
+        self._overflow.append(request)
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, "walk.overflow",
+                             walk=request.id, tenant=tenant_id)
+    return request
+
+
+def _tlb_insert(self, tenant_id, vpn, frame):
+    key = (tenant_id, vpn)
+    tlb_set = self._sets[vpn % self._num_sets]
+    if key in tlb_set:
+        tlb_set.move_to_end(key)
+        tlb_set[key] = frame
+        return
+    if len(tlb_set) >= self._assoc:
+        (victim_tenant, _victim_vpn), _ = tlb_set.popitem(last=False)
+        self._evictions.inc()
+        self._adjust_residency(victim_tenant, -1)
+    tlb_set[key] = frame
+    self._adjust_residency(tenant_id, +1)
+
+
 _PATCHES = [
     (Cache, "access", _cache_access),
+    (PageWalkSubsystem, "_try_dispatch", _pws_try_dispatch),
+    (PageWalkSubsystem, "_dispatch_idle_walkers", _pws_dispatch_idle_walkers),
+    (PageWalkSubsystem, "request_walk", _pws_request_walk),
+    (Walker, "start", _walker_start),
+    (Walker, "_issue_level", _walker_issue_level),
+    (PageTable, "walk_addresses", _pt_walk_addresses),
+    (PageWalkCache, "probe", _pwc_probe),
+    (PageWalkCache, "fill", _pwc_fill),
+    (Tlb, "insert", _tlb_insert),
+    (TenantWalkerMap, "owned_walkers", _twm_owned_walkers),
+    (PartitionedWalkPolicy, "on_arrival", _policy_on_arrival),
+    (PartitionedWalkPolicy, "_dequeue_for_tenant", _policy_dequeue_for_tenant),
+    (PartitionedWalkPolicy, "queued_for", _policy_queued_for),
+    (PartitionedWalkPolicy, "pending_total", _policy_pending_total),
     (Interconnect, "access", _noc_access),
     (Dram, "access", _dram_access),
     (Tlb, "lookup", _tlb_lookup),

@@ -31,6 +31,8 @@ from contextlib import contextmanager
 from typing import Any, Callable, List, Optional, Tuple
 
 import repro.tenancy.manager as manager_module
+from repro.core.partitioned import PartitionedWalkPolicy
+from repro.core.structures import TenantWalkerMap
 from repro.engine.event import HeapEventQueue
 from repro.engine.simulator import SimulationError
 from repro.engine.stats import StatsRegistry
@@ -38,7 +40,9 @@ from repro.gpu.gpu import Gpu
 from repro.gpu.sm import Sm
 from repro.mem.cache import Cache, _MshrEntry
 from repro.mem.dram import Dram
-from repro.vm.address import LEVEL_BITS, AddressLayout
+from repro.vm.address import LEVEL_BITS, PTE_BYTES, AddressLayout
+from repro.vm.page_table import PageTable
+from repro.vm.pwc import PageWalkCache
 from repro.vm.subsystem import PageWalkSubsystem
 from repro.vm.tlb import Tlb
 from repro.vm.walk import WalkRequest
@@ -171,6 +175,53 @@ def _walker_finish(self, request: WalkRequest) -> None:
     self.subsystem.note_completion(self, request)
 
 
+def _walker_issue_level(self, request: WalkRequest, addrs, index: int) -> None:
+    if request is not self.current:  # pragma: no cover - defensive
+        raise RuntimeError("walker state corrupted")
+    if index >= len(addrs):
+        self._finish(request)
+        return
+    self.subsystem.memory.walker_access(
+        addrs[index],
+        lambda: self._issue_level(request, addrs, index + 1),
+        request.tenant_id,
+    )
+
+
+def _pt_walk_addresses(self, vpn):
+    # Seed body: the radix addresses are recomputed on every walk — the
+    # shipping per-VPN memo landed with the fold rungs and must not
+    # leak into the reference's walk cost.
+    if vpn not in self._translations:
+        raise KeyError(f"vpn {vpn:#x} not mapped for tenant {self.tenant_id}")
+    addrs = []
+    node = self._root
+    for level in range(self.layout.depth):
+        idx = self.layout.level_index(vpn, level)
+        base = self.frames.frame_to_addr(node.frame)
+        addrs.append(base + (idx * PTE_BYTES) % self.frames.frame_bytes)
+        if level < self.layout.depth - 1:
+            node = node.children[idx]
+    return addrs
+
+
+def _pwc_probe(self, tenant_id, vpn):
+    for depth in range(self.max_depth, 0, -1):
+        key = (tenant_id, depth, self.layout.prefix(vpn, depth))
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            self._hits.inc()
+            self._skipped.inc(depth)
+            return depth
+    self._misses.inc()
+    return 0
+
+
+def _pwc_fill(self, tenant_id, vpn):
+    for depth in range(1, self.max_depth + 1):
+        self._insert((tenant_id, depth, self.layout.prefix(vpn, depth)))
+
+
 def _pws_request_walk(self, tenant_id, vpn, on_done):
     key = (tenant_id, vpn)
     inflight = self._inflight.get(key)
@@ -215,6 +266,63 @@ def _pws_dispatch_idle_walkers(self):
     for walker in self.walkers:
         if not walker.busy and not getattr(walker, "reserved", False):
             self._try_dispatch(walker)
+
+
+def _pws_try_dispatch(self, walker):
+    # Pre-fold body: no walk-fold hook — the reference must dispatch
+    # every walk through the event path.
+    request = self.policy.select(walker.id)
+    if request is None:
+        return
+    if self.dispatch_latency:
+        walker.reserved = True
+        self.sim.post_after(self.dispatch_latency, self._start_reserved,
+                            walker, request)
+    else:
+        walker.start(request)
+
+
+# ----------------------------------------------------------------------
+# Seed walk-policy hot path, verbatim: the shipping bodies were later
+# rewritten (bitmap-decode memo, manual argmax loops) for the always-on
+# policy-cost cut; the reference must keep paying the original cost or
+# the speedup ratio silently divides it out.
+# ----------------------------------------------------------------------
+def _twm_owned_walkers(self, tenant_id):
+    bitmap = self._bitmap.get(tenant_id, 0)
+    return [w for w in range(self.num_walkers) if bitmap & (1 << w)]
+
+
+def _policy_on_arrival(self, request):
+    tenant = request.tenant_id
+    owned = self.twm.owned_walkers(tenant)
+    if not owned:
+        raise ValueError(f"tenant {tenant} owns no walkers; not registered?")
+    best = max(owned, key=lambda w: (self.fwa.free_slots(w), -w))
+    if self.fwa.free_slots(best) == 0:
+        return False
+    self._queues[best].append(request)
+    self.fwa.consume_slot(best)
+    self.twm.inc_pend(tenant)
+    self._note_arrival(request)
+    return True
+
+
+def _policy_dequeue_for_tenant(self, tenant_id):
+    owned = self.twm.owned_walkers(tenant_id)
+    candidates = [w for w in owned if self._queues[w]]
+    if not candidates:
+        return None
+    source = max(candidates, key=lambda w: (len(self._queues[w]), -w))
+    return self._pop_queue(source)
+
+
+def _policy_queued_for(self, tenant_id):
+    return sum(len(self._queues[w]) for w in self.twm.owned_walkers(tenant_id))
+
+
+def _policy_pending_total(self):
+    return sum(len(q) for q in self._queues)
 
 
 def _pws_note_service_start(self, walker, request):
@@ -468,9 +576,19 @@ _PATCHES = [
     (Walker, "busy", property(_walker_busy)),
     (Walker, "start", _walker_start),
     (Walker, "_finish", _walker_finish),
+    (Walker, "_issue_level", _walker_issue_level),
+    (PageTable, "walk_addresses", _pt_walk_addresses),
+    (PageWalkCache, "probe", _pwc_probe),
+    (PageWalkCache, "fill", _pwc_fill),
     (PageWalkSubsystem, "request_walk", _pws_request_walk),
     (PageWalkSubsystem, "_other_starts_on", _pws_other_starts_on),
     (PageWalkSubsystem, "_dispatch_idle_walkers", _pws_dispatch_idle_walkers),
+    (PageWalkSubsystem, "_try_dispatch", _pws_try_dispatch),
+    (TenantWalkerMap, "owned_walkers", _twm_owned_walkers),
+    (PartitionedWalkPolicy, "on_arrival", _policy_on_arrival),
+    (PartitionedWalkPolicy, "_dequeue_for_tenant", _policy_dequeue_for_tenant),
+    (PartitionedWalkPolicy, "queued_for", _policy_queued_for),
+    (PartitionedWalkPolicy, "pending_total", _policy_pending_total),
     (PageWalkSubsystem, "note_service_start", _pws_note_service_start),
     (PageWalkSubsystem, "note_completion", _pws_note_completion),
     (PageWalkSubsystem, "_update_busy", _pws_update_busy),

@@ -390,6 +390,7 @@ def component_profile(pcfg, top: int = 12) -> dict:
     profiler = EngineProfiler()
     with profiler.attach(manager.sim):
         manager.run()
+    profiler.note_fold_rungs(manager.gpu.fastpath_stats())
     return profiler.summary(top=top)
 
 

@@ -89,8 +89,17 @@ class PartitionedWalkPolicy(WalkSchedulingPolicy):
         owned = self.twm.owned_walkers(tenant)
         if not owned:
             raise ValueError(f"tenant {tenant} owns no walkers; not registered?")
-        best = max(owned, key=lambda w: (self.fwa.free_slots(w), -w))
-        if self.fwa.free_slots(best) == 0:
+        # Most-free owned walker, ties to the lowest id: owned is
+        # ascending, so a strict > keeps the first maximal entry —
+        # identical to max(owned, key=lambda w: (free_slots(w), -w))
+        # without the per-arrival lambda and tuple churn.
+        free = self.fwa._free
+        best, best_free = -1, -1
+        for w in owned:
+            slots = free[w]
+            if slots > best_free:
+                best, best_free = w, slots
+        if best_free == 0:
             return False  # all owned queues full: per-tenant back-pressure
         self._queues[best].append(request)
         self.fwa.consume_slot(best)
@@ -128,11 +137,16 @@ class PartitionedWalkPolicy(WalkSchedulingPolicy):
         consults the FWA entries of those walkers to select one with
         requests in its queue".
         """
-        owned = self.twm.owned_walkers(tenant_id)
-        candidates = [w for w in owned if self._queues[w]]
-        if not candidates:
+        # Most-loaded owned queue, ties to the lowest walker id (owned
+        # is ascending; strict > keeps the first maximal entry).
+        queues = self._queues
+        source, source_len = -1, 0
+        for w in self.twm.owned_walkers(tenant_id):
+            depth = len(queues[w])
+            if depth > source_len:
+                source, source_len = w, depth
+        if source < 0:
             return None
-        source = max(candidates, key=lambda w: (len(self._queues[w]), -w))
         return self._pop_queue(source)
 
     def _pop_queue(self, walker_id: int) -> WalkRequest:
@@ -194,13 +208,20 @@ class PartitionedWalkPolicy(WalkSchedulingPolicy):
         Note stolen-but-queued walks always sit in their own tenant's
         queues; stealing moves a walk at dequeue time only.
         """
-        return sum(len(self._queues[w]) for w in self.twm.owned_walkers(tenant_id))
+        queues = self._queues
+        total = 0
+        for w in self.twm.owned_walkers(tenant_id):
+            total += len(queues[w])
+        return total
 
     def pending_for(self, tenant_id: int) -> int:
         return self.queued_for(tenant_id)
 
     def pending_total(self) -> int:
-        return sum(len(q) for q in self._queues)
+        total = 0
+        for q in self._queues:
+            total += len(q)
+        return total
 
     def queue_occupancy(self, walker_id: int) -> float:
         return len(self._queues[walker_id]) / self.per_walker_queue

@@ -75,6 +75,11 @@ class TenantWalkerMap:
         self.queue_entries = queue_entries
         self.epoch_bits = epoch_bits
         self._bitmap: Dict[int, int] = {}
+        # Decoded ownership lists, ascending walker id — the bitmap only
+        # changes in set_owners/clear_tenant, while owned_walkers sits on
+        # the per-walk arrival and selection paths; decoding the bitmap
+        # there dominated the policy's runtime cost.
+        self._owned: Dict[int, List[int]] = {}
         self._pend_walks: Dict[int, int] = {}
         self._enq_epoch: Dict[int, int] = {}
 
@@ -86,18 +91,22 @@ class TenantWalkerMap:
                 raise ValueError(f"walker id {w} out of range")
             bitmap |= 1 << w
         self._bitmap[tenant_id] = bitmap
+        self._owned[tenant_id] = [
+            w for w in range(self.num_walkers) if bitmap & (1 << w)
+        ]
         self._pend_walks.setdefault(tenant_id, 0)
         self._enq_epoch.setdefault(tenant_id, 0)
 
     def owned_walkers(self, tenant_id: int) -> List[int]:
-        bitmap = self._bitmap.get(tenant_id, 0)
-        return [w for w in range(self.num_walkers) if bitmap & (1 << w)]
+        owned = self._owned.get(tenant_id)
+        return owned if owned is not None else []
 
     def owns(self, tenant_id: int, walker_id: int) -> bool:
         return bool(self._bitmap.get(tenant_id, 0) & (1 << walker_id))
 
     def clear_tenant(self, tenant_id: int) -> None:
         self._bitmap.pop(tenant_id, None)
+        self._owned.pop(tenant_id, None)
         self._pend_walks.pop(tenant_id, None)
         self._enq_epoch.pop(tenant_id, None)
 

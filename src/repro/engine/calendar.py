@@ -46,6 +46,11 @@ from typing import List, Optional
 #: simulator's latencies (DRAM ~160 cycles plus queueing) sit far below.
 DEFAULT_WINDOW = 4096
 
+#: Sentinel distinguishing "no entry at this time" from the ``None``
+#: marker :meth:`CompletionBatches.add_lazy` leaves behind a direct
+#: (unbatched) first completion.
+_NO_BATCH = object()
+
 
 class CompletionBatches:
     """Per-timestamp batched callback lists for the zero-event fast path.
@@ -71,10 +76,11 @@ class CompletionBatches:
     costs one comparison per batch, not per callback.
     """
 
-    __slots__ = ("_pending", "delivery_observer")
+    __slots__ = ("_pending", "_adds", "delivery_observer")
 
     def __init__(self) -> None:
         self._pending: dict = {}
+        self._adds = 0
         self.delivery_observer = None
 
     def add(self, time: int, fn, args=()) -> bool:
@@ -92,6 +98,44 @@ class CompletionBatches:
         batch.append((fn, args))
         return False
 
+    def add_lazy(self, time: int, fn, args, now: int) -> int:
+        """Like :meth:`add`, but the first callback at ``time`` stays a
+        direct raw entry — most timestamps only ever get one completion,
+        and a batch-of-one costs strictly more than the entry it
+        replaces (list + tuple churn, a carrier frame, the observer
+        check).  Returns what the caller must schedule:
+
+        * ``1`` — first callback at ``time``: push ``fn``/``args``
+          directly; it keeps its exact canonical slot.
+        * ``2`` — second callback: a batch was opened holding it; push
+          one carrier for :meth:`fire` at this slot.  Members two
+          onward drain here, in append order — the same compression
+          :meth:`add` applies to every member, now anchored one slot
+          closer to the canonical schedule.
+        * ``0`` — appended to the open batch; push nothing.
+
+        ``now`` (the current cycle) bounds the amortized sweep that
+        drops the direct-entry markers once their cycle has passed;
+        singleton timestamps never reach :meth:`fire`, so without the
+        sweep the marker dict would grow for the whole run.
+        """
+        pending = self._pending
+        batch = pending.get(time, _NO_BATCH)
+        if batch is _NO_BATCH:
+            self._adds += 1
+            if self._adds >= 4096:
+                self._adds = 0
+                for stale in [t for t, b in pending.items()
+                              if b is None and t < now]:
+                    del pending[stale]
+            pending[time] = None
+            return 1
+        if batch is None:
+            pending[time] = [(fn, args)]
+            return 2
+        batch.append((fn, args))
+        return 0
+
     def fire(self, time: int) -> None:
         """Deliver and discard every callback batched at ``time``."""
         batch = self._pending.pop(time)
@@ -105,12 +149,18 @@ class CompletionBatches:
                 fn(*args)
 
     def pending_callbacks(self) -> int:
-        """Callbacks batched but not yet delivered (diagnostics)."""
-        return sum(len(batch) for batch in self._pending.values())
+        """Callbacks batched but not yet delivered (diagnostics).
+
+        Direct-entry markers left by :meth:`add_lazy` hold no callback —
+        the completion rides its own queue entry — so they don't count.
+        """
+        return sum(len(batch) for batch in self._pending.values()
+                   if batch is not None)
 
     def __len__(self) -> int:
         """Distinct timestamps with an undelivered batch."""
-        return len(self._pending)
+        return sum(1 for batch in self._pending.values()
+                   if batch is not None)
 
 
 class CalendarQueue:

@@ -180,6 +180,10 @@ class ParallelSimulator(Simulator):
             self.shards.append(shard)
             self._queues.append(shard.sim.events)
         gpu.fold_enabled = False
+        # The walk rungs (and the DRAM batching they gate) assume the
+        # single-calendar slot discipline; shards replay cross-boundary
+        # traffic through ports, so they run the canonical event path.
+        gpu.fold_walk_enabled = False
         launch = gpu.launch_warps
 
         def launch_counted(tenant_id, streams, _launch=launch,

@@ -38,6 +38,10 @@ class EngineProfiler:
         self.wall_seconds = 0.0
         self.component_counts: Dict[str, int] = {}
         self.delivery_counts: Dict[str, int] = {}
+        #: per-rung fold tallies (``Gpu.fastpath_stats``), recorded by
+        #: the harness via :meth:`note_fold_rungs` after a profiled run:
+        #: how many completions each fold rung absorbed from the queue.
+        self.fold_rungs: Dict[str, int] = {}
         #: sharded-engine telemetry (``ParallelSimulator.parallel_stats``),
         #: captured at detach when the attached kernel was sharded.
         self.parallel: Dict = {}
@@ -88,6 +92,25 @@ class EngineProfiler:
         key = self._key(fn)
         counts = self.delivery_counts
         counts[key] = counts.get(key, 0) + 1
+
+    def note_fold_rungs(self, fastpath: Dict) -> None:
+        """Record the per-rung fold breakdown of a profiled run.
+
+        ``fastpath`` is ``Gpu.fastpath_stats()``; the profiler cannot
+        reach the GPU from the simulator it attaches to, so the harness
+        hands the tallies over after the run.  Keyed by rung (DESIGN.md
+        §12 hit fold; §14 walk rungs), values accumulate across runs
+        like every other profiler counter.
+        """
+        rungs = self.fold_rungs
+        for key, label in (("folded_accesses", "hit-fold"),
+                           ("folded_l2_tlb_hits", "l2-fold"),
+                           ("folded_walks", "pwc-fold"),
+                           ("batched_dram_fetches", "dram-batch-fetch"),
+                           ("batched_dram_returns", "dram-batch-return")):
+            count = fastpath.get(key)
+            if count is not None:
+                rungs[label] = rungs.get(label, 0) + count
 
     @contextmanager
     def attach(self, sim) -> Iterator["EngineProfiler"]:
@@ -158,6 +181,8 @@ class EngineProfiler:
                 self.delivery_counts.items(),
                 key=lambda item: (-item[1], item[0]))[:top]),
         }
+        if self.fold_rungs:
+            summary["fold_rungs"] = dict(self.fold_rungs)
         if self.parallel:
             summary["parallel"] = dict(self.parallel)
         return summary
@@ -173,6 +198,10 @@ class EngineProfiler:
         for name, count, kind in self.breakdown(top):
             share = count / total if total else 0.0
             lines.append(f"  {count:>10}  {share:6.1%}  {kind:<6}  {name}")
+        if self.fold_rungs:
+            lines.append("fold rungs: " + "  ".join(
+                f"{label} {count}" for label, count
+                in sorted(self.fold_rungs.items())))
         parallel = self.parallel
         if parallel:
             lines.append(self._parallel_report(parallel))

@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import OrderedDict, deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.engine.calendar import CompletionBatches
 from repro.engine.config import CacheConfig
 from repro.engine.simulator import Simulator
 
@@ -83,6 +84,20 @@ class Cache:
         self._banks = config.banks
         self._hit_latency = config.hit_latency
         self._mshr_entries = config.mshr_entries
+        self._assoc = config.associativity
+        #: optional walk-fold gate (the Gpu); when set and its
+        #: ``fold_walk_enabled`` holds (and no audit hook is installed),
+        #: miss fetches to ``lower`` ride the per-timestamp completion
+        #: batch instead of one raw entry each (DESIGN.md §14).
+        self.batch_gate = None
+        self._batched_fetches = 0
+        # Private batch lane: fetch batches must not share a carrier
+        # with other components' batches at the same timestamp — a
+        # shared carrier sits at the *earliest* member's push slot, and
+        # a fetch riding, say, a DRAM return's carrier would overtake
+        # every entry pushed between the return and the fetch.  A
+        # per-component lane keeps each carrier at its own first push.
+        self._fetch_batches = CompletionBatches()
         stats = sim.stats
         self._hits = stats.counter(f"{name}.hits")
         self._misses = stats.counter(f"{name}.misses")
@@ -152,6 +167,31 @@ class Cache:
         entry.any_write = is_write
         self._mshrs[line] = entry
         # Fetch from the lower level after our own lookup latency.
+        gate = self.batch_gate
+        if (gate is not None and gate.fold_walk_enabled and gate.fold_enabled
+                and sim.audit_hook is None and gate.mask is None):
+            # Same-cycle fetches resolve the lower level's channel/bank
+            # state in one carrier pass.  Sound because every actor that
+            # touches the lower level synchronously at a given cycle
+            # (victim write-backs inside fills) was scheduled >= 100
+            # cycles ahead of any same-cycle fetch push, so the carrier
+            # never overtakes it; see DESIGN.md §14.  The first fetch at
+            # a cycle keeps its own (canonical) slot; a batch only opens
+            # when a second fetch actually lands on the same cycle.
+            batches = self._fetch_batches
+            fetch_args = (line * self._line_bytes, False,
+                          _Fill(self, line, tenant_id), tenant_id)
+            code = batches.add_lazy(done, self.lower.access, fetch_args,
+                                    sim.now)
+            if code == 1:
+                sim.events.push_raw(done, self.lower.access, fetch_args)
+            elif code == 2:
+                self._batched_fetches += 1
+                batches.delivery_observer = sim.events.delivery_observer
+                sim.events.push_raw(done, batches.fire, (done,))
+            else:
+                self._batched_fetches += 1
+            return
         sim.events.push_raw(
             done,
             self.lower.access,
@@ -214,6 +254,30 @@ class Cache:
         """Deferred hit tick for folded probes (see :meth:`probe_fast`)."""
         self._hits.value += 1
 
+    def fold_walk_read(self, addr: int, at_time: int) -> int:
+        """Hit probe for the walk-folding path: bank/LRU only, no tick.
+
+        Same arithmetic as :meth:`probe_fast` evaluated at ``at_time``,
+        but the deferred hit tick is *not* pushed here — the walk fold's
+        own slot-exact tick chain (see ``Gpu._walk_fold_read``) bumps
+        :meth:`_count_hit` at the read cycle, from the identical FIFO
+        position the evented level read would have occupied.  Returns
+        the absolute data-ready cycle on a hit, ``-1`` on a miss with
+        nothing touched.
+        """
+        line = addr // self._line_bytes
+        cache_set = self._sets[line % self._num_sets]
+        if line not in cache_set:
+            return -1
+        bank_free = self._bank_free
+        bank = line % self._banks
+        start = bank_free[bank]
+        if start < at_time:
+            start = at_time
+        bank_free[bank] = start + self.bank_cycles
+        cache_set.move_to_end(line)
+        return start + self._hit_latency
+
     def fast_ready(self) -> bool:
         """True when no fill or replay can touch this cache before the
         next scheduled event: folding is only sound while the cache has
@@ -237,15 +301,15 @@ class Cache:
         self._drain_overflow()
 
     def _install(self, line: int, dirty: bool, tenant_id: int) -> None:
-        cache_set = self._sets[self._set_index(line)]
-        if len(cache_set) >= self.config.associativity:
+        cache_set = self._sets[line % self._num_sets]
+        if len(cache_set) >= self._assoc:
             victim, victim_dirty = next(iter(cache_set.items()))
             del cache_set[victim]
             if victim_dirty:
-                self._writebacks.inc()
+                self._writebacks.value += 1
                 # Fire-and-forget write-back; no one waits on it.
                 self.lower.access(
-                    victim * self.config.line_bytes, True, _noop, tenant_id
+                    victim * self._line_bytes, True, _noop, tenant_id
                 )
         cache_set[line] = dirty
 

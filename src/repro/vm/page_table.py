@@ -49,6 +49,13 @@ class PageTable:
         # simplicity (the allocator space is plentiful).
         self._root = _Node(frames.allocate(self._owner))
         self._translations: Dict[int, int] = {}  # vpn -> data frame
+        # vpn -> walk address list.  Nodes and frames are allocated once
+        # and never move or free while the tenant lives, so a VPN's walk
+        # addresses are immutable after the first computation; the walker
+        # re-reads them on every PWC-missed level of every walk, which
+        # makes the radix recomputation pure hot-path overhead.  Callers
+        # treat the returned list as read-only.
+        self._walk_cache: Dict[int, List[int]] = {}
         self._node_count = 1
 
     # ------------------------------------------------------------------
@@ -88,6 +95,9 @@ class PageTable:
         One address per level: the PTE slot within each node that the
         walk's radix index selects.  The page must already be mapped.
         """
+        cached = self._walk_cache.get(vpn)
+        if cached is not None:
+            return cached
         if vpn not in self._translations:
             raise KeyError(f"vpn {vpn:#x} not mapped for tenant {self.tenant_id}")
         addrs: List[int] = []
@@ -98,6 +108,7 @@ class PageTable:
             addrs.append(base + (idx * PTE_BYTES) % self.frames.frame_bytes)
             if level < self.layout.depth - 1:
                 node = node.children[idx]
+        self._walk_cache[vpn] = addrs
         return addrs
 
     # ------------------------------------------------------------------

@@ -37,6 +37,11 @@ class PageWalkCache:
         self.entries = entries
         self.name = name
         self._lru: "OrderedDict[Tuple[int, int, int], None]" = OrderedDict()
+        # Hot-path scalars: probe() runs per walk and fill() per
+        # completion, so the layout's prefix arithmetic is inlined via
+        # its per-depth shift table and the depth bound cached.
+        self._max_depth = layout.depth - 1
+        self._prefix_shifts = layout._prefix_shifts
         stats = sim.stats
         self._hits = sim.stats.counter(f"{name}.hits")
         self._misses = stats.counter(f"{name}.misses")
@@ -55,20 +60,49 @@ class PageWalkCache:
 
         0 means a PWC miss (full walk required).
         """
-        for depth in range(self.max_depth, 0, -1):
-            key = (tenant_id, depth, self.layout.prefix(vpn, depth))
-            if key in self._lru:
-                self._lru.move_to_end(key)
-                self._hits.inc()
-                self._skipped.inc(depth)
+        lru = self._lru
+        shifts = self._prefix_shifts
+        for depth in range(self._max_depth, 0, -1):
+            key = (tenant_id, depth, vpn >> shifts[depth])
+            if key in lru:
+                lru.move_to_end(key)
+                self._hits.value += 1
+                self._skipped.value += depth
                 return depth
-        self._misses.inc()
+        self._misses.value += 1
         return 0
+
+    def fold_peek_leaf(self, tenant_id: int, vpn: int) -> bool:
+        """True when :meth:`probe` would match the deepest prefix.
+
+        Pure peek for the walk-folding path (DESIGN.md §14): a
+        ``max_depth`` match means the walk issues exactly one read (the
+        leaf PTE), which is the only shape whose latency is fully
+        determined at dispatch time.  Touches nothing — the caller
+        commits with :meth:`fold_commit_leaf` once every other fold
+        gate has passed, and defers the counters to
+        :meth:`fold_count_leaf_hit` at the cycle the evented probe
+        would have run.
+        """
+        depth = self._max_depth
+        return (tenant_id, depth, vpn >> self._prefix_shifts[depth]) in self._lru
+
+    def fold_commit_leaf(self, tenant_id: int, vpn: int) -> None:
+        """Apply the LRU refresh of a peeked deepest-prefix hit."""
+        depth = self._max_depth
+        self._lru.move_to_end(
+            (tenant_id, depth, vpn >> self._prefix_shifts[depth]))
+
+    def fold_count_leaf_hit(self) -> None:
+        """Deferred counter ticks for a folded deepest-prefix hit."""
+        self._hits.value += 1
+        self._skipped.value += self._max_depth
 
     def fill(self, tenant_id: int, vpn: int) -> None:
         """Install the partial translations a completed walk produced."""
-        for depth in range(1, self.max_depth + 1):
-            self._insert((tenant_id, depth, self.layout.prefix(vpn, depth)))
+        shifts = self._prefix_shifts
+        for depth in range(1, self._max_depth + 1):
+            self._insert((tenant_id, depth, vpn >> shifts[depth]))
 
     def _insert(self, key: Tuple[int, int, int]) -> None:
         if key in self._lru:

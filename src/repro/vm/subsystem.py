@@ -97,6 +97,11 @@ class PageWalkSubsystem:
         #: re-checks this subsystem's invariants on every walk service
         #: start and completion, not just between events
         self.auditor = None
+        #: optional walk folder (the Gpu): offered every dispatch before
+        #: the walker is reserved; when it accepts, the walk completes
+        #: through the fold's slot-exact tick chain (DESIGN.md §14)
+        #: instead of the per-level event path.
+        self.folder = None
         policy.attach(self)
 
     # ------------------------------------------------------------------
@@ -133,7 +138,7 @@ class PageWalkSubsystem:
                 merged = self._merged_c = self.sim.stats.counter(
                     f"{self.name}.merged"
                 )
-            merged.inc()
+            merged.value += 1
             inflight.callbacks.append(on_done)
             return inflight
         request = WalkRequest(tenant_id, vpn, self.sim.now)
@@ -148,7 +153,7 @@ class PageWalkSubsystem:
             walks = self._walks_c[tenant_id] = self.sim.stats.counter(
                 f"{self.name}.walks.tenant{tenant_id}"
             )
-        walks.inc()
+        walks.value += 1
         depth = self._queue_depth_h
         if depth is None:
             depth = self._queue_depth_h = self.sim.stats.histogram(
@@ -166,7 +171,7 @@ class PageWalkSubsystem:
                 overflow = self._overflow_c = self.sim.stats.counter(
                     f"{self.name}.overflow"
                 )
-            overflow.inc()
+            overflow.value += 1
             self._overflow.append(request)
             if self.tracer is not None:
                 self.tracer.emit(self.sim.now, "walk.overflow",
@@ -190,13 +195,25 @@ class PageWalkSubsystem:
     # Walker lifecycle callbacks
     # ------------------------------------------------------------------
     def _dispatch_idle_walkers(self) -> None:
+        # With every queue empty, select() is a guaranteed no-op for all
+        # policies (steal paths dequeue from the same queues), so the
+        # idle-walker scan can stop as soon as nothing is pending —
+        # which is the common case right after a completion.
+        policy = self.policy
+        if not policy.pending_total():
+            return
         for walker in self.walkers:
             if not walker.busy and not walker.reserved:
                 self._try_dispatch(walker)
+                if not policy.pending_total():
+                    return
 
     def _try_dispatch(self, walker: Walker) -> None:
         request = self.policy.select(walker.id)
         if request is None:
+            return
+        folder = self.folder
+        if folder is not None and folder.try_fold_walk(self, walker, request):
             return
         if self.dispatch_latency:
             walker.reserved = True
@@ -246,7 +263,7 @@ class PageWalkSubsystem:
                 stolen = self._stolen_c[tenant] = self.sim.stats.counter(
                     f"{self.name}.stolen.tenant{tenant}"
                 )
-            stolen.inc()
+            stolen.value += 1
         self._update_busy(tenant, +1)
         if self.auditor is not None:
             self.auditor.check_component(self)
@@ -258,7 +275,7 @@ class PageWalkSubsystem:
             completed = self._completed_c[tenant] = self.sim.stats.counter(
                 f"{self.name}.completed.tenant{tenant}"
             )
-        completed.inc()
+        completed.value += 1
         wlat = self._walk_latency_a.get(tenant)
         if wlat is None:
             wlat = self._walk_latency_a[tenant] = self.sim.stats.accumulator(

@@ -80,6 +80,34 @@ class Tlb:
         self._misses.value += 1
         return -1
 
+    def fold_probe(self, tenant_id: int, vpn: int) -> Optional[int]:
+        """Hit-only eager probe for the walk-folding path (DESIGN.md §14).
+
+        The L2-TLB lookup of an L1-missed translation runs a fixed
+        number of cycles after issue, so while no walk can complete and
+        no evented lookup is in flight the probe outcome is already
+        determined at issue time.  On a hit this applies the LRU refresh
+        *now* — probes are applied in issue order, which is the order
+        the deferred lookups would have run in — and returns the cached
+        frame; the caller schedules :meth:`fold_count_hit` at the cycle
+        the evented lookup would have executed, so the lookup/hit
+        counters tick at their canonical slot.  On a miss nothing is
+        touched and ``None`` is returned: the caller falls back to the
+        ordinary event path, whose deferred lookup then probes (and
+        counts) exactly as before.
+        """
+        key = (tenant_id, vpn)
+        tlb_set = self._sets[vpn % self._num_sets]
+        if key not in tlb_set:
+            return None
+        tlb_set.move_to_end(key)
+        return tlb_set[key]
+
+    def fold_count_hit(self) -> None:
+        """Deferred lookup+hit tick for folded probes (:meth:`fold_probe`)."""
+        self._lookups.value += 1
+        self._hits.value += 1
+
     def insert(self, tenant_id: int, vpn: int, frame: int) -> None:
         """Fill a translation, evicting the set's LRU entry if needed."""
         key = (tenant_id, vpn)
@@ -90,7 +118,7 @@ class Tlb:
             return
         if len(tlb_set) >= self._assoc:
             (victim_tenant, _victim_vpn), _ = tlb_set.popitem(last=False)
-            self._evictions.inc()
+            self._evictions.value += 1
             self._adjust_residency(victim_tenant, -1)
         tlb_set[key] = frame
         self._adjust_residency(tenant_id, +1)

@@ -35,6 +35,12 @@ class Walker:
         self.busy = False
         # set while a dispatch with non-zero latency is in flight for us
         self.reserved = False
+        # Level cursor for the walk in service.  A walker services one
+        # walk at a time, so the per-level continuation can live as
+        # instance state and reuse one bound method (``_level_done``)
+        # instead of allocating a closure per page-table level.
+        self._addrs = ()
+        self._index = 0
 
     # ------------------------------------------------------------------
     # Walk execution
@@ -54,15 +60,14 @@ class Walker:
         pwc = self.subsystem.pwc
         skip = pwc.probe(request.tenant_id, request.vpn)
         addrs = self.subsystem.walk_addresses(request)
-        remaining = addrs[skip:]
-        if not remaining:  # pragma: no cover - probe() caps below depth
+        if skip >= len(addrs):  # pragma: no cover - probe() caps below depth
             raise WalkerStateError(
                 "PWC cannot skip the leaf level",
                 tenant_id=request.tenant_id, walker_id=self.id,
                 sim_time=self.sim.now)
-        request.memory_accesses = len(remaining)
+        request.memory_accesses = len(addrs) - skip
         self.sim.post_after(self.subsystem.pwc_latency,
-                       self._issue_level, request, remaining, 0)
+                       self._issue_level, request, addrs, skip)
 
     def _issue_level(self, request: WalkRequest, addrs, index: int) -> None:
         if request is not self.current:  # pragma: no cover - defensive
@@ -74,11 +79,15 @@ class Walker:
         if index >= len(addrs):
             self._finish(request)
             return
+        self._addrs = addrs
+        self._index = index
         self.subsystem.memory.walker_access(
-            addrs[index],
-            lambda: self._issue_level(request, addrs, index + 1),
-            request.tenant_id,
+            addrs[index], self._level_done, request.tenant_id,
         )
+
+    def _level_done(self) -> None:
+        """Continuation for the level read just returned by memory."""
+        self._issue_level(self.current, self._addrs, self._index + 1)
 
     def _finish(self, request: WalkRequest) -> None:
         request.completion_time = self.sim.now

@@ -42,8 +42,11 @@ RESIDENT_SPEC = dataclasses.replace(BENCHMARKS["HS"], name="HSR",
                                     footprint_bytes=4096)
 
 
-def run_once(workloads, policy, fold, warps=2, integrity=None, sms=4):
+def run_once(workloads, policy, fold, warps=2, integrity=None, sms=4,
+             walk=None):
     os.environ["REPRO_FASTPATH"] = "1" if fold else "0"
+    if walk is not None:
+        os.environ["REPRO_FASTPATH_WALK"] = "1" if walk else "0"
     try:
         cfg = GpuConfig.baseline(num_sms=sms).with_policy(policy)
         tenants = [Tenant(i, wl) for i, wl in enumerate(workloads)]
@@ -52,6 +55,7 @@ def run_once(workloads, policy, fold, warps=2, integrity=None, sms=4):
         result = manager.run()
     finally:
         os.environ.pop("REPRO_FASTPATH", None)
+        os.environ.pop("REPRO_FASTPATH_WALK", None)
     return result, manager
 
 
@@ -168,6 +172,115 @@ def test_fold_tick_rides_the_probe_slot():
             os.environ.pop("REPRO_FASTPATH", None)
 
     assert observable(run(True)) == observable(run(False))
+
+
+@pytest.mark.parametrize("archetype", sorted(BENCHMARKS))
+def test_walk_fold_identity_all_policies(archetype):
+    """Walk rungs on == off for every archetype under every policy.
+
+    Both sides keep the parent fold on: this isolates the DESIGN.md §14
+    rungs (L2-TLB-hit fold, PWC-terminated walk fold, DRAM batching)
+    from the §12 hit fold the previous tests cover.
+    """
+    for policy in POLICIES:
+        pair = [benchmark(archetype, scale=SCALE), benchmark("HS", scale=SCALE)]
+        on, _ = run_once(pair, policy, fold=True, walk=True)
+        pair = [benchmark(archetype, scale=SCALE), benchmark("HS", scale=SCALE)]
+        off, _ = run_once(pair, policy, fold=True, walk=False)
+        assert observable(on) == observable(off), (
+            f"{archetype} under {policy}: walk folding changed observable "
+            "state")
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_walk_fold_engagement(policy):
+    """The miss-dominated regime, where the walk rungs actually fire.
+
+    JPEG.LIB at this scale warms the L2 TLB and PWC enough for rungs
+    (a) and (b) to engage while every L2 miss exercises rung (c); a
+    walk-rung differential on a config where they never fire would be
+    vacuous.
+    """
+    def pair():
+        return [benchmark("JPEG", scale=0.2), benchmark("LIB", scale=0.2)]
+
+    on, manager = run_once(pair(), policy, fold=True, walk=True, warps=1)
+    off, off_manager = run_once(pair(), policy, fold=True, walk=False,
+                                warps=1)
+    assert observable(on) == observable(off)
+    stats = manager.gpu.fastpath_stats()
+    assert stats["folded_l2_tlb_hits"] > 0, "rung (a) must engage"
+    assert stats["batched_dram_fetches"] > 0, "rung (c) must engage"
+    assert stats["batched_dram_returns"] > 0
+    off_stats = off_manager.gpu.fastpath_stats()
+    assert off_stats["folded_l2_tlb_hits"] == 0
+    assert off_stats["folded_walks"] == 0
+    assert off_stats["batched_dram_fetches"] == 0
+    # Batching and folding must never add queue traffic.  Equality is
+    # legitimate at this scale: the lazy batch protocol keeps the first
+    # two same-cycle completions on their own entries (direct + carrier)
+    # and only saves entries from the third member on.
+    assert on.events_fired <= off.events_fired
+
+
+def test_walk_fold_fires_pwc_rung():
+    """Rung (b) — the deferred-tick walk fold — must engage somewhere
+    in the grid, or its identity coverage is vacuous."""
+    pair = [benchmark("JPEG", scale=0.5), benchmark("LIB", scale=0.5)]
+    _, manager = run_once(pair, "dws", fold=True, walk=True, warps=1)
+    stats = manager.gpu.fastpath_stats()
+    assert stats["folded_walks"] > 0
+    assert stats["walk_fold_fraction"] > 0.0
+
+
+def test_walk_fold_identity_across_stop_boundary():
+    """Walk-rung ticks must not leak past ``sim.stop()``.
+
+    At 8 SMs this trace ends with folded-walk tick chains and batched
+    DRAM carriers still queued; the slot-exact discipline (DESIGN.md
+    §14) requires each deferred tick to fire or drop exactly as the
+    event it replaces would have.
+    """
+    def pair():
+        return [benchmark("JPEG", scale=0.5), benchmark("LIB", scale=0.5)]
+
+    on, _ = run_once(pair(), "dws", fold=True, walk=True, warps=1, sms=8)
+    off, _ = run_once(pair(), "dws", fold=True, walk=False, warps=1, sms=8)
+    assert observable(on) == observable(off)
+
+
+def test_walk_kill_switches():
+    """REPRO_FASTPATH_WALK=0 zeroes only the walk rungs; REPRO_FASTPATH=0
+    zeroes them too (the parent switch wins)."""
+    pair = [benchmark("JPEG", scale=0.2), benchmark("LIB", scale=0.2)]
+    _, manager = run_once(pair, "dws", fold=True, walk=False, warps=1)
+    assert manager.gpu.fold_walk_enabled is False
+    assert manager.gpu.fold_enabled is True
+    stats = manager.gpu.fastpath_stats()
+    assert stats["folded_l2_tlb_hits"] == 0
+    assert stats["folded_walks"] == 0
+    assert stats["batched_dram_fetches"] == 0
+    assert stats["batched_dram_returns"] == 0
+
+    pair = [benchmark("JPEG", scale=0.2), benchmark("LIB", scale=0.2)]
+    _, manager = run_once(pair, "dws", fold=False, walk=True, warps=1)
+    stats = manager.gpu.fastpath_stats()
+    assert stats["folded_l2_tlb_hits"] == 0
+    assert stats["folded_walks"] == 0
+    assert stats["batched_dram_fetches"] == 0
+
+
+def test_walk_fold_disabled_under_audit():
+    """An installed audit hook closes every walk-rung gate too."""
+    integrity = IntegrityConfig(audit="cheap", audit_interval=64)
+    pair = [benchmark("JPEG", scale=0.2), benchmark("LIB", scale=0.2)]
+    _, manager = run_once(pair, "dws", fold=True, walk=True, warps=1,
+                          integrity=integrity)
+    stats = manager.gpu.fastpath_stats()
+    assert stats["folded_l2_tlb_hits"] == 0
+    assert stats["folded_walks"] == 0
+    assert stats["batched_dram_fetches"] == 0
+    assert stats["batched_dram_returns"] == 0
 
 
 def test_mshr_stall_counters_present_at_zero():

@@ -1,5 +1,7 @@
 """Forward-progress watchdog: stall detection without false positives."""
 
+import os
+
 import pytest
 
 from repro.engine.config import GpuConfig
@@ -27,7 +29,17 @@ def test_healthy_run_is_byte_identical_under_watchdog():
     plain = _manager().run()
     watched = _manager(IntegrityConfig(watchdog_window=500)).run()
     assert watched.stats == plain.stats
-    assert watched.events_fired == plain.events_fired
+    # The watchdog rides the per-event audit hook, which closes every
+    # fold/batch gate (DESIGN.md §12/§14): the watched run fires the
+    # canonical per-stage event stream, so its event count matches the
+    # fold-disabled plain run while the stats match the default one.
+    os.environ["REPRO_FASTPATH"] = "0"
+    try:
+        canonical = _manager().run()
+    finally:
+        os.environ.pop("REPRO_FASTPATH", None)
+    assert watched.events_fired == canonical.events_fired
+    assert canonical.stats == plain.stats
 
 
 def test_window_must_be_positive():
