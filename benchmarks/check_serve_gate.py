@@ -1,0 +1,81 @@
+"""CI gate over a fresh ``BENCH_serve.json``: the serve invariants.
+
+Unlike ``check_perf_gate.py`` this does not compare against a committed
+baseline — hosted-runner latency percentiles are noise.  It gates on
+the *robustness booleans* the load driver records, which are
+deterministic:
+
+* the run recorded zero invariant violations (every query answered
+  typed, degraded answers labeled estimates);
+* when the chaos episode ran: the breaker tripped, then recovered, and
+  the run ended with it closed;
+* post-chaos exact-tier answers were byte-identical to the fault-free
+  reference server;
+* the exact and simulated tiers both actually served traffic (a run
+  that silently degraded everything to estimates would otherwise pass).
+
+Usage::
+
+    python benchmarks/check_serve_gate.py --fresh BENCH_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def check(doc: dict) -> list:
+    problems = []
+    if doc.get("violations"):
+        for violation in doc["violations"]:
+            problems.append(f"violation recorded: {violation}")
+
+    tiers = doc.get("tiers", {})
+    for tier in ("exact", "simulated"):
+        if tiers.get(tier, {}).get("count", 0) < 1:
+            problems.append(f"tier {tier!r} served no traffic")
+
+    chaos = doc.get("chaos", {})
+    if not chaos.get("byte_identical_exact", False):
+        problems.append("exact answers diverged from fault-free reference")
+    if chaos.get("enabled"):
+        if not chaos.get("tripped"):
+            problems.append("chaos ran but the breaker never tripped")
+        if not chaos.get("recovered"):
+            problems.append("chaos ran but the breaker never recovered")
+        if doc.get("breaker", {}).get("state") != "closed":
+            problems.append(
+                f"run ended with breaker {doc.get('breaker', {}).get('state')!r}, "
+                "expected 'closed'")
+        if tiers.get("estimate", {}).get("count", 0) < 1:
+            problems.append(
+                "chaos ran but the estimate tier answered nothing "
+                "(degradation path untested)")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", required=True,
+                        help="BENCH_serve.json from this run")
+    args = parser.parse_args(argv)
+
+    doc = json.loads(Path(args.fresh).read_text())
+    problems = check(doc)
+    if problems:
+        for problem in problems:
+            print(f"SERVE GATE: {problem}", file=sys.stderr)
+        return 1
+    tiers = ", ".join(f"{t}={row['count']}" for t, row in
+                      sorted(doc.get("tiers", {}).items()))
+    print(f"serve gate ok: {doc.get('queries')} queries ({tiers}), "
+          f"breaker trips={doc.get('breaker', {}).get('trips')} "
+          f"recoveries={doc.get('breaker', {}).get('recoveries')}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

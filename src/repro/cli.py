@@ -14,6 +14,12 @@ Commands:
   the work-stealing pool (see ``repro.harness.campaign``).
 * ``replay <bundle>`` — re-run the simulation a crash-forensics bundle
   describes; exits 0 when the recorded failure reproduces, 3 when not.
+* ``serve`` — long-running capacity-planning query service over the
+  result cache: exact/simulated/estimate answer tiers, admission
+  control, circuit breaker, checkpointed graceful drain (see
+  ``repro.serve``).
+* ``cache gc`` — prune quarantined, damaged and orphaned result-cache
+  entries (``--dry-run`` reports without deleting).
 
 All commands accept ``--scale`` (workload length multiplier) and
 ``--warps`` (warps per SM) to trade fidelity for run time, plus the
@@ -236,7 +242,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "(needs --workers > 1; default: no deadline)")
     p.add_argument("--supervision-report", default=None, metavar="PATH",
                    help="write the retry/requeue/quarantine report as "
-                        "JSON to PATH")
+                        "JSON to PATH; the literal value 'json' (or '-') "
+                        "prints it to stdout for scripts and CI")
     _add_shards(p)
     _add_fastpath(p)
     _add_common(p)
@@ -246,6 +253,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run the simulation a crash-forensics bundle describes "
              "and report whether the recorded failure reproduces")
     p.add_argument("bundle", help="path to a *.forensics.json bundle")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the capacity-planning query service (exact/simulated/"
+             "estimate tiers over the result cache)")
+    p.add_argument("--cache-dir", required=True,
+                   help="result cache directory the service answers from "
+                        "(and checkpoints pending work under)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for background simulations "
+                        "(default 1: serial in-process)")
+    p.add_argument("--max-queue-depth", type=int, default=8,
+                   help="pending simulations admitted before load "
+                        "shedding downgrades the oldest (default 8)")
+    p.add_argument("--deadline", type=float, default=30.0,
+                   help="default per-query deadline in seconds; queries "
+                        "may override per request (default 30)")
+    p.add_argument("--scale", type=float, default=0.5,
+                   help="workload length multiplier for background "
+                        "simulations (default 0.5)")
+    p.add_argument("--warps", type=int, default=4,
+                   help="warps per SM for background simulations")
+    p.add_argument("--max-events", type=int, default=None,
+                   help="event budget per background simulation "
+                        "(default: the serve-tuned bound)")
+
+    p = sub.add_parser(
+        "cache",
+        help="result-cache maintenance (currently: gc)")
+    p.add_argument("action", choices=("gc",),
+                   help="gc: prune quarantined, damaged and orphaned "
+                        "entries")
+    p.add_argument("--cache-dir", required=True,
+                   help="result cache directory to maintain")
+    p.add_argument("--dry-run", action="store_true",
+                   help="report what would be removed without deleting")
 
     p = sub.add_parser("report", help="regenerate experiments as Markdown")
     p.add_argument("--experiments", default=None,
@@ -375,9 +420,16 @@ def cmd_campaign(args) -> int:
               "the unfinished jobs", file=sys.stderr)
         return 130
     if args.supervision_report:
-        atomic_write_json(args.supervision_report,
-                          report.supervision.to_dict(),
-                          indent=1, sort_keys=True)
+        supervision_doc = report.supervision.to_dict()
+        if args.supervision_report in ("json", "-"):
+            # Machine-readable to stdout: one schema shared with the CI
+            # chaos artifact and the serve layer's /healthz document.
+            import json
+
+            print(json.dumps(supervision_doc, indent=1, sort_keys=True))
+        else:
+            atomic_write_json(args.supervision_report, supervision_doc,
+                              indent=1, sort_keys=True)
     for figure in report.plan.figures:
         if figure in report.results:
             print(format_table(report.results[figure]))
@@ -426,6 +478,34 @@ def cmd_replay(args) -> int:
     return 3
 
 
+def cmd_serve(args) -> int:
+    from repro.serve.admission import AdmissionPolicy
+    from repro.serve.server import (DEFAULT_SERVE_MAX_EVENTS, ReproServer,
+                                    serve_forever)
+
+    admission = AdmissionPolicy(max_queue_depth=args.max_queue_depth,
+                                default_deadline_s=args.deadline)
+    server = ReproServer(
+        args.cache_dir, admission=admission, workers=args.workers,
+        scale=args.scale, warps_per_sm=args.warps,
+        max_events=(args.max_events if args.max_events is not None
+                    else DEFAULT_SERVE_MAX_EVENTS))
+    print(f"repro serve on http://{args.host}:{args.port} "
+          f"(cache: {args.cache_dir}, queue depth "
+          f"{args.max_queue_depth}, deadline {args.deadline:g}s)")
+    serve_forever(server, host=args.host, port=args.port)
+    print("repro serve drained cleanly")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from repro.harness.result_cache import ResultCache
+
+    report = ResultCache(args.cache_dir).gc(dry_run=args.dry_run)
+    print(report.summary())
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.harness.report import generate_report
 
@@ -456,6 +536,8 @@ COMMANDS = {
     "experiment": cmd_experiment,
     "campaign": cmd_campaign,
     "replay": cmd_replay,
+    "serve": cmd_serve,
+    "cache": cmd_cache,
     "report": cmd_report,
 }
 

@@ -195,3 +195,24 @@ def bitflip_file(path, offset: Optional[int] = None) -> None:
     data[index] ^= 0x40
     with open(path, "wb") as fh:
         fh.write(bytes(data))
+
+
+def corrupt_cache_entry(cache, key: str, mode: str = "bitflip") -> bool:
+    """Damage one :class:`~repro.harness.result_cache.ResultCache` entry.
+
+    ``mode`` is ``"bitflip"`` (silent media corruption the checksum must
+    catch) or ``"truncate"`` (a torn write).  Returns ``False`` when the
+    entry does not exist — chaos drivers corrupt "whatever is cached by
+    now", so a miss is a legitimate no-op, not an error.
+    """
+    if mode not in ("bitflip", "truncate"):
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    path = cache.entry_path(key)
+    try:
+        if mode == "truncate":
+            truncate_file(path)
+        else:
+            bitflip_file(path)
+    except (OSError, FileNotFoundError):
+        return False
+    return True

@@ -155,6 +155,11 @@ class ResultCache:
         # Two-level fan-out keeps directories small on big sweeps.
         return self.root / key[:2] / f"{key}.pkl"
 
+    def entry_path(self, key: str) -> Path:
+        """Where ``key``'s entry lives on disk (fault injection and the
+        gc scanner need the real path; the layout is otherwise private)."""
+        return self._path(key)
+
     def _quarantine_path(self, key: str) -> Path:
         # ``.bad`` keeps quarantined files out of the ``*/*.pkl`` globs
         # that len()/clear() use.
@@ -291,3 +296,108 @@ class ResultCache:
         return {"hits": self.hits, "misses": self.misses,
                 "stores": self.stores, "corrupt": self.corrupt,
                 "entries": len(self)}
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def gc(self, dry_run: bool = False) -> "GcReport":
+        """Prune quarantined, damaged and orphaned entries.
+
+        Quarantine-and-recompute keeps a long-running host correct but
+        grows the cache directory without bound: every corrupt entry
+        parks a ``.bad`` file forever, stale-format entries from before
+        a ``CACHE_FORMAT`` bump linger until their key is next looked
+        up, and a crashed writer can leave ``*.tmp`` residue.  ``gc``
+        removes all of it in one sweep:
+
+        * quarantined post-mortem files (``quarantine/*.bad``),
+        * live entries that fail their envelope checks (bad magic,
+          truncation, checksum mismatch) — deleted outright, not
+          re-quarantined: gc exists to reclaim space,
+        * live entries in a stale ``CACHE_FORMAT`` (orphaned by a bump),
+        * orphans: ``*.pkl`` files misfiled outside their fan-out
+          directory and abandoned ``*.tmp`` files,
+        * fan-out directories left empty by the above.
+
+        ``dry_run=True`` reports what *would* be removed and touches
+        nothing.  Healthy current-format entries are never candidates.
+        """
+        report = GcReport(dry_run=dry_run)
+        if not self.root.exists():
+            return report
+
+        def remove(path: Path, counter: str) -> None:
+            size = 0
+            try:
+                size = path.stat().st_size
+            except OSError:
+                pass
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    return  # disappeared underneath us; not removed by gc
+            setattr(report, counter, getattr(report, counter) + 1)
+            report.bytes_freed += size
+
+        qdir = self.root / self.QUARANTINE_DIR
+        for path in sorted(qdir.glob("*.bad")) if qdir.exists() else []:
+            remove(path, "quarantined")
+
+        for path in sorted(self.root.glob("*/*.pkl")):
+            if path.parent.name == self.QUARANTINE_DIR:
+                continue
+            key = path.stem
+            if path.parent.name != key[:2]:
+                remove(path, "orphaned")
+                continue
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                continue
+            try:
+                decode_entry(blob)
+            except CacheIntegrityError as exc:
+                stale = "cache format" in str(exc)
+                remove(path, "stale_format" if stale else "corrupt")
+                continue
+            report.kept += 1
+
+        for path in sorted(self.root.glob("*/*.tmp")):
+            remove(path, "orphaned")
+
+        if not dry_run:
+            for child in sorted(self.root.iterdir()):
+                if child.is_dir():
+                    try:
+                        child.rmdir()  # only succeeds when empty
+                    except OSError:
+                        pass
+        return report
+
+
+@dataclasses.dataclass
+class GcReport:
+    """What one :meth:`ResultCache.gc` sweep found (and maybe removed)."""
+
+    dry_run: bool = False
+    kept: int = 0
+    quarantined: int = 0      # quarantine/*.bad post-mortem files
+    corrupt: int = 0          # live entries failing envelope checks
+    stale_format: int = 0     # live entries from an older CACHE_FORMAT
+    orphaned: int = 0         # misfiled *.pkl and abandoned *.tmp files
+    bytes_freed: int = 0
+
+    @property
+    def removed(self) -> int:
+        return (self.quarantined + self.corrupt + self.stale_format
+                + self.orphaned)
+
+    def summary(self) -> str:
+        verb = "would remove" if self.dry_run else "removed"
+        return (f"cache gc: {verb} {self.removed} file(s) "
+                f"({self.quarantined} quarantined, {self.corrupt} corrupt, "
+                f"{self.stale_format} stale-format, "
+                f"{self.orphaned} orphaned), "
+                f"{self.bytes_freed} bytes; kept {self.kept} "
+                f"healthy entr{'y' if self.kept == 1 else 'ies'}")

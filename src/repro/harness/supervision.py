@@ -179,7 +179,11 @@ class SupervisionStats:
         return "supervision: " + ", ".join(parts)
 
     def to_dict(self) -> dict:
-        """JSON-portable view (the CI chaos report artifact)."""
+        """JSON-portable view.
+
+        One schema, three consumers: the ``--supervision-report json``
+        CLI output, the CI chaos artifact, and the serve layer's
+        ``/healthz`` document all read these counters."""
         return {
             "retries": self.retries,
             "requeues": self.requeues,
@@ -191,3 +195,25 @@ class SupervisionStats:
             "attempts": dict(self.attempts),
             "forensics": dict(self.forensics),
         }
+
+
+#: Per-job outcome labels derived by :func:`job_outcome`.
+OUTCOME_OK = "ok"
+OUTCOME_RETRIED = "retried"
+OUTCOME_QUARANTINED = "quarantined"
+
+
+def job_outcome(stats: "SupervisionStats", label: str) -> str:
+    """What ultimately happened to one supervised job.
+
+    ``quarantined`` dominates ``retried`` (a job that burned retries and
+    then died is a quarantine); a job absent from ``attempts`` is
+    assumed clean (cache hits never enter the attempt ledger).  The
+    serve layer's circuit breaker treats anything but ``ok`` as a
+    backend failure signal — the "retry/quarantine rate" it trips on.
+    """
+    if label in stats.quarantined:
+        return OUTCOME_QUARANTINED
+    if stats.attempts.get(label, 1) > 1:
+        return OUTCOME_RETRIED
+    return OUTCOME_OK

@@ -1,0 +1,37 @@
+"""Capacity-planning query service over the simulation harness.
+
+``python -m repro serve`` turns the batch reproduction pipeline into a
+long-running service that answers placement queries in three tiers —
+exact (result cache), simulated (supervised background execution) and
+estimate (MPMI-band nearest-neighbor interpolation) — with admission
+control, a circuit breaker and checkpointed graceful drain.  See
+``DESIGN.md`` §15.
+"""
+
+from repro.serve.admission import (AdmissionPolicy, AdmissionQueue,
+                                   BreakerPolicy, CircuitBreaker)
+from repro.serve.client import (SERVE_URL_ENV, ServeClient, ServeUnavailable,
+                                server_url)
+from repro.serve.estimator import ServeIndex, index_key
+from repro.serve.health import health_snapshot, ready_snapshot
+from repro.serve.queries import (DEFAULT_CANDIDATES, STATUS_ERROR,
+                                 STATUS_ESTIMATE, STATUS_EXACT,
+                                 STATUS_ORDER, STATUS_REJECTED,
+                                 STATUS_SIMULATED, STATUS_TIMEOUT,
+                                 PlacementQuery, QueryResponse,
+                                 metrics_from_result, rank_candidates,
+                                 worst_status)
+from repro.serve.server import (ReproServer, ServeHTTPServer, ServeManifest,
+                                install_signal_handlers, serve_forever)
+
+__all__ = [
+    "AdmissionPolicy", "AdmissionQueue", "BreakerPolicy", "CircuitBreaker",
+    "SERVE_URL_ENV", "ServeClient", "ServeUnavailable", "server_url",
+    "ServeIndex", "index_key", "health_snapshot", "ready_snapshot",
+    "DEFAULT_CANDIDATES", "STATUS_ERROR", "STATUS_ESTIMATE", "STATUS_EXACT",
+    "STATUS_ORDER", "STATUS_REJECTED", "STATUS_SIMULATED", "STATUS_TIMEOUT",
+    "PlacementQuery", "QueryResponse", "metrics_from_result",
+    "rank_candidates", "worst_status",
+    "ReproServer", "ServeHTTPServer", "ServeManifest",
+    "install_signal_handlers", "serve_forever",
+]

@@ -1,0 +1,304 @@
+"""Admission control for the serve backend: bounded queue + breaker.
+
+Two mechanisms keep the service answering *something typed* no matter
+what the simulation backend is doing:
+
+* :class:`AdmissionQueue` — a bounded FIFO of pending simulation
+  tickets.  When it is full, the *oldest* pending ticket is downgraded
+  (its waiters wake immediately and fall back to the estimate tier)
+  before the newcomer is enqueued — shedding load by degrading the
+  stalest answer rather than rejecting the freshest question.  Identical
+  queries coalesce onto one ticket, so a thundering herd of the same
+  placement question costs one simulation.
+* :class:`CircuitBreaker` — watches the backend's retry/quarantine rate
+  (fed from :class:`~repro.harness.supervision.SupervisionStats`
+  outcomes, one event per executed job) over a sliding window.  When the
+  failure rate crosses the threshold the breaker *opens*: the simulate
+  tier is disabled and queries are answered estimate-only.  After a
+  deterministic number of subsequent queries it *half-opens*: exactly
+  one query is admitted as a probe; its job's outcome closes the breaker
+  (healthy again) or re-opens it.  Cadence is counted in queries, not
+  wall clock, so the chaos suite replays identically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.harness.parallel import Job
+
+#: Breaker states.
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Sizing of the admission path."""
+
+    #: Pending simulation tickets the queue holds before shedding.
+    max_queue_depth: int = 8
+    #: Default per-query deadline, seconds (queries may override).
+    default_deadline_s: float = 30.0
+    #: Seconds :meth:`ReproServer.drain` waits for the in-flight job.
+    drain_timeout_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be non-negative")
+        if self.default_deadline_s < 0:
+            raise ValueError("default_deadline_s must be non-negative")
+
+
+class Ticket:
+    """One scheduled background simulation and everyone waiting on it."""
+
+    __slots__ = ("job", "key", "seq", "probe", "event", "result", "error",
+                 "downgraded", "detail")
+
+    def __init__(self, job: Job, key: str, seq: int,
+                 probe: bool = False) -> None:
+        self.job = job
+        self.key = key              # result-cache content hash
+        self.seq = seq              # admission order, monotonically rising
+        self.probe = probe          # breaker half-open probe?
+        self.event = threading.Event()
+        self.result = None          # RunResult once the backend lands it
+        self.error: Optional[str] = None  # quarantine reason
+        self.downgraded = False     # shed / drained before execution
+        self.detail = ""
+
+    def resolve(self, result) -> None:
+        self.result = result
+        self.event.set()
+
+    def fail(self, error: str) -> None:
+        self.error = error
+        self.event.set()
+
+    def downgrade(self, detail: str) -> None:
+        self.downgraded = True
+        self.detail = detail
+        self.event.set()
+
+
+class AdmissionQueue:
+    """Thread-safe bounded ticket queue with oldest-first shedding."""
+
+    def __init__(self, max_depth: int) -> None:
+        self.max_depth = max_depth
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._pending: "OrderedDict[str, Ticket]" = OrderedDict()
+        self._inflight: Dict[str, Ticket] = {}
+        self._seq = itertools.count()
+        #: tickets downgraded because the queue was full (shed events)
+        self.shed = 0
+        #: submissions answered by an already-queued identical ticket
+        self.coalesced = 0
+
+    # ------------------------------------------------------------------
+    # Producer side (query threads)
+    # ------------------------------------------------------------------
+    def submit(self, job: Job, key: str,
+               probe: bool = False) -> Tuple[Optional[Ticket],
+                                             Optional[Ticket]]:
+        """Admit one simulation; returns ``(ticket, shed_ticket)``.
+
+        ``ticket`` is ``None`` when the queue cannot admit at all
+        (``max_depth == 0``).  ``shed_ticket`` is the oldest pending
+        ticket that was downgraded to make room, if shedding happened —
+        its waiters have already been woken with ``downgraded=True``.
+        """
+        with self._lock:
+            existing = self._pending.get(key) or self._inflight.get(key)
+            if existing is not None and not existing.event.is_set():
+                self.coalesced += 1
+                return existing, None
+            if self.max_depth <= 0:
+                return None, None
+            shed_ticket: Optional[Ticket] = None
+            if len(self._pending) >= self.max_depth:
+                _key, shed_ticket = self._pending.popitem(last=False)
+                shed_ticket.downgrade(
+                    "shed: admission queue full, oldest estimate-downgraded")
+                self.shed += 1
+            ticket = Ticket(job, key, next(self._seq), probe=probe)
+            self._pending[key] = ticket
+            self._work.notify()
+            return ticket, shed_ticket
+
+    # ------------------------------------------------------------------
+    # Consumer side (the executor thread)
+    # ------------------------------------------------------------------
+    def take(self, timeout: Optional[float] = None,
+             limit: int = 1) -> List[Ticket]:
+        """Move up to ``limit`` pending tickets in-flight; may be empty."""
+        with self._lock:
+            if not self._pending:
+                self._work.wait(timeout)
+            taken: List[Ticket] = []
+            while self._pending and len(taken) < limit:
+                key, ticket = self._pending.popitem(last=False)
+                self._inflight[key] = ticket
+                taken.append(ticket)
+            return taken
+
+    def finish(self, ticket: Ticket) -> None:
+        with self._lock:
+            self._inflight.pop(ticket.key, None)
+
+    # ------------------------------------------------------------------
+    # Introspection / drain
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def pending_jobs(self) -> List[Tuple[str, Job]]:
+        """Checkpoint view: (cache key, job) for pending + in-flight."""
+        with self._lock:
+            items = [(t.key, t.job) for t in self._pending.values()]
+            items.extend((t.key, t.job) for t in self._inflight.values()
+                         if not t.event.is_set())
+            return items
+
+    def drain(self) -> List[Ticket]:
+        """Downgrade and clear every pending ticket (shutdown path)."""
+        with self._lock:
+            drained = list(self._pending.values())
+            self._pending.clear()
+        for ticket in drained:
+            ticket.downgrade("draining: server shutting down")
+        return drained
+
+    def downgrade_inflight(self, detail: str) -> List[Ticket]:
+        """Wake waiters on unfinished in-flight tickets with a typed
+        downgrade (shutdown path: the simulation may still complete and
+        warm the cache, but nobody waits for it)."""
+        with self._lock:
+            unfinished = [t for t in self._inflight.values()
+                          if not t.event.is_set()]
+        for ticket in unfinished:
+            ticket.downgrade(detail)
+        return unfinished
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When to give up on the simulation backend, and when to retry it."""
+
+    #: Sliding window of recent job outcomes the rate is computed over.
+    window: int = 8
+    #: Failure rate (retried-or-quarantined / window) that trips OPEN.
+    threshold: float = 0.5
+    #: Outcomes required in the window before the rate is meaningful.
+    min_samples: int = 4
+    #: Queries answered while OPEN before the breaker half-opens.
+    probe_after_queries: int = 4
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be positive")
+        if not 0 < self.threshold <= 1:
+            raise ValueError("threshold must be in (0, 1]")
+        if self.min_samples < 1 or self.min_samples > self.window:
+            raise ValueError("min_samples must be in [1, window]")
+        if self.probe_after_queries < 1:
+            raise ValueError("probe_after_queries must be positive")
+
+
+class CircuitBreaker:
+    """Query-count-deterministic circuit breaker over job outcomes."""
+
+    def __init__(self, policy: Optional[BreakerPolicy] = None) -> None:
+        self.policy = policy or BreakerPolicy()
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._outcomes: deque = deque(maxlen=self.policy.window)
+        self._queries_while_open = 0
+        self._probe_inflight = False
+        #: lifetime trip count (health/bench: "did it trip and recover?")
+        self.trips = 0
+        self.recoveries = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def failure_rate(self) -> float:
+        with self._lock:
+            if not self._outcomes:
+                return 0.0
+            return sum(1 for ok in self._outcomes if not ok) / len(
+                self._outcomes)
+
+    # ------------------------------------------------------------------
+    def note_query(self) -> None:
+        """Advance the deterministic half-open cadence by one query."""
+        with self._lock:
+            if self._state != BREAKER_OPEN:
+                return
+            self._queries_while_open += 1
+            if self._queries_while_open >= self.policy.probe_after_queries:
+                self._state = BREAKER_HALF_OPEN
+                self._probe_inflight = False
+
+    def allow_simulation(self) -> Tuple[bool, bool]:
+        """``(allowed, is_probe)`` for a query that needs the backend."""
+        with self._lock:
+            if self._state == BREAKER_CLOSED:
+                return True, False
+            if self._state == BREAKER_HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                return True, True
+            return False, False
+
+    # ------------------------------------------------------------------
+    def record_outcome(self, ok: bool, probe: bool = False) -> None:
+        """Feed one executed job's outcome (``ok`` = clean first try)."""
+        with self._lock:
+            if probe or self._state == BREAKER_HALF_OPEN:
+                # The probe verdict decides the state outright.
+                self._probe_inflight = False
+                if ok:
+                    self._state = BREAKER_CLOSED
+                    self._outcomes.clear()
+                    self._queries_while_open = 0
+                    self.recoveries += 1
+                else:
+                    self._state = BREAKER_OPEN
+                    self._queries_while_open = 0
+                return
+            self._outcomes.append(ok)
+            if (self._state == BREAKER_CLOSED
+                    and len(self._outcomes) >= self.policy.min_samples):
+                failures = sum(1 for o in self._outcomes if not o)
+                if failures / len(self._outcomes) >= self.policy.threshold:
+                    self._state = BREAKER_OPEN
+                    self._queries_while_open = 0
+                    self.trips += 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        with self._lock:
+            outcomes = list(self._outcomes)
+            rate = (sum(1 for ok in outcomes if not ok) / len(outcomes)
+                    if outcomes else 0.0)
+            return {"state": self._state, "failure_rate": rate,
+                    "window_samples": len(outcomes), "trips": self.trips,
+                    "recoveries": self.recoveries}

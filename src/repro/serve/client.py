@@ -1,0 +1,96 @@
+"""Thin stdlib client for the capacity-planning service.
+
+Examples and scripts talk to a running ``repro serve`` through this
+module; when no server is reachable they fall back to the library path
+(importing :class:`~repro.harness.runner.Session` directly), so every
+example works standalone *and* against a shared warm service.
+
+The client deliberately knows nothing about tiers or breakers — it
+ships a :class:`~repro.serve.queries.PlacementQuery` as JSON and hands
+back the typed :class:`~repro.serve.queries.QueryResponse`.  Transport
+failures raise :class:`ServeUnavailable` (connection refused, timeout,
+non-JSON body); *typed degraded answers are not errors* — a response
+with ``status="timeout"`` is the service working as designed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from repro.serve.queries import PlacementQuery, QueryResponse
+
+#: Environment variable naming the server examples should query.
+SERVE_URL_ENV = "REPRO_SERVE_URL"
+
+#: Default socket timeout — generous slack over the server-side query
+#: deadline so the typed timeout response beats the transport timeout.
+DEFAULT_TIMEOUT_S = 120.0
+
+
+class ServeUnavailable(RuntimeError):
+    """The service could not be reached or spoke garbage."""
+
+
+def server_url(explicit: Optional[str] = None) -> Optional[str]:
+    """Resolve the server URL: explicit flag beats the environment."""
+    url = explicit or os.environ.get(SERVE_URL_ENV) or ""
+    url = url.strip().rstrip("/")
+    return url or None
+
+
+class ServeClient:
+    """HTTP client bound to one server base URL."""
+
+    def __init__(self, base_url: str,
+                 timeout_s: float = DEFAULT_TIMEOUT_S) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _request(self, path: str, body: Optional[dict] = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as reply:
+                blob = reply.read()
+        except urllib.error.HTTPError as exc:
+            blob = exc.read()
+            try:
+                detail = json.loads(blob).get("error", "")
+            except ValueError:
+                detail = ""
+            raise ServeUnavailable(
+                f"{url} -> HTTP {exc.code}"
+                + (f": {detail}" if detail else ""))
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            raise ServeUnavailable(f"{url} unreachable: {exc}")
+        try:
+            return json.loads(blob)
+        except ValueError as exc:
+            raise ServeUnavailable(f"{url} returned non-JSON: {exc}")
+
+    # ------------------------------------------------------------------
+    def query(self, query: PlacementQuery) -> QueryResponse:
+        reply = self._request("/query", body=query.to_dict())
+        try:
+            return QueryResponse.from_dict(reply)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ServeUnavailable(f"malformed response: {exc}")
+
+    def health(self) -> dict:
+        return self._request("/healthz")
+
+    def ready(self) -> bool:
+        try:
+            return bool(self._request("/readyz").get("ready", False))
+        except ServeUnavailable:
+            return False

@@ -287,3 +287,98 @@ class TestSessionDiskCache:
         session.run_pair("HS.MM", config)
         session.run_pair("HS.MM", config)  # memory memoization
         assert session.simulations_executed == 1
+
+
+class TestCorruptCacheEntryHelper:
+    def test_bitflip_and_truncate_break_the_entry(self, tmp_path):
+        from repro.harness.faults import corrupt_cache_entry
+
+        for mode in ("bitflip", "truncate"):
+            cache = ResultCache(tmp_path / mode)
+            key = "cc" + "2" * 62
+            cache.put(key, {"ok": True})
+            assert corrupt_cache_entry(cache, key, mode=mode)
+            assert cache.get(key) is None
+            assert cache.corrupt == 1
+
+    def test_missing_entry_is_a_noop(self, tmp_path):
+        from repro.harness.faults import corrupt_cache_entry
+
+        cache = ResultCache(tmp_path)
+        assert not corrupt_cache_entry(cache, "dd" + "3" * 62)
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        from repro.harness.faults import corrupt_cache_entry
+
+        with pytest.raises(ValueError):
+            corrupt_cache_entry(ResultCache(tmp_path), "k", mode="meteor")
+
+
+class TestGc:
+    def seeded_cache(self, tmp_path):
+        from repro.harness.faults import corrupt_cache_entry
+
+        cache = ResultCache(tmp_path)
+        good, bad = "aa" + "0" * 62, "bb" + "1" * 62
+        cache.put(good, {"keep": True})
+        cache.put(bad, {"doomed": True})
+        corrupt_cache_entry(cache, bad, mode="truncate")
+        assert cache.get(bad) is None  # -> quarantine/*.bad
+        return cache, good
+
+    def test_dry_run_reports_without_deleting(self, tmp_path):
+        cache, good = self.seeded_cache(tmp_path)
+        report = cache.gc(dry_run=True)
+        assert report.dry_run
+        assert report.quarantined == 1 and report.kept == 1
+        assert report.removed == 1 and report.bytes_freed > 0
+        assert "would remove" in report.summary()
+        assert cache.quarantined_entries() == 1
+
+    def test_gc_removes_quarantine_and_keeps_healthy(self, tmp_path):
+        cache, good = self.seeded_cache(tmp_path)
+        report = cache.gc()
+        assert report.quarantined == 1 and report.kept == 1
+        assert cache.quarantined_entries() == 0
+        assert cache.get(good) is not None
+
+    def test_gc_removes_corrupt_live_entries(self, tmp_path):
+        from repro.harness.faults import corrupt_cache_entry
+
+        cache = ResultCache(tmp_path)
+        key = "cc" + "2" * 62
+        cache.put(key, {"doomed": True})
+        corrupt_cache_entry(cache, key, mode="bitflip")
+        # Not read back (so not quarantined): gc must catch it live.
+        report = cache.gc()
+        assert report.corrupt == 1 and report.kept == 0
+
+    def test_gc_removes_stale_format_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "dd" + "3" * 62
+        payload = pickle.dumps({"old": True})
+        blob = encode_entry(payload, fmt=CACHE_FORMAT - 1)
+        path = cache.entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(blob)
+        report = cache.gc()
+        assert report.stale_format == 1
+
+    def test_gc_removes_orphans_and_tmp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        good = "aa" + "0" * 62
+        cache.put(good, {"keep": True})
+        misfiled = tmp_path / "zz" / (good + ".pkl")
+        misfiled.parent.mkdir()
+        misfiled.write_bytes(b"misfiled")
+        leftover = tmp_path / "aa" / "whatever.pkl.tmp"
+        leftover.write_bytes(b"torn")
+        report = cache.gc()
+        assert report.orphaned == 2
+        assert report.kept == 1
+        assert not misfiled.exists() and not leftover.exists()
+        assert not misfiled.parent.exists()  # emptied fan-out dir pruned
+
+    def test_gc_on_missing_root_is_empty(self, tmp_path):
+        report = ResultCache(tmp_path / "never").gc()
+        assert report.removed == 0 and report.kept == 0

@@ -150,3 +150,46 @@ class TestFaultSpecs:
     def test_no_faults_is_cheap_noop(self):
         faults.maybe_inject("a", 0)
         faults.note_result()
+
+
+class TestJobOutcome:
+    def test_clean_job_is_ok(self):
+        from repro.harness.supervision import OUTCOME_OK, job_outcome
+
+        stats = SupervisionStats()
+        stats.attempts["a"] = 1
+        assert job_outcome(stats, "a") == OUTCOME_OK
+        # Absent from the ledger (cache hit): also clean.
+        assert job_outcome(stats, "never-ran") == OUTCOME_OK
+
+    def test_retried_and_quarantined_ranked(self):
+        from repro.harness.supervision import (OUTCOME_QUARANTINED,
+                                               OUTCOME_RETRIED, job_outcome)
+
+        stats = SupervisionStats()
+        stats.attempts["r"] = 2
+        stats.attempts["q"] = 3
+        stats.quarantined["q"] = "boom"
+        assert job_outcome(stats, "r") == OUTCOME_RETRIED
+        # Quarantine dominates the retry history.
+        assert job_outcome(stats, "q") == OUTCOME_QUARANTINED
+
+
+class TestStatsToDict:
+    def test_schema_and_json_portability(self):
+        import json
+
+        stats = SupervisionStats(retries=2, requeues=1, timeouts=1,
+                                 pool_respawns=1, degraded_serial=True)
+        stats.quarantined["j"] = "err"
+        stats.failures["job"] = 2
+        stats.attempts["j"] = 3
+        stats.forensics["j"] = "/tmp/b.json"
+        doc = stats.to_dict()
+        assert json.loads(json.dumps(doc)) == doc
+        assert doc["retries"] == 2
+        assert doc["quarantined"] == {"j": "err"}
+        assert doc["degraded_serial"] is True
+        # Mutating the dict must not reach back into the stats.
+        doc["quarantined"]["x"] = "y"
+        assert "x" not in stats.quarantined

@@ -1,0 +1,163 @@
+"""Admission queue (coalesce/shed/drain) and circuit breaker unit tests."""
+
+import pytest
+
+from repro.engine.config import GpuConfig
+from repro.harness.parallel import Job
+from repro.serve.admission import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    AdmissionPolicy,
+    AdmissionQueue,
+    BreakerPolicy,
+    CircuitBreaker,
+)
+
+
+def job(label="j"):
+    return Job(label=label, names=("GUPS",),
+               config=GpuConfig.baseline(num_sms=2), scale=0.02,
+               warps_per_sm=2)
+
+
+class TestAdmissionQueue:
+    def test_fifo_take_and_finish(self):
+        queue = AdmissionQueue(max_depth=4)
+        t1, _ = queue.submit(job("a"), "k1")
+        t2, _ = queue.submit(job("b"), "k2")
+        assert queue.depth() == 2
+        taken = queue.take(timeout=0, limit=2)
+        assert [t.key for t in taken] == ["k1", "k2"]
+        assert queue.depth() == 0 and queue.inflight() == 2
+        queue.finish(t1)
+        queue.finish(t2)
+        assert queue.inflight() == 0
+
+    def test_identical_queries_coalesce(self):
+        queue = AdmissionQueue(max_depth=4)
+        t1, _ = queue.submit(job("a"), "k1")
+        t2, _ = queue.submit(job("a"), "k1")
+        assert t1 is t2
+        assert queue.coalesced == 1
+        assert queue.depth() == 1
+
+    def test_full_queue_sheds_oldest_not_newest(self):
+        queue = AdmissionQueue(max_depth=2)
+        oldest, _ = queue.submit(job("a"), "k1")
+        queue.submit(job("b"), "k2")
+        newest, shed = queue.submit(job("c"), "k3")
+        assert shed is oldest
+        assert oldest.downgraded and oldest.event.is_set()
+        assert "shed" in oldest.detail
+        assert newest is not None and not newest.event.is_set()
+        assert queue.shed == 1
+        assert [k for k, _ in queue.pending_jobs()] == ["k2", "k3"]
+
+    def test_zero_depth_admits_nothing(self):
+        queue = AdmissionQueue(max_depth=0)
+        ticket, shed = queue.submit(job("a"), "k1")
+        assert ticket is None and shed is None
+
+    def test_drain_downgrades_all_pending(self):
+        queue = AdmissionQueue(max_depth=4)
+        t1, _ = queue.submit(job("a"), "k1")
+        t2, _ = queue.submit(job("b"), "k2")
+        drained = queue.drain()
+        assert {t.key for t in drained} == {"k1", "k2"}
+        assert all(t.downgraded and t.event.is_set() for t in (t1, t2))
+        assert queue.depth() == 0
+
+    def test_pending_jobs_includes_unfinished_inflight(self):
+        queue = AdmissionQueue(max_depth=4)
+        queue.submit(job("a"), "k1")
+        (ticket,) = queue.take(timeout=0)
+        assert [k for k, _ in queue.pending_jobs()] == ["k1"]
+        ticket.resolve(object())
+        assert queue.pending_jobs() == []
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_queue_depth=-1)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(default_deadline_s=-1)
+
+
+POLICY = BreakerPolicy(window=4, threshold=0.5, min_samples=2,
+                       probe_after_queries=2)
+
+
+class TestCircuitBreaker:
+    def test_trips_at_threshold_over_window(self):
+        breaker = CircuitBreaker(POLICY)
+        breaker.record_outcome(True)
+        assert breaker.state == BREAKER_CLOSED  # below min_samples
+        breaker.record_outcome(False)
+        assert breaker.state == BREAKER_OPEN    # 1/2 failures >= 0.5
+        assert breaker.trips == 1
+
+    def test_open_denies_simulation(self):
+        breaker = CircuitBreaker(POLICY)
+        breaker.record_outcome(False)
+        breaker.record_outcome(False)
+        allowed, probe = breaker.allow_simulation()
+        assert not allowed and not probe
+
+    def test_half_open_after_query_cadence_single_probe(self):
+        breaker = CircuitBreaker(POLICY)
+        breaker.record_outcome(False)
+        breaker.record_outcome(False)
+        breaker.note_query()
+        assert breaker.state == BREAKER_OPEN
+        breaker.note_query()
+        assert breaker.state == BREAKER_HALF_OPEN
+        allowed, probe = breaker.allow_simulation()
+        assert allowed and probe
+        # Only one probe is admitted while the verdict is pending.
+        allowed2, probe2 = breaker.allow_simulation()
+        assert not allowed2 and not probe2
+
+    def test_probe_success_closes_and_counts_recovery(self):
+        breaker = CircuitBreaker(POLICY)
+        breaker.record_outcome(False)
+        breaker.record_outcome(False)
+        breaker.note_query()
+        breaker.note_query()
+        breaker.allow_simulation()
+        breaker.record_outcome(True, probe=True)
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.recoveries == 1
+        assert breaker.failure_rate() == 0.0  # window reset on recovery
+
+    def test_probe_failure_reopens(self):
+        breaker = CircuitBreaker(POLICY)
+        breaker.record_outcome(False)
+        breaker.record_outcome(False)
+        breaker.note_query()
+        breaker.note_query()
+        breaker.allow_simulation()
+        breaker.record_outcome(False, probe=True)
+        assert breaker.state == BREAKER_OPEN
+        # The cadence restarts: two more queries re-arm the probe.
+        breaker.note_query()
+        breaker.note_query()
+        assert breaker.state == BREAKER_HALF_OPEN
+
+    def test_snapshot_schema(self):
+        breaker = CircuitBreaker(POLICY)
+        breaker.record_outcome(False)
+        snap = breaker.snapshot()
+        assert snap["state"] == BREAKER_CLOSED
+        assert snap["failure_rate"] == 1.0
+        assert snap["window_samples"] == 1
+        assert snap["trips"] == 0 and snap["recoveries"] == 0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BreakerPolicy(window=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(threshold=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(min_samples=9, window=8)
+        with pytest.raises(ValueError):
+            BreakerPolicy(probe_after_queries=0)

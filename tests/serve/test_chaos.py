@@ -1,0 +1,157 @@
+"""Deterministic chaos suite for the serve path.
+
+The acceptance bar from the ISSUE: under injected worker crashes, hangs
+and cache corruption, (1) no admitted query is ever dropped without a
+typed answer, (2) degraded answers are labeled estimates, (3) the
+breaker trips to estimate-only and recovers through a probe query, and
+(4) once the chaos clears, exact-tier answers are *byte-identical* to a
+fault-free server's.
+"""
+
+import json
+
+import pytest
+
+from repro.harness import faults
+from repro.harness.faults import FaultSpec
+from repro.serve.admission import BREAKER_CLOSED, BREAKER_OPEN
+from repro.serve.queries import (
+    STATUS_ESTIMATE,
+    STATUS_EXACT,
+    STATUS_ORDER,
+    STATUS_REJECTED,
+    STATUS_SIMULATED,
+    PlacementQuery,
+)
+
+from .conftest import DEADLINE, make_server
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear_faults()
+    yield
+    faults.clear_faults()
+
+
+def q(names, policy="baseline"):
+    return PlacementQuery(kind="metrics", workloads=tuple(names),
+                          policy=policy, deadline_s=DEADLINE)
+
+
+#: The traffic mix both servers answer.  Distinct configurations, so
+#: every query is its own job (and its own breaker outcome).
+TRAFFIC = [q(("GUPS",)), q(("HS",)), q(("SRAD",)), q(("HS", "MM")),
+           q(("GUPS",), policy="dws"), q(("HS",), policy="dws")]
+
+
+def exact_payloads(server):
+    """Re-ask everything; exact-tier payloads as canonical JSON."""
+    payloads = {}
+    for query in TRAFFIC:
+        response = server.query(query)
+        if response.status == STATUS_EXACT:
+            payloads[query.key()] = json.dumps(response.payload,
+                                               sort_keys=True)
+    return payloads
+
+
+class TestChaosSuite:
+    def test_crash_storm_trips_breaker_then_recovers_byte_identical(
+            self, tmp_path):
+        # ---- Reference: a fault-free server over its own cache. ----
+        reference = make_server(tmp_path / "reference")
+        reference.start()
+        for query in TRAFFIC:
+            response = reference.query(query)
+            assert response.status == STATUS_SIMULATED
+        reference_payloads = exact_payloads(reference)
+        assert len(reference_payloads) == len(TRAFFIC)
+        reference.drain(timeout=2.0)
+
+        # ---- Chaos: every first attempt crashes the (serial) worker.
+        faults.install_faults([FaultSpec(kind=faults.KIND_CRASH,
+                                         label="*", fail_attempts=1)])
+        chaos = make_server(tmp_path / "chaos")
+        chaos.start()
+        responses = []
+        for query in TRAFFIC:
+            response = chaos.query(query)
+            responses.append(response)
+            # Invariant (1): always a typed answer.
+            assert response.status in STATUS_ORDER
+        # Retries saved the first jobs (simulated), but each retried
+        # outcome fed the breaker; it must have tripped to estimate-only.
+        assert chaos.breaker.trips >= 1
+        assert any(r.status in (STATUS_ESTIMATE, STATUS_REJECTED)
+                   for r in responses)
+        # Invariant (2): every degraded answer carries the honesty bit.
+        for response in responses:
+            if response.status not in (STATUS_EXACT, STATUS_SIMULATED):
+                assert response.estimate or not response.payload
+        assert chaos.supervision_stats.retries >= 1
+
+        # ---- Recovery: clear the faults, advance the probe cadence.
+        faults.clear_faults()
+        probe_queries = 0
+        while chaos.breaker.state != BREAKER_CLOSED and probe_queries < 20:
+            chaos.query(TRAFFIC[probe_queries % len(TRAFFIC)])
+            probe_queries += 1
+        assert chaos.breaker.state == BREAKER_CLOSED
+        assert chaos.breaker.recoveries >= 1
+
+        # ---- Invariant (4): post-chaos exact answers are byte-identical
+        # to the fault-free server's.
+        for query in TRAFFIC:
+            chaos.query(query)  # fill any still-missing cache entries
+        chaos_payloads = exact_payloads(chaos)
+        assert chaos_payloads == reference_payloads
+        chaos.drain(timeout=2.0)
+
+    def test_transient_raise_faults_answer_typed(self, tmp_path):
+        faults.install_faults([FaultSpec(kind=faults.KIND_RAISE,
+                                         label="*", fail_attempts=1)])
+        server = make_server(tmp_path / "cache")
+        server.start()
+        response = server.query(q(("GUPS",)))
+        # One retry absorbs the transient; the answer is real.
+        assert response.status == STATUS_SIMULATED
+        assert server.supervision_stats.retries >= 1
+        server.drain(timeout=2.0)
+
+    def test_poison_job_quarantined_answer_typed(self, tmp_path):
+        # fail_attempts beyond the retry budget: the job is quarantined
+        # and the client gets a typed error, not a hang.
+        faults.install_faults([FaultSpec(kind=faults.KIND_RAISE,
+                                         label="*", fail_attempts=99)])
+        server = make_server(tmp_path / "cache")
+        server.start()
+        response = server.query(q(("GUPS",)))
+        assert response.status in STATUS_ORDER
+        assert response.status not in (STATUS_EXACT, STATUS_SIMULATED)
+        assert len(server.supervision_stats.quarantined) == 1
+        # The quarantine shows up on the health surface.
+        from repro.serve.health import health_snapshot
+        assert health_snapshot(server)["supervision"]["quarantined"]
+        server.drain(timeout=2.0)
+
+    def test_cache_corruption_recomputes_identically(self, tmp_path):
+        server = make_server(tmp_path / "cache")
+        server.start()
+        first = server.query(q(("GUPS",)))
+        assert first.status == STATUS_SIMULATED
+        baseline = json.dumps(first.payload, sort_keys=True)
+
+        # Corrupt the stored entry; the next query must detect it
+        # (checksum), quarantine, recompute, and answer identically.
+        from repro.harness.faults import corrupt_cache_entry
+        from repro.harness.result_cache import job_key
+        key = job_key(server._job_for(q(("GUPS",)), "baseline"))
+        assert corrupt_cache_entry(server.cache, key, mode="bitflip")
+        again = server.query(q(("GUPS",)))
+        assert again.status == STATUS_SIMULATED  # recomputed, not served
+        assert json.dumps(again.payload, sort_keys=True) == baseline
+        assert server.cache.corrupt >= 1
+        # And the third ask is exact again.
+        assert server.query(q(("GUPS",))).status == STATUS_EXACT
+        server.drain(timeout=2.0)

@@ -1,0 +1,141 @@
+"""Graceful drain: SIGTERM mid-simulation, manifest flush, restart resume.
+
+The satellite requirement spelled out: a server killed while a
+simulation is in flight must (1) answer every waiting client with a
+typed response, (2) flush the pending job descriptions to the serve
+manifest, and (3) let a fresh process resume and finish that work.
+"""
+
+import signal
+import threading
+import time
+
+from repro.serve.queries import (
+    STATUS_EXACT,
+    STATUS_ORDER,
+    STATUS_REJECTED,
+    STATUS_SIMULATED,
+    PlacementQuery,
+)
+from repro.serve.server import ServeManifest, install_signal_handlers
+
+from .conftest import DEADLINE, make_server
+
+
+def wait_until(predicate, timeout=30.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def query(names=("GUPS",)):
+    return PlacementQuery(kind="metrics", workloads=tuple(names),
+                          deadline_s=DEADLINE)
+
+
+class TestDrainAndResume:
+    def test_sigterm_during_inflight_checkpoints_and_resumes(self, tmp_path):
+        root = tmp_path / "cache"
+        server = make_server(root)
+        # Hold the executor between take() and execute: the job is
+        # deterministically "in flight" when the signal lands.
+        server._test_gate.clear()
+        server.start()
+
+        responses = []
+        asker = threading.Thread(
+            target=lambda: responses.append(server.query(query())))
+        asker.start()
+        assert wait_until(lambda: server.queue.inflight() == 1)
+
+        restore = install_signal_handlers(server)
+        try:
+            signal.raise_signal(signal.SIGTERM)
+        finally:
+            restore()
+        assert server.draining
+
+        # (1) The waiting client got a typed answer, not a hang.  Its
+        # ticket was still gated, so the drain downgraded it.
+        asker.join(timeout=30)
+        assert not asker.is_alive()
+        assert responses and responses[0].status in STATUS_ORDER
+        assert responses[0].status not in (STATUS_EXACT, STATUS_SIMULATED)
+
+        # (2) The manifest holds the in-flight job's full description.
+        manifest = ServeManifest(root / "serve" / "manifest.json")
+        pending = manifest.load()
+        assert len(pending) == 1
+        key, job = pending[0]
+        assert job.names == ("GUPS",)
+        server._test_gate.set()  # release the parked executor thread
+
+        # (3) A fresh process resumes the checkpointed job...
+        resumed = make_server(root)
+        resumed.start()
+        assert resumed.resumed_jobs == 1
+        assert wait_until(lambda: resumed.cache.get(key) is not None)
+        # ...and the re-asked query answers from the exact tier.
+        response = resumed.query(query())
+        assert response.status == STATUS_EXACT
+        # The manifest is empty again: nothing left to resume.
+        assert wait_until(lambda: manifest.load() == [])
+        resumed.drain(timeout=2.0)
+
+    def test_drain_checkpoints_pending_queue_too(self, tmp_path):
+        root = tmp_path / "cache"
+        server = make_server(root)
+        server._test_gate.clear()
+        server.start()
+
+        askers = []
+        for names in (("GUPS",), ("HS",), ("SRAD",)):
+            thread = threading.Thread(target=server.query,
+                                      args=(query(names),))
+            thread.start()
+            askers.append(thread)
+        # One in flight (gated), the rest pending.
+        assert wait_until(lambda: server.queue.inflight() == 1
+                          and server.queue.depth() == 2)
+
+        checkpointed = server.drain(timeout=0.5)
+        assert checkpointed == 3
+        for thread in askers:
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+        server._test_gate.set()
+
+        resumed = make_server(root)
+        resumed.start()
+        assert resumed.resumed_jobs == 3
+        assert wait_until(lambda: resumed.queue.depth() == 0
+                          and resumed.queue.inflight() == 0)
+        for names in (("GUPS",), ("HS",), ("SRAD",)):
+            assert resumed.query(query(names)).status == STATUS_EXACT
+        resumed.drain(timeout=2.0)
+
+    def test_drained_server_rejects_new_queries_typed(self, tmp_path):
+        server = make_server(tmp_path / "cache")
+        server.start()
+        server.drain(timeout=1.0)
+        response = server.query(query())
+        assert response.status == STATUS_REJECTED
+        assert "draining" in response.detail
+
+    def test_stale_manifest_never_wedges_start(self, tmp_path):
+        root = tmp_path / "cache"
+        path = root / "serve" / "manifest.json"
+        path.parent.mkdir(parents=True)
+        path.write_text("{definitely not json")
+        server = make_server(root)
+        server.start()  # must not raise
+        assert server.resumed_jobs == 0
+        # Malformed job entries are skipped, not fatal.
+        ServeManifest(path).save([])
+        path.write_text(
+            '{"format": 1, "pending": {"k": {"label": "x"}}}')
+        assert ServeManifest(path).load() == []
+        server.drain(timeout=1.0)

@@ -1,0 +1,179 @@
+"""ReproServer behaviour: tiers, deadlines, health, HTTP front-end."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeUnavailable
+from repro.serve.health import health_snapshot, ready_snapshot
+from repro.serve.queries import (
+    STATUS_EXACT,
+    STATUS_REJECTED,
+    STATUS_SIMULATED,
+    STATUS_TIMEOUT,
+    PlacementQuery,
+)
+from repro.serve.server import ServeHTTPServer
+
+from .conftest import DEADLINE, make_server
+
+
+def wait_until(predicate, timeout=30.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def metrics_query(names=("GUPS",), **overrides):
+    kwargs = dict(kind="metrics", workloads=tuple(names),
+                  deadline_s=DEADLINE)
+    kwargs.update(overrides)
+    return PlacementQuery(**kwargs)
+
+
+class TestTiers:
+    def test_miss_simulates_then_hits_exact(self, server):
+        first = server.query(metrics_query())
+        assert first.status == STATUS_SIMULATED
+        assert not first.estimate
+        assert first.payload["total_ipc"] > 0
+        second = server.query(metrics_query())
+        assert second.status == STATUS_EXACT
+        # Byte-identical payloads: the exact tier replays the cached
+        # simulation, not a new one.
+        assert json.dumps(second.payload, sort_keys=True) \
+            == json.dumps(first.payload, sort_keys=True)
+        tiers = server.tier_counters()
+        assert tiers[STATUS_SIMULATED] == 1 and tiers[STATUS_EXACT] == 1
+
+    def test_zero_deadline_times_out_then_background_completes(self, server):
+        response = server.query(metrics_query(deadline_s=0.0))
+        assert response.status == STATUS_TIMEOUT
+        assert response.estimate
+        assert "background" in response.detail
+        # The simulation keeps running and lands in the cache.
+        assert wait_until(lambda: server.queue.depth() == 0
+                          and server.queue.inflight() == 0)
+        final = server.query(metrics_query())
+        assert final.status == STATUS_EXACT
+
+    def test_best_policy_ranks_candidates(self, server):
+        response = server.query(PlacementQuery(
+            kind="best_policy", workloads=("GUPS", "SRAD"),
+            candidates=("baseline", "dws"), deadline_s=DEADLINE))
+        assert response.status == STATUS_SIMULATED
+        payload = response.payload
+        assert payload["best_policy"] in ("baseline", "dws")
+        assert set(payload["candidates"]) == {"baseline", "dws"}
+        ipcs = {p: c["metrics"]["total_ipc"]
+                for p, c in payload["candidates"].items()}
+        assert payload["best_policy"] == max(ipcs, key=ipcs.get)
+
+    def test_rejected_before_start_and_while_draining(self, tmp_path):
+        srv = make_server(tmp_path / "c")
+        response = srv.query(metrics_query())
+        assert response.status == STATUS_REJECTED
+        srv.start()
+        srv.drain(timeout=1.0)
+        response = srv.query(metrics_query())
+        assert response.status == STATUS_REJECTED
+        assert "draining" in response.detail
+
+
+class TestHealth:
+    def test_snapshot_schema_and_ok_status(self, server):
+        server.query(metrics_query())
+        doc = health_snapshot(server)
+        assert doc["status"] == "ok"
+        assert doc["ready"] is True
+        assert doc["queries"][STATUS_SIMULATED] == 1
+        assert doc["queue"]["capacity"] == 8
+        assert doc["breaker"]["state"] == "closed"
+        assert doc["cache"]["stores"] >= 1
+        assert doc["estimator_entries"] >= 1
+        assert "retries" in doc["supervision"]
+        json.dumps(doc)  # the whole document must be JSON-portable
+
+    def test_draining_flips_ready(self, server):
+        assert ready_snapshot(server)["ready"] is True
+        server.drain(timeout=1.0)
+        snapshot = ready_snapshot(server)
+        assert snapshot["ready"] is False and snapshot["draining"] is True
+        assert health_snapshot(server)["status"] == "draining"
+
+
+class TestHTTP:
+    @pytest.fixture
+    def http(self, server):
+        httpd = ServeHTTPServer(("127.0.0.1", 0), server)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        yield f"http://127.0.0.1:{httpd.server_address[1]}"
+        httpd.shutdown()
+        httpd.server_close()
+
+    def test_query_roundtrip(self, http):
+        client = ServeClient(http)
+        response = client.query(metrics_query())
+        assert response.status == STATUS_SIMULATED
+        assert client.query(metrics_query()).status == STATUS_EXACT
+
+    def test_health_and_ready_endpoints(self, http):
+        client = ServeClient(http)
+        assert client.ready() is True
+        assert client.health()["status"] == "ok"
+
+    def test_ready_returns_503_when_draining(self, http, server):
+        server.draining = True
+        try:
+            request = urllib.request.Request(f"{http}/readyz")
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request, timeout=10)
+            assert err.value.code == 503
+        finally:
+            server.draining = False
+
+    def test_malformed_query_is_http_400(self, http):
+        client = ServeClient(http)
+        with pytest.raises(ServeUnavailable) as err:
+            client._request("/query", body={"kind": "metrics",
+                                            "workloads": ["NOPE"]})
+        assert "400" in str(err.value)
+
+    def test_unknown_path_is_404(self, http):
+        client = ServeClient(http)
+        with pytest.raises(ServeUnavailable) as err:
+            client._request("/nope")
+        assert "404" in str(err.value)
+
+    def test_client_unreachable_server(self):
+        client = ServeClient("http://127.0.0.1:9", timeout_s=0.5)
+        with pytest.raises(ServeUnavailable):
+            client.query(metrics_query())
+        assert client.ready() is False
+
+
+class TestCoalescing:
+    def test_concurrent_identical_queries_share_one_simulation(self, server):
+        results = []
+
+        def ask():
+            results.append(server.query(metrics_query(("HS",))))
+
+        threads = [threading.Thread(target=ask) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(r.status in (STATUS_SIMULATED, STATUS_EXACT)
+                   for r in results)
+        # At most one simulation ran: everything else coalesced or hit
+        # the cache that simulation populated.
+        assert server.cache.stores == 1

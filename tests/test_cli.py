@@ -126,6 +126,59 @@ class TestCampaignCommand:
         assert "retried attempt(s)" in out
         assert "supervision:" in out
 
+    def test_supervision_report_json_to_stdout(self, capsys):
+        # The literal value 'json' prints the machine-readable report to
+        # stdout — the same schema the file mode writes and the serve
+        # layer's /healthz embeds.
+        faults.install_faults(
+            [faults.FaultSpec(kind="raise", label="*", fail_attempts=1)])
+        assert main(self.SMALL + ["--supervision-report", "json"]) == 0
+        out = capsys.readouterr().out
+        start = out.index("{")
+        parsed = json.loads(out[start:out.rindex("}") + 1])
+        assert parsed["retries"] >= 1
+        assert set(parsed) >= {"retries", "requeues", "quarantined",
+                               "failures", "attempts", "forensics"}
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--cache-dir", "/tmp/c"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8642
+        assert args.workers == 1
+        assert args.max_queue_depth == 8
+        assert args.deadline == 30.0
+
+    def test_cache_dir_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+
+class TestCacheCommand:
+    def test_gc_dry_run_then_real(self, tmp_path, capsys):
+        from repro.harness.faults import corrupt_cache_entry
+        from repro.harness.result_cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        good, bad = "aa" + "0" * 62, "bb" + "1" * 62
+        cache.put(good, {"keep": True})
+        cache.put(bad, {"doomed": True})
+        corrupt_cache_entry(cache, bad, mode="bitflip")
+        assert cache.get(bad) is None  # quarantined on read
+
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                     "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would remove 1" in out
+        assert cache.quarantined_entries() == 1  # dry run touched nothing
+
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1" in out and "kept 1" in out
+        assert cache.quarantined_entries() == 0
+        assert cache.get(good) is not None
+
 
 class TestReportCommand:
     def test_report_to_stdout(self, capsys):
