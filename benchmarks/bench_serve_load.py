@@ -54,11 +54,13 @@ if __name__ == "__main__":  # allow running without an installed package
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.harness import faults
+from repro.harness.resources import PressurePolicy
 from repro.harness.supervision import RetryPolicy, SupervisionPolicy
 from repro.serve.admission import (BREAKER_CLOSED, BREAKER_OPEN,
                                    AdmissionPolicy, BreakerPolicy)
-from repro.serve.queries import (STATUS_EXACT, STATUS_ORDER,
-                                 STATUS_SIMULATED, PlacementQuery)
+from repro.serve.queries import (STATUS_ESTIMATE, STATUS_EXACT,
+                                 STATUS_ORDER, STATUS_SIMULATED,
+                                 PlacementQuery)
 from repro.serve.server import ReproServer
 
 #: (workloads, policy) mix of the sustained traffic.  Singles and pairs
@@ -124,7 +126,10 @@ class Driver:
             supervision=SupervisionPolicy(
                 retry=RetryPolicy(max_attempts=3, base_delay=0.001)),
             workers=1, scale=args.scale, warps_per_sm=args.warps,
-            max_events=args.max_events)
+            max_events=args.max_events,
+            # Unthrottled pressure sampling: clearing the injected
+            # host_pressure fault must be visible on the very next query.
+            pressure=PressurePolicy(min_interval_s=0.0))
         self.server.start()
         self.samples = []       # (status, wall_ms) per query
         self.violations = []
@@ -228,6 +233,37 @@ def drive_chaos(driver, traffic):
             "retries_injected": driver.server.supervision_stats.retries}
 
 
+def drive_pressure(driver, traffic):
+    """Resource-watermark episode: shed to estimate, then recover.
+
+    Mirrors ``tests/serve/test_resources.py``: an injected
+    ``host_pressure`` reading must shed an uncached query to the
+    estimate tier (labeled, breaker untouched), and clearing it must
+    restore the simulated tier on the very next query.
+    """
+    names, policy = traffic[0]
+    uncached = 3072  # a TLB size no other phase addresses
+    faults.install_faults([faults.FaultSpec(
+        kind=faults.KIND_HOST_PRESSURE, available_mb=0.0)])
+    try:
+        shed = driver.ask(metrics_query(names, policy, tlb=uncached))
+    finally:
+        faults.clear_faults()
+    shed_ok = shed.status == STATUS_ESTIMATE
+    if not shed_ok:
+        driver.violations.append(
+            f"pressured query expected estimate tier, got "
+            f"{shed.status}: {shed.detail}")
+    recovered = driver.ask(metrics_query(names, policy, tlb=uncached))
+    recovered_ok = recovered.status == STATUS_SIMULATED
+    if not recovered_ok:
+        driver.violations.append(
+            f"post-pressure query expected simulated tier, got "
+            f"{recovered.status}: {recovered.detail}")
+    return {"enabled": True, "shed_to_estimate": shed_ok,
+            "recovered_simulated": recovered_ok}
+
+
 def run(args):
     traffic = TRAFFIC[:4] if args.smoke else TRAFFIC
     workdir = Path(tempfile.mkdtemp(prefix="bench_serve_"))
@@ -237,8 +273,10 @@ def run(args):
         drive_steady_state(driver, traffic)
 
         chaos = {"enabled": False}
+        pressure = {"enabled": False}
         if args.faults:
             chaos = drive_chaos(driver, traffic)
+            pressure = drive_pressure(driver, traffic)
 
         # Byte-identity: the surviving server's exact answers must match
         # a fault-free reference on a fresh cache, byte for byte.
@@ -267,6 +305,8 @@ def run(args):
             "queue": {"shed": driver.server.queue.shed,
                       "coalesced": driver.server.queue.coalesced},
             "chaos": {**chaos, "byte_identical_exact": byte_identical},
+            "resources": {**driver.server.resources_snapshot(),
+                          "episode": pressure},
             "violations": driver.violations + reference.violations,
         }
         driver.close()
@@ -309,6 +349,11 @@ def main(argv=None):
               f"{doc['chaos']['queries_to_recover']} "
               f"(trips={doc['breaker']['trips']}, "
               f"recoveries={doc['breaker']['recoveries']})")
+    if doc["resources"]["episode"]["enabled"]:
+        episode = doc["resources"]["episode"]
+        print(f"  pressure: shed_to_estimate={episode['shed_to_estimate']} "
+              f"recovered_simulated={episode['recovered_simulated']} "
+              f"(sheds={doc['resources']['sheds']})")
     print(f"  exact answers byte-identical to fault-free reference: "
           f"{doc['chaos']['byte_identical_exact']}")
 

@@ -54,6 +54,24 @@ def check(doc: dict) -> list:
             problems.append(
                 "chaos ran but the estimate tier answered nothing "
                 "(degradation path untested)")
+
+    resources = doc.get("resources", {})
+    for key in ("pressured", "sheds", "watermarks"):
+        if key not in resources:
+            problems.append(f"resources block missing {key!r}")
+    episode = resources.get("episode", {})
+    if episode.get("enabled"):
+        if not episode.get("shed_to_estimate"):
+            problems.append(
+                "pressure episode ran but the watermark never shed "
+                "to the estimate tier")
+        if not episode.get("recovered_simulated"):
+            problems.append(
+                "pressure episode ran but the simulated tier never "
+                "recovered after pressure cleared")
+        if resources.get("sheds", 0) < 1:
+            problems.append(
+                "pressure episode ran but the shed counter stayed zero")
     return problems
 
 

@@ -19,7 +19,8 @@ Commands:
   control, circuit breaker, checkpointed graceful drain (see
   ``repro.serve``).
 * ``cache gc`` — prune quarantined, damaged and orphaned result-cache
-  entries (``--dry-run`` reports without deleting).
+  entries, plus over-quota eviction with ``--max-bytes`` (``--dry-run``
+  reports without deleting, byte totals included).
 
 All commands accept ``--scale`` (workload length multiplier) and
 ``--warps`` (warps per SM) to trade fidelity for run time, plus the
@@ -244,6 +245,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the retry/requeue/quarantine report as "
                         "JSON to PATH; the literal value 'json' (or '-') "
                         "prints it to stdout for scripts and CI")
+    p.add_argument("--max-rss-mb", type=float, default=None,
+                   help="per-job peak-RSS budget in MB; a job whose "
+                        "sampled peak crosses it is quarantined without "
+                        "retry (forensics bundle when --forensics-dir is "
+                        "set; default: no budget)")
+    p.add_argument("--cache-max-bytes", type=int, default=None,
+                   help="byte quota on the result cache; the write path "
+                        "evicts least-recently-accessed entries to fit "
+                        "(default: no quota)")
     _add_shards(p)
     _add_fastpath(p)
     _add_common(p)
@@ -280,17 +290,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-events", type=int, default=None,
                    help="event budget per background simulation "
                         "(default: the serve-tuned bound)")
+    p.add_argument("--cache-max-bytes", type=int, default=None,
+                   help="byte quota on the serve result cache; stores "
+                        "evict least-recently-accessed entries to fit "
+                        "(default: no quota)")
 
     p = sub.add_parser(
         "cache",
         help="result-cache maintenance (currently: gc)")
     p.add_argument("action", choices=("gc",),
-                   help="gc: prune quarantined, damaged and orphaned "
-                        "entries")
+                   help="gc: prune quarantined, damaged, orphaned and "
+                        "(with --max-bytes) over-quota entries")
     p.add_argument("--cache-dir", required=True,
                    help="result cache directory to maintain")
     p.add_argument("--dry-run", action="store_true",
                    help="report what would be removed without deleting")
+    p.add_argument("--max-bytes", type=int, default=None,
+                   help="evict healthy entries least-recently-accessed-"
+                        "first until the cache fits this byte quota "
+                        "(default: no quota rung)")
 
     p = sub.add_parser("report", help="regenerate experiments as Markdown")
     p.add_argument("--experiments", default=None,
@@ -397,7 +415,8 @@ def cmd_campaign(args) -> int:
     from repro.harness.supervision import RetryPolicy, SupervisionPolicy
 
     session = Session(scale=args.scale, warps_per_sm=args.warps,
-                      seed=args.seed, cache_dir=args.cache_dir)
+                      seed=args.seed, cache_dir=args.cache_dir,
+                      cache_max_bytes=args.cache_max_bytes)
     figures = (None if args.figures is None
                else [f.strip() for f in args.figures.split(",") if f.strip()])
     pairs = (None if args.pairs is None
@@ -410,7 +429,8 @@ def cmd_campaign(args) -> int:
             print(plan_campaign(session, figures, pairs).summary())
             return 0
         report = run_campaign(session, figures, pairs, workers=args.workers,
-                              supervision=policy)
+                              supervision=policy,
+                              max_rss_mb=args.max_rss_mb)
     except ValueError as exc:  # unknown figure ids
         print(exc, file=sys.stderr)
         return 2
@@ -489,7 +509,8 @@ def cmd_serve(args) -> int:
         args.cache_dir, admission=admission, workers=args.workers,
         scale=args.scale, warps_per_sm=args.warps,
         max_events=(args.max_events if args.max_events is not None
-                    else DEFAULT_SERVE_MAX_EVENTS))
+                    else DEFAULT_SERVE_MAX_EVENTS),
+        cache_max_bytes=args.cache_max_bytes)
     print(f"repro serve on http://{args.host}:{args.port} "
           f"(cache: {args.cache_dir}, queue depth "
           f"{args.max_queue_depth}, deadline {args.deadline:g}s)")
@@ -501,7 +522,8 @@ def cmd_serve(args) -> int:
 def cmd_cache(args) -> int:
     from repro.harness.result_cache import ResultCache
 
-    report = ResultCache(args.cache_dir).gc(dry_run=args.dry_run)
+    report = ResultCache(args.cache_dir).gc(dry_run=args.dry_run,
+                                            max_bytes=args.max_bytes)
     print(report.summary())
     return 0
 

@@ -43,6 +43,12 @@ from repro.harness.supervision import (
     SupervisionStats,
 )
 from repro.harness.report import generate_report
+from repro.harness.resources import (
+    HostPressureMonitor,
+    PressurePolicy,
+    ResourceBudgetExceeded,
+    RssSampler,
+)
 from repro.harness.result_cache import (
     CACHE_FORMAT,
     ResultCache,
@@ -70,10 +76,14 @@ __all__ = [
     "CampaignReport",
     "ExperimentResult",
     "FaultSpec",
+    "HostPressureMonitor",
     "Job",
     "PlanningSession",
+    "PressurePolicy",
+    "ResourceBudgetExceeded",
     "ResultCache",
     "RetryPolicy",
+    "RssSampler",
     "Session",
     "StandaloneMeasurement",
     "SupervisionPolicy",

@@ -288,6 +288,7 @@ def job_to_dict(job: Job) -> dict:
         "warps_per_sm": job.warps_per_sm,
         "seed": job.seed,
         "max_events": job.max_events,
+        "max_rss_mb": job.max_rss_mb,
     }
 
 
@@ -308,6 +309,9 @@ def job_from_dict(data: dict) -> Job:
         warps_per_sm=int(data["warps_per_sm"]),
         seed=int(data["seed"]),
         max_events=int(data["max_events"]),
+        # Absent in pre-governance manifests; a missing budget means none.
+        max_rss_mb=(None if data.get("max_rss_mb") is None
+                    else float(data["max_rss_mb"])),
     )
 
 
@@ -493,7 +497,8 @@ def run_campaign(session: Session,
                  workers: Optional[int] = None,
                  pool: Optional[WorkerPool] = None,
                  supervision: Optional[SupervisionPolicy] = None,
-                 strict: bool = False) -> CampaignReport:
+                 strict: bool = False,
+                 max_rss_mb: Optional[float] = None) -> CampaignReport:
     """Plan, execute and replay a set of figures through one session.
 
     ``session`` supplies the fidelity settings and (optionally) the disk
@@ -516,6 +521,12 @@ def run_campaign(session: Session,
     :class:`CampaignManifest` as each job lands, and SIGTERM/SIGINT
     flush finished state before unwinding — re-running the same
     campaign afterwards re-executes only the unfinished jobs.
+
+    ``max_rss_mb`` applies a per-job peak-RSS budget (see
+    :mod:`repro.harness.resources`) to every executed job; a breach is
+    a no-retry quarantine with forensics.  The budget is an execution
+    constraint, not a result input — it does not change job identity,
+    so budgeted and unbudgeted campaigns share cache entries.
     """
     start = time.perf_counter()
     if supervision is None:
@@ -545,6 +556,8 @@ def run_campaign(session: Session,
             label=label, names=job.names, config=job.config,
             scale=job.scale, warps_per_sm=job.warps_per_sm, seed=job.seed,
             max_events=job.max_events,
+            max_rss_mb=max_rss_mb if max_rss_mb is not None
+            else job.max_rss_mb,
         )))
     key_by_label = {job.label: key for key, job in unique_jobs}
 

@@ -37,8 +37,18 @@ KIND_HANG = "hang"            # attempt sleeps past any sane deadline
 KIND_RAISE = "raise"          # attempt raises InjectedFault
 KIND_INTERRUPT = "interrupt"  # parent raises KeyboardInterrupt mid-sweep
 KIND_CORRUPT = "corrupt"      # corrupt simulator state mid-run (integrity)
+KIND_RSS_SPIKE = "rss_spike"        # fake peak-RSS reading (resources)
+KIND_DISK_FULL = "disk_full"        # phantom cache bytes (disk quota)
+KIND_HOST_PRESSURE = "host_pressure"  # fake available-memory/load reading
 
-_KINDS = (KIND_CRASH, KIND_HANG, KIND_RAISE, KIND_INTERRUPT, KIND_CORRUPT)
+_KINDS = (KIND_CRASH, KIND_HANG, KIND_RAISE, KIND_INTERRUPT, KIND_CORRUPT,
+          KIND_RSS_SPIKE, KIND_DISK_FULL, KIND_HOST_PRESSURE)
+
+#: Kinds that override a *reading* rather than break an attempt.  They
+#: are persistent while installed (no attempt counting) and consumed by
+#: :mod:`repro.harness.resources` / the ResultCache quota accounting,
+#: never by :func:`maybe_inject`.
+_READING_KINDS = (KIND_RSS_SPIKE, KIND_DISK_FULL, KIND_HOST_PRESSURE)
 
 
 class InjectedFault(RuntimeError):
@@ -66,6 +76,10 @@ class FaultSpec:
     after_results: int = 0      # interrupt: fire once N results landed
     after_events: int = 1000    # corrupt: fire once N sim events fired
     target: str = "busy"        # corrupt: "busy" (occupancy) or "walks"
+    rss_mb: float = 0.0         # rss_spike: injected peak-RSS reading (MB)
+    available_mb: float = 0.0   # host_pressure: injected MemAvailable (MB)
+    load: float = 0.0           # host_pressure: injected load per CPU
+    disk_bytes: int = 0         # disk_full: phantom bytes added to usage
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -126,8 +140,9 @@ def maybe_inject(label: str, attempt: int) -> None:
     process executes it.
     """
     for spec in active_specs():
-        if spec.kind in (KIND_INTERRUPT, KIND_CORRUPT):
-            continue  # fired elsewhere (parent loop / integrity hook)
+        if spec.kind in (KIND_INTERRUPT, KIND_CORRUPT) + _READING_KINDS:
+            continue  # fired elsewhere (parent loop / integrity /
+            # resource readers)
         if not spec.matches(label, attempt):
             continue
         if spec.kind == KIND_RAISE:
@@ -153,6 +168,28 @@ def corruption_specs() -> Tuple[FaultSpec, ...]:
     without ``--audit`` (or a watchdog) therefore has no effect.
     """
     return tuple(s for s in active_specs() if s.kind == KIND_CORRUPT)
+
+
+def resource_reading(kind: str, label: str = "*") -> Optional[FaultSpec]:
+    """The first installed resource-reading fault of ``kind`` matching
+    ``label``, or ``None``.
+
+    Unlike attempt faults, a reading fault is *persistent* while
+    installed — it overrides what the resource probes in
+    :mod:`repro.harness.resources` (and the cache's disk accounting)
+    observe, for as long as the plan is in the environment.  That is
+    what makes resource chaos deterministic: the "spike" is a number
+    the test chose, not whatever the host happens to be doing.
+    """
+    if kind not in _READING_KINDS:
+        raise ValueError(f"{kind!r} is not a resource-reading fault kind")
+    for spec in active_specs():
+        if spec.kind != kind:
+            continue
+        if spec.label not in ("*", label):
+            continue
+        return spec
+    return None
 
 
 #: Results the parent has consumed since install (interrupt trigger).

@@ -56,6 +56,7 @@ from __future__ import annotations
 import heapq
 import os
 import time
+import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -63,10 +64,12 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.config import GpuConfig
-from repro.harness import faults
+from repro.harness import faults, resources
+from repro.harness.resources import ResourceBudgetExceeded, RssSampler
 from repro.harness.result_cache import ResultCache, cost_key, job_key
 from repro.harness.supervision import (
     DOMAIN_JOB,
+    DOMAIN_RESOURCE,
     DOMAIN_TIMEOUT,
     DOMAIN_VALIDATE,
     DOMAIN_WORKER,
@@ -100,17 +103,25 @@ class Job:
     warps_per_sm: int = 4
     seed: int = 0
     max_events: int = DEFAULT_MAX_EVENTS
+    #: Peak-RSS budget in MB; ``None`` disables enforcement.  An
+    #: execution constraint, not a result-determining input — it is
+    #: deliberately excluded from :func:`~repro.harness.result_cache.job_key`
+    #: so budgeted and unbudgeted runs share cache entries.
+    max_rss_mb: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.names:
             raise ValueError("job needs at least one workload name")
         if self.max_events <= 0:
             raise ValueError("max_events must be positive")
+        if self.max_rss_mb is not None and self.max_rss_mb <= 0:
+            raise ValueError("max_rss_mb must be positive")
 
 
 def pair_jobs(pairs: Sequence[str], configs: Dict[str, GpuConfig],
               scale: float = 1.0, warps_per_sm: int = 4,
-              seed: int = 0, max_events: int = DEFAULT_MAX_EVENTS) -> list:
+              seed: int = 0, max_events: int = DEFAULT_MAX_EVENTS,
+              max_rss_mb: Optional[float] = None) -> list:
     """The common grid: every pair under every labeled config."""
     jobs = []
     for pair in pairs:
@@ -119,7 +130,7 @@ def pair_jobs(pairs: Sequence[str], configs: Dict[str, GpuConfig],
             jobs.append(Job(
                 label=f"{pair}/{config_label}", names=names, config=config,
                 scale=scale, warps_per_sm=warps_per_sm, seed=seed,
-                max_events=max_events,
+                max_events=max_events, max_rss_mb=max_rss_mb,
             ))
     return jobs
 
@@ -142,7 +153,10 @@ def _execute(job: Job, validate: bool = False) -> Tuple[str, RunResult]:
                                  warps_per_sm=job.warps_per_sm,
                                  seed=job.seed, max_events=job.max_events,
                                  label=job.label)
-    result = manager.run()
+    if job.max_rss_mb is None:
+        result = manager.run()
+    else:
+        result = _run_with_rss_budget(job, manager)
     if validate:
         report = validate_result(result)
         if not report.ok:
@@ -150,6 +164,48 @@ def _execute(job: Job, validate: bool = False) -> Tuple[str, RunResult]:
             _capture_validation_forensics(job, error, result)
             raise error
     return job.label, result
+
+
+def _run_with_rss_budget(job: Job, manager: MultiTenantManager) -> RunResult:
+    """Run one budgeted job under an :class:`RssSampler`.
+
+    The budget is checked before the simulation starts (a worker already
+    over budget must not take on more work), periodically by the
+    sampler's background thread folding into the post-run check, and
+    after the run completes.  A breach captures forensics in-process —
+    the bundle path rides back on the picklable exception — and raises.
+    """
+    sampler = RssSampler(job.label)
+    result: Optional[RunResult] = None
+    try:
+        with sampler:
+            resources.check_rss_budget(job.label, job.max_rss_mb, sampler)
+            result = manager.run()
+        resources.check_rss_budget(job.label, job.max_rss_mb, sampler)
+    except ResourceBudgetExceeded as exc:
+        _capture_resource_forensics(job, exc, sampler, result)
+        raise
+    return result
+
+
+def _capture_resource_forensics(job: Job, error: ResourceBudgetExceeded,
+                                sampler: RssSampler,
+                                result: Optional[RunResult]) -> None:
+    """Bundle a budget breach when forensics are configured.
+
+    Mirrors :func:`_capture_validation_forensics`: runs in whichever
+    process executed the job, never masks the breach itself.
+    """
+    from repro.integrity import active_config, capture_job_failure
+    config = active_config()
+    if config is None or config.forensics_dir is None:
+        return
+    try:
+        capture_job_failure(job, error, config.forensics_dir,
+                            stats=result.stats if result is not None else None,
+                            integrity=config, resources=sampler.snapshot())
+    except OSError:
+        pass  # forensics must never mask the budget breach
 
 
 def _capture_validation_forensics(job: Job, error: ResultValidationError,
@@ -195,6 +251,23 @@ def _describe(exc: BaseException) -> str:
     if bundle:
         message += f" [bundle: {bundle}]"
     return message
+
+
+#: Failures that are deterministic properties of the job itself — the
+#: same inputs fail the same way on retry, so supervision skips the
+#: retry budget and quarantines immediately.
+_NO_RETRY = (ResultValidationError, ResourceBudgetExceeded)
+
+
+def _failure_domain(exc: BaseException) -> str:
+    """Crash-domain label for one attempt's failure."""
+    if isinstance(exc, ResultValidationError):
+        return DOMAIN_VALIDATE
+    if isinstance(exc, ResourceBudgetExceeded):
+        return DOMAIN_RESOURCE
+    if isinstance(exc, faults.InjectedWorkerCrash):
+        return DOMAIN_WORKER
+    return DOMAIN_JOB
 
 
 def _execute_unmemoized(job: Job) -> Tuple[str, RunResult]:
@@ -272,11 +345,31 @@ class WorkerPool:
         executor, self._executor = self._executor, None
         # ProcessPoolExecutor has no public "terminate the workers" API;
         # reaching into ``_processes`` is the accepted escape hatch.
-        for process in list(getattr(executor, "_processes", {}).values()):
+        processes = list(getattr(executor, "_processes", {}).values())
+        for process in processes:
             try:
                 process.terminate()
             except Exception:
                 pass
+        # Reap what we killed: an unjoined terminated child stays a
+        # zombie until the parent waits on it, and a chaos run respawns
+        # pools repeatedly — leaking one zombie per respawn.  The join is
+        # bounded (terminate can race an uninterruptible state); anything
+        # that survives the shared deadline is logged and abandoned.
+        deadline = time.monotonic() + 5.0
+        stragglers = 0
+        for process in processes:
+            try:
+                process.join(max(0.0, deadline - time.monotonic()))
+                if process.is_alive():
+                    stragglers += 1
+            except Exception:
+                pass
+        if stragglers:
+            warnings.warn(
+                f"WorkerPool.kill: {stragglers} worker process(es) "
+                "survived terminate + bounded join; abandoning them",
+                RuntimeWarning, stacklevel=2)
         try:
             executor.shutdown(wait=False, cancel_futures=True)
         except Exception:
@@ -367,19 +460,16 @@ def _run_supervised_serial(work: Sequence[Tuple[Job, int]],
             except KeyboardInterrupt:
                 raise
             except Exception as exc:
-                fatal = isinstance(exc, ResultValidationError)
-                domain = (DOMAIN_VALIDATE if fatal
-                          else DOMAIN_WORKER
-                          if isinstance(exc, faults.InjectedWorkerCrash)
-                          else DOMAIN_JOB)
-                stats.record_failure(domain)
+                fatal = isinstance(exc, _NO_RETRY)
+                stats.record_failure(_failure_domain(exc))
                 stats.attempts[job.label] = attempt
                 bundle = getattr(exc, "bundle_path", None)
                 if bundle:
                     stats.forensics[job.label] = bundle
-                # Validation failures are deterministic — the same run
-                # fails the same way on retry — so they skip the retry
-                # budget and quarantine immediately.
+                # Validation failures and budget breaches are
+                # deterministic — the same run fails the same way on
+                # retry — so they skip the retry budget and quarantine
+                # immediately.
                 if fatal or attempt >= retry.max_attempts:
                     stats.quarantined[job.label] = _describe(exc)
                     break
@@ -411,8 +501,20 @@ def _drain_supervised(pool: WorkerPool, pending: Sequence[Job],
       innocent in-flight siblings without touching their budgets;
     * more than ``max_pool_respawns`` teardowns degrades the remainder
       to supervised serial execution via :class:`_DegradeToSerial`.
+
+    With ``policy.pressure`` set, a :class:`~repro.harness.resources.
+    HostPressureMonitor` is consulted between dispatch waves: under
+    memory or load pressure the number of in-flight futures is capped
+    below the configured worker count (floored at one), and deferred
+    submissions are retried once the next sample clears.  Shrinking the
+    *submission* rate rather than killing workers keeps every in-flight
+    simulation's determinism intact — pressure changes only when work
+    starts, never what it computes.
     """
     retry = policy.retry
+    monitor = (resources.HostPressureMonitor(policy.pressure)
+               if policy.pressure is not None else None)
+    live_cap = pool.workers
     ready: deque = deque((job, 1) for job in pending)
     backoff: List[Tuple[float, int, Job, int]] = []  # (due, seq, job, att)
     seq = 0
@@ -426,10 +528,11 @@ def _drain_supervised(pool: WorkerPool, pending: Sequence[Job],
         bundle = getattr(exc, "bundle_path", None) if exc is not None else None
         if bundle:
             stats.forensics[job.label] = bundle
-        # A validation failure is deterministic (same inputs, same stats,
-        # same violation on retry); burning the retry budget on it would
-        # just repeat the simulation — quarantine straight away.
-        fatal = isinstance(exc, ResultValidationError)
+        # A validation failure or budget breach is deterministic (same
+        # inputs, same stats, same violation on retry); burning the
+        # retry budget on it would just repeat the simulation —
+        # quarantine straight away.
+        fatal = isinstance(exc, _NO_RETRY)
         if fatal or attempt >= retry.max_attempts:
             stats.quarantined[job.label] = error
             return
@@ -463,8 +566,13 @@ def _drain_supervised(pool: WorkerPool, pending: Sequence[Job],
         while backoff and backoff[0][0] <= now:
             _due, _s, job, attempt = heapq.heappop(backoff)
             ready.append((job, attempt))
+        if monitor is not None and ready:
+            allowed = monitor.allowed_workers(pool.workers)
+            if allowed < live_cap:
+                stats.pressure_shrinks += 1
+            live_cap = allowed
         try:
-            while ready:
+            while ready and (monitor is None or len(inflight) < live_cap):
                 job, attempt = ready[0]
                 deadline = (now + policy.job_deadline
                             if policy.job_deadline else None)
@@ -483,6 +591,11 @@ def _drain_supervised(pool: WorkerPool, pending: Sequence[Job],
             continue
 
         timeouts = [policy.watchdog_interval] if policy.job_deadline else []
+        if monitor is not None and ready:
+            # Submissions deferred by the pressure cap must re-check the
+            # host even if nothing in flight completes meanwhile.
+            timeouts.append(max(monitor.policy.min_interval_s,
+                                policy.watchdog_interval))
         if backoff:
             timeouts.append(backoff[0][0] - now)
         wait_timeout = max(0.0, min(timeouts)) if timeouts else None
@@ -498,10 +611,8 @@ def _drain_supervised(pool: WorkerPool, pending: Sequence[Job],
                 pool_broken = str(exc) or "worker process died"
                 fail(job, attempt, DOMAIN_WORKER, pool_broken)
             except Exception as exc:
-                domain = (DOMAIN_VALIDATE
-                          if isinstance(exc, ResultValidationError)
-                          else DOMAIN_JOB)
-                fail(job, attempt, domain, _describe(exc), exc=exc)
+                fail(job, attempt, _failure_domain(exc), _describe(exc),
+                     exc=exc)
             else:
                 _finish(stats, job, attempt, result, on_result)
         if pool_broken is not None:

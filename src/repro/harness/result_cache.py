@@ -55,6 +55,33 @@ scheduler sorts pending jobs longest-expected-first with it; on a cold
 cache it degrades to a footprint heuristic (see
 :mod:`repro.harness.parallel`).  Cost data is advisory: losing or
 corrupting it only costs scheduling quality, never correctness.
+
+Disk governance
+---------------
+
+A cache that only ever grows eventually fills the disk — the second
+host-level failure mode resource governance exists for.  Passing
+``max_bytes`` puts the cache under a byte quota enforced two ways:
+
+* **Evict-before-store** — :meth:`ResultCache.put` measures the encoded
+  entry and evicts least-recently-*accessed* entries until it fits,
+  then stores.  A simulation's result is never dropped because the
+  cache is full (one entry may exceed the quota alone — the floor is
+  "the result that was just paid for always lands").
+* **gc quota rung** — :meth:`ResultCache.gc` accepts ``max_bytes`` and,
+  after the integrity sweep, evicts healthy entries in the same LRU
+  order until the survivors fit.  ``dry_run`` walks the identical
+  ordering without unlinking, so its byte totals match what a real
+  sweep would reclaim.
+
+Recency comes from ``usage.json``, an atomic accounting sidecar mapping
+key -> (monotonic access sequence, entry bytes), touched on every hit
+and store.  Like the cost model it is advisory: losing it degrades
+eviction order (unknown entries evict first, oldest-key tiebreak keeps
+the order deterministic), never correctness — an evicted entry is just
+a future cache miss that recomputes.  An installed ``disk_full`` fault
+(:mod:`repro.harness.faults`) adds phantom bytes to the measured usage,
+which is how tests force eviction without writing gigabytes.
 """
 
 from __future__ import annotations
@@ -66,8 +93,9 @@ import os
 import pickle
 import struct
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.harness import faults
 from repro.harness.fsutil import atomic_write_bytes, atomic_write_json
 
 #: Bump to orphan every existing cache entry (simulator behaviour change).
@@ -139,17 +167,29 @@ class ResultCache:
     """Pickle-per-entry result store addressed by :func:`job_key`."""
 
     COSTS_FILE = "costs.json"
+    USAGE_FILE = "usage.json"
     QUARANTINE_DIR = "quarantine"
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
         self.root = Path(root)
+        #: Byte quota enforced by evict-before-store; ``None`` = no quota.
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.stores = 0
         #: entries that failed integrity checks and were quarantined
         self.corrupt = 0
+        #: entries removed by quota eviction (put path + gc quota rung)
+        self.evictions = 0
+        self.bytes_evicted = 0
         self._costs: Optional[Dict[str, float]] = None  # lazy-loaded
         self._costs_dirty = False
+        # usage.json accounting: key -> [access_seq, entry_bytes]
+        self._usage: Optional[Dict[str, List[int]]] = None  # lazy-loaded
+        self._usage_seq = 0
+        self._usage_dirty = False
 
     def _path(self, key: str) -> Path:
         # Two-level fan-out keeps directories small on big sweeps.
@@ -211,17 +251,155 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        self._touch(key)  # refresh recency for LRU eviction
         return result
 
     def put(self, key: str, result: object) -> None:
-        """Store ``result`` under ``key`` (best-effort, atomic)."""
+        """Store ``result`` under ``key`` (best-effort, atomic).
+
+        Under a quota the write path *evicts before storing*: least-
+        recently-accessed entries are removed until the new entry fits,
+        so a full cache degrades by forgetting cold results instead of
+        failing the write (or the sweep).
+        """
         try:
             payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
-            atomic_write_bytes(self._path(key), encode_entry(payload))
+            blob = encode_entry(payload)
+            if self.max_bytes is not None:
+                self._make_room(len(blob), protect=key)
+            atomic_write_bytes(self._path(key), blob)
         except (OSError, pickle.PicklingError):
             # A read-only or full disk must not fail the sweep.
             return
         self.stores += 1
+        self._touch(key, nbytes=len(blob))
+        self.flush_usage()
+
+    # ------------------------------------------------------------------
+    # Byte quota / LRU-by-access accounting
+    # ------------------------------------------------------------------
+    def _load_usage(self) -> Dict[str, List[int]]:
+        if self._usage is None:
+            try:
+                with open(self.root / self.USAGE_FILE) as fh:
+                    raw = json.load(fh)
+                entries = raw.get("entries", {})
+                self._usage = {str(k): [int(v[0]), int(v[1])]
+                               for k, v in entries.items()}
+                self._usage_seq = int(raw.get("seq", 0))
+            except (OSError, ValueError, TypeError, KeyError, IndexError):
+                # Advisory data: a lost sidecar only degrades eviction
+                # order (unknown entries evict first), never correctness.
+                self._usage = {}
+                self._usage_seq = 0
+        return self._usage
+
+    def _touch(self, key: str, nbytes: Optional[int] = None) -> None:
+        """Record an access to ``key`` (and its size, when known)."""
+        usage = self._load_usage()
+        self._usage_seq += 1
+        entry = usage.get(key)
+        if entry is None:
+            usage[key] = [self._usage_seq, nbytes or 0]
+        else:
+            entry[0] = self._usage_seq
+            if nbytes is not None:
+                entry[1] = nbytes
+        self._usage_dirty = True
+
+    def flush_usage(self) -> None:
+        """Persist the access-recency sidecar (best-effort, atomic)."""
+        if not self._usage_dirty or self._usage is None:
+            return
+        try:
+            atomic_write_json(
+                self.root / self.USAGE_FILE,
+                {"seq": self._usage_seq, "entries": self._usage},
+                sort_keys=True)
+        except OSError:
+            return  # advisory data; a full disk must not fail the sweep
+        self._usage_dirty = False
+
+    def _live_entries(self) -> List[Tuple[str, Path, int]]:
+        """``(key, path, bytes)`` for every well-filed live entry.
+
+        Misfiled and quarantined files are the gc sweep's problem, not
+        the quota's — governance only ever evicts healthy-looking
+        entries from the live namespace.
+        """
+        out: List[Tuple[str, Path, int]] = []
+        if not self.root.exists():
+            return out
+        for path in self.root.glob("*/*.pkl"):
+            if path.parent.name == self.QUARANTINE_DIR:
+                continue
+            key = path.stem
+            if path.parent.name != key[:2]:
+                continue
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            out.append((key, path, size))
+        return out
+
+    def _phantom_bytes(self) -> int:
+        """Injected ``disk_full`` fault bytes counted as usage."""
+        spec = faults.resource_reading(faults.KIND_DISK_FULL)
+        return int(spec.disk_bytes) if spec is not None else 0
+
+    def total_bytes(self) -> int:
+        """Live entry bytes on disk plus any injected phantom usage."""
+        return (sum(size for _key, _path, size in self._live_entries())
+                + self._phantom_bytes())
+
+    def _eviction_order(
+            self, entries: List[Tuple[str, Path, int]],
+    ) -> List[Tuple[str, Path, int]]:
+        """Least-recently-accessed first.
+
+        Entries the sidecar has never seen sort before everything it
+        has (sequence 0 = "older than anything recorded"); the key
+        tiebreak makes the order — and therefore every eviction test —
+        deterministic.
+        """
+        usage = self._load_usage()
+        return sorted(entries,
+                      key=lambda e: (usage.get(e[0], (0, 0))[0], e[0]))
+
+    def _evict_entry(self, key: str, path: Path, size: int) -> bool:
+        try:
+            path.unlink()
+        except OSError:
+            return False
+        self.evictions += 1
+        self.bytes_evicted += size
+        self._load_usage().pop(key, None)
+        self._usage_dirty = True
+        return True
+
+    def _make_room(self, incoming: int, protect: str) -> None:
+        """Evict until ``incoming`` more bytes fit under the quota.
+
+        ``protect`` (the key about to be stored) is excluded from both
+        the usage sum and the eviction candidates — an overwrite
+        replaces its old copy.  When ``incoming`` alone exceeds the
+        quota this evicts everything else and stores anyway: the result
+        that was just paid for always lands.
+        """
+        entries = [e for e in self._live_entries() if e[0] != protect]
+        usage = (sum(size for _k, _p, size in entries)
+                 + self._phantom_bytes())
+        budget = max(0, self.max_bytes - incoming)
+        evicted = False
+        for key, path, size in self._eviction_order(entries):
+            if usage <= budget:
+                break
+            if self._evict_entry(key, path, size):
+                usage -= size
+                evicted = True
+        if evicted:
+            self.flush_usage()
 
     # ------------------------------------------------------------------
     # Wall-time cost model
@@ -254,7 +432,14 @@ class ResultCache:
         self._costs_dirty = True
 
     def flush_costs(self) -> None:
-        """Persist the cost model (best-effort, atomic)."""
+        """Persist the accounting sidecars (best-effort, atomic).
+
+        Flushes both the cost model and the access-recency sidecar —
+        callers already invoke this at every natural checkpoint (end of
+        a sweep, serve drain), which is exactly when hit-touches need
+        persisting too.
+        """
+        self.flush_usage()
         if not self._costs_dirty or self._costs is None:
             return
         try:
@@ -295,13 +480,16 @@ class ResultCache:
     def stats(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
                 "stores": self.stores, "corrupt": self.corrupt,
-                "entries": len(self)}
+                "entries": len(self), "bytes": self.total_bytes(),
+                "max_bytes": self.max_bytes, "evictions": self.evictions,
+                "bytes_evicted": self.bytes_evicted}
 
     # ------------------------------------------------------------------
     # Garbage collection
     # ------------------------------------------------------------------
-    def gc(self, dry_run: bool = False) -> "GcReport":
-        """Prune quarantined, damaged and orphaned entries.
+    def gc(self, dry_run: bool = False,
+           max_bytes: Optional[int] = None) -> "GcReport":
+        """Prune quarantined, damaged, orphaned and over-quota entries.
 
         Quarantine-and-recompute keeps a long-running host correct but
         grows the cache directory without bound: every corrupt entry
@@ -317,10 +505,16 @@ class ResultCache:
         * live entries in a stale ``CACHE_FORMAT`` (orphaned by a bump),
         * orphans: ``*.pkl`` files misfiled outside their fan-out
           directory and abandoned ``*.tmp`` files,
+        * with a byte quota (``max_bytes`` here, or the cache's own):
+          healthy entries evicted least-recently-accessed-first until
+          the survivors fit — the quota rung, running strictly after
+          the integrity rungs so reclaimed garbage counts toward the
+          quota before any healthy entry is sacrificed,
         * fan-out directories left empty by the above.
 
         ``dry_run=True`` reports what *would* be removed and touches
-        nothing.  Healthy current-format entries are never candidates.
+        nothing; it walks the identical deterministic eviction order,
+        so its byte totals always match what a real sweep reclaims.
         """
         report = GcReport(dry_run=dry_run)
         if not self.root.exists():
@@ -338,12 +532,15 @@ class ResultCache:
                 except OSError:
                     return  # disappeared underneath us; not removed by gc
             setattr(report, counter, getattr(report, counter) + 1)
+            setattr(report, counter + "_bytes",
+                    getattr(report, counter + "_bytes") + size)
             report.bytes_freed += size
 
         qdir = self.root / self.QUARANTINE_DIR
         for path in sorted(qdir.glob("*.bad")) if qdir.exists() else []:
             remove(path, "quarantined")
 
+        healthy: List[Tuple[str, Path, int]] = []
         for path in sorted(self.root.glob("*/*.pkl")):
             if path.parent.name == self.QUARANTINE_DIR:
                 continue
@@ -362,11 +559,36 @@ class ResultCache:
                 remove(path, "stale_format" if stale else "corrupt")
                 continue
             report.kept += 1
+            report.kept_bytes += len(blob)
+            healthy.append((key, path, len(blob)))
 
         for path in sorted(self.root.glob("*/*.tmp")):
             remove(path, "orphaned")
 
+        effective = self.max_bytes if max_bytes is None else max_bytes
+        if effective is not None:
+            usage = report.kept_bytes + self._phantom_bytes()
+            for key, path, size in self._eviction_order(healthy):
+                if usage <= effective:
+                    break
+                if not dry_run and not self._evict_entry(key, path, size):
+                    continue
+                report.evicted += 1
+                report.evicted_bytes += size
+                usage -= size
+                report.bytes_freed += size
+                report.kept -= 1
+                report.kept_bytes -= size
+
         if not dry_run:
+            # Sidecar hygiene: drop accounting for anything no longer
+            # live (evicted here, removed here, or deleted externally).
+            live = {key for key, _path, _size in self._live_entries()}
+            usage_map = self._load_usage()
+            for key in [k for k in usage_map if k not in live]:
+                del usage_map[key]
+                self._usage_dirty = True
+            self.flush_usage()
             for child in sorted(self.root.iterdir()):
                 if child.is_dir():
                     try:
@@ -378,26 +600,52 @@ class ResultCache:
 
 @dataclasses.dataclass
 class GcReport:
-    """What one :meth:`ResultCache.gc` sweep found (and maybe removed)."""
+    """What one :meth:`ResultCache.gc` sweep found (and maybe removed).
+
+    Every removal category carries both an entry count and a byte
+    total, so an operator (and the quota eviction path that reuses this
+    report) can see *where* the space went, not just that it went.
+    """
 
     dry_run: bool = False
     kept: int = 0
+    kept_bytes: int = 0
     quarantined: int = 0      # quarantine/*.bad post-mortem files
+    quarantined_bytes: int = 0
     corrupt: int = 0          # live entries failing envelope checks
+    corrupt_bytes: int = 0
     stale_format: int = 0     # live entries from an older CACHE_FORMAT
+    stale_format_bytes: int = 0
     orphaned: int = 0         # misfiled *.pkl and abandoned *.tmp files
+    orphaned_bytes: int = 0
+    evicted: int = 0          # healthy entries removed by the byte quota
+    evicted_bytes: int = 0
     bytes_freed: int = 0
 
     @property
     def removed(self) -> int:
         return (self.quarantined + self.corrupt + self.stale_format
-                + self.orphaned)
+                + self.orphaned + self.evicted)
+
+    @property
+    def bytes_scanned(self) -> int:
+        """Total bytes the sweep looked at (survivors + reclaimed)."""
+        return self.kept_bytes + self.bytes_freed
 
     def summary(self) -> str:
         verb = "would remove" if self.dry_run else "removed"
+        parts = [f"{self.quarantined} quarantined "
+                 f"[{self.quarantined_bytes} B]",
+                 f"{self.corrupt} corrupt [{self.corrupt_bytes} B]",
+                 f"{self.stale_format} stale-format "
+                 f"[{self.stale_format_bytes} B]",
+                 f"{self.orphaned} orphaned [{self.orphaned_bytes} B]"]
+        if self.evicted:
+            parts.append(f"{self.evicted} evicted over quota "
+                         f"[{self.evicted_bytes} B]")
         return (f"cache gc: {verb} {self.removed} file(s) "
-                f"({self.quarantined} quarantined, {self.corrupt} corrupt, "
-                f"{self.stale_format} stale-format, "
-                f"{self.orphaned} orphaned), "
-                f"{self.bytes_freed} bytes; kept {self.kept} "
-                f"healthy entr{'y' if self.kept == 1 else 'ies'}")
+                f"({', '.join(parts)}), "
+                f"{self.bytes_freed} bytes; scanned {self.bytes_scanned} "
+                f"bytes; kept {self.kept} healthy "
+                f"entr{'y' if self.kept == 1 else 'ies'} "
+                f"({self.kept_bytes} bytes)")

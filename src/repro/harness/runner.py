@@ -44,13 +44,17 @@ class Session:
         seed: int = 0,
         max_events: int = 200_000_000,
         cache_dir: Optional[str] = None,
+        cache_max_bytes: Optional[int] = None,
     ) -> None:
         self.scale = scale
         self.warps_per_sm = warps_per_sm
         self.seed = seed
         self.max_events = max_events
-        #: on-disk result cache; None keeps the session memory-only
-        self.disk_cache = ResultCache(cache_dir) if cache_dir else None
+        #: on-disk result cache; None keeps the session memory-only.
+        #: ``cache_max_bytes`` puts it under a byte quota with
+        #: LRU-by-access evict-before-store (see result_cache.py).
+        self.disk_cache = (ResultCache(cache_dir, max_bytes=cache_max_bytes)
+                           if cache_dir else None)
         #: simulations actually executed (disk/memory cache hits excluded)
         self.simulations_executed = 0
         self._run_cache: Dict[Tuple, RunResult] = {}

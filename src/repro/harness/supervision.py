@@ -34,12 +34,15 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.harness.resources import PressurePolicy
+
 #: Crash-domain labels used by :class:`SupervisionStats.failures`.
 DOMAIN_JOB = "job"          # the job body raised an ordinary exception
 DOMAIN_WORKER = "worker"    # a worker process died (BrokenProcessPool)
 DOMAIN_TIMEOUT = "timeout"  # an attempt exceeded its wall-clock deadline
 DOMAIN_CACHE = "cache"      # a cache entry failed integrity checks
 DOMAIN_VALIDATE = "validate"  # a completed result failed validation
+DOMAIN_RESOURCE = "resource"  # a job breached its resource budget
 
 
 class JobQuarantinedError(RuntimeError):
@@ -109,6 +112,10 @@ class SupervisionPolicy:
     max_pool_respawns: int = 3
     #: Seconds between watchdog sweeps while futures are in flight.
     watchdog_interval: float = 0.05
+    #: Host-pressure watermarks for adaptive worker shrinking between
+    #: dispatch waves.  ``None`` disables pressure monitoring entirely
+    #: (the dispatcher then never probes /proc between waves).
+    pressure: Optional[PressurePolicy] = None
 
     def __post_init__(self) -> None:
         if self.job_deadline is not None and self.job_deadline <= 0:
@@ -145,6 +152,8 @@ class SupervisionStats:
     attempts: Dict[str, int] = field(default_factory=dict)
     #: Forensics bundles captured for failed jobs: label -> bundle path.
     forensics: Dict[str, str] = field(default_factory=dict)
+    #: Dispatch waves where host pressure shrank the live worker count.
+    pressure_shrinks: int = 0
 
     def record_failure(self, domain: str) -> None:
         self.failures[domain] = self.failures.get(domain, 0) + 1
@@ -170,6 +179,8 @@ class SupervisionStats:
             parts.append(f"pool respawns {self.pool_respawns}")
         if self.degraded_serial:
             parts.append("degraded to serial")
+        if self.pressure_shrinks:
+            parts.append(f"pressure shrinks {self.pressure_shrinks}")
         if self.forensics:
             parts.append(f"forensics bundles {len(self.forensics)}")
         if self.failures:
@@ -194,6 +205,7 @@ class SupervisionStats:
             "failures": dict(self.failures),
             "attempts": dict(self.attempts),
             "forensics": dict(self.forensics),
+            "pressure_shrinks": self.pressure_shrinks,
         }
 
 

@@ -101,8 +101,14 @@ def write_bundle(
     events_fired: Optional[int] = None,
     trace_records: Optional[List[Dict[str, Any]]] = None,
     label: Optional[str] = None,
+    resources: Optional[Dict[str, Any]] = None,
 ) -> Path:
-    """Capture one failure as an atomic, self-describing JSON bundle."""
+    """Capture one failure as an atomic, self-describing JSON bundle.
+
+    ``resources`` is the worker's resource view at death (peak RSS,
+    lifetime high-water mark, sample count) — supplied for budget
+    breaches, omitted elsewhere.
+    """
     path = _bundle_path(directory, label or ".".join(names))
     payload: Dict[str, Any] = {
         "format": BUNDLE_FORMAT,
@@ -122,6 +128,7 @@ def write_bundle(
                         if os.environ.get(key)},
         "sim": {"now": sim_now, "events_fired": events_fired},
         "stats": stats or {},
+        "resources": resources or {},
         "recent_events": trace_records or [],
         "command": _replay_command(path),
     }
@@ -223,9 +230,11 @@ def replay_bundle(bundle: Union[str, Path, Dict[str, Any]],
 def capture_job_failure(job, error: BaseException,
                         forensics_dir: Union[str, Path],
                         stats: Optional[Dict[str, float]] = None,
-                        integrity: Optional[IntegrityConfig] = None) -> Path:
-    """Bundle a harness-level failure (e.g. result validation) of a
-    :class:`~repro.harness.parallel.Job` — no live simulator needed."""
+                        integrity: Optional[IntegrityConfig] = None,
+                        resources: Optional[Dict[str, Any]] = None) -> Path:
+    """Bundle a harness-level failure (e.g. result validation or a
+    resource-budget breach) of a :class:`~repro.harness.parallel.Job` —
+    no live simulator needed."""
     path = write_bundle(
         forensics_dir,
         error=error,
@@ -238,6 +247,7 @@ def capture_job_failure(job, error: BaseException,
         integrity=integrity,
         stats=stats,
         label=job.label,
+        resources=resources,
     )
     error.bundle_path = str(path)
     return path

@@ -19,18 +19,26 @@ from typing import Dict
 
 #: Overall service statuses.
 STATUS_OK = "ok"
-STATUS_DEGRADED = "degraded"    # breaker not closed, or serial fallback
+STATUS_DEGRADED = "degraded"    # breaker open, serial fallback, pressure
 STATUS_DRAINING = "draining"
 
 
 def health_snapshot(server) -> Dict:
-    """The ``/healthz`` document for a :class:`~repro.serve.server.ReproServer`."""
+    """The ``/healthz`` document for a :class:`~repro.serve.server.ReproServer`.
+
+    The ``resources`` block is the host resource watermark (available
+    memory, per-CPU load, pressure booleans, shed counter) — a pressured
+    host reports ``degraded``: it still answers, but from the estimate
+    tier (see DESIGN.md §16).
+    """
     breaker = server.breaker.snapshot()
     supervision = server.supervision_stats.to_dict()
+    resources = server.resources_snapshot()
     if server.draining:
         status = STATUS_DRAINING
     elif (breaker["state"] != "closed"
-          or server.supervision_stats.degraded_serial):
+          or server.supervision_stats.degraded_serial
+          or resources["pressured"]):
         status = STATUS_DEGRADED
     else:
         status = STATUS_OK
@@ -46,6 +54,7 @@ def health_snapshot(server) -> Dict:
             "coalesced": server.queue.coalesced,
         },
         "breaker": breaker,
+        "resources": resources,
         "cache": server.cache_snapshot(),
         "estimator_entries": len(server.index),
         "supervision": supervision,

@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.harness.campaign import job_from_dict, job_to_dict
 from repro.harness.fsutil import atomic_write_json
 from repro.harness.parallel import Job, run_jobs
+from repro.harness.resources import HostPressureMonitor, PressurePolicy
 from repro.harness.result_cache import ResultCache, job_key
 from repro.harness.supervision import (OUTCOME_OK, SupervisionPolicy,
                                        SupervisionStats, job_outcome)
@@ -118,10 +119,17 @@ class ReproServer:
                  workers: int = 1,
                  scale: float = 1.0,
                  warps_per_sm: int = 4,
-                 max_events: int = DEFAULT_SERVE_MAX_EVENTS) -> None:
-        self.cache = ResultCache(cache_root)
+                 max_events: int = DEFAULT_SERVE_MAX_EVENTS,
+                 cache_max_bytes: Optional[int] = None,
+                 pressure: Optional[PressurePolicy] = None) -> None:
+        self.cache = ResultCache(cache_root, max_bytes=cache_max_bytes)
         self.admission = admission or AdmissionPolicy()
         self.breaker = CircuitBreaker(breaker_policy)
+        #: Host resource watermark: when the monitor reports pressure,
+        #: new (mix, policy) components that miss the cache are shed to
+        #: the estimate tier instead of admitting more simulations.
+        self.pressure = HostPressureMonitor(pressure or PressurePolicy())
+        self.pressure_sheds = 0
         self.supervision = supervision or SupervisionPolicy()
         self.supervision_stats = SupervisionStats()
         self.queue = AdmissionQueue(self.admission.max_queue_depth)
@@ -216,6 +224,13 @@ class ReproServer:
         snapshot["quarantined_on_disk"] = self.cache.quarantined_entries()
         return snapshot
 
+    def resources_snapshot(self) -> Dict:
+        """The ``/healthz`` resource-watermark block."""
+        snapshot = self.pressure.snapshot()
+        with self._lock:
+            snapshot["sheds"] = self.pressure_sheds
+        return snapshot
+
     # ------------------------------------------------------------------
     # Query path
     # ------------------------------------------------------------------
@@ -302,6 +317,20 @@ class ReproServer:
                               query.l2_tlb_entries, query.walker_count,
                               payload)
             return STATUS_EXACT, payload, ""
+
+        # Resource watermark: a pressured host must not take on more
+        # simulation work.  Checked before the breaker so shed queries
+        # do not consume half-open probes — pressure is a host
+        # condition, not a backend-health signal.
+        if self.pressure.sample().pressured:
+            with self._lock:
+                self.pressure_sheds += 1
+            estimate = self._estimate(query, policy)
+            if estimate is not None:
+                return (STATUS_ESTIMATE, estimate,
+                        "host pressure watermark: shed to estimate tier")
+            return (STATUS_REJECTED, None,
+                    "host pressure watermark and no estimate basis yet")
 
         allowed, probe = self.breaker.allow_simulation()
         if not allowed:

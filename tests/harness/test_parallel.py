@@ -195,3 +195,37 @@ class TestWorkerPool:
         pool = WorkerPool(2)
         pool.shutdown()
         pool.shutdown()
+
+    def test_kill_reaps_terminated_workers(self):
+        pool = WorkerPool(2)
+        try:
+            # Workers spawn lazily on first submit: run a job to get a
+            # live pool before killing it.
+            run_jobs([tiny_job("a"), tiny_job("b", pair="FFT.HS")],
+                     workers=2, pool=pool)
+            processes = list(pool.executor._processes.values())
+        except (OSError, PermissionError):
+            pytest.skip("process creation not permitted in this environment")
+        assert processes
+        pool.kill()
+        # No zombies left behind: every terminated worker was joined
+        # (exitcode set means the parent reaped it).
+        for process in processes:
+            assert not process.is_alive()
+            assert process.exitcode is not None
+
+    def test_kill_then_reuse_respawns_fresh_pool(self):
+        pool = WorkerPool(2)
+        try:
+            jobs = [tiny_job("a")]
+            first = run_jobs(jobs, workers=2, pool=pool)
+            pool.kill()
+            second = run_jobs(jobs, workers=2, pool=pool)
+        except (OSError, PermissionError):
+            pytest.skip("process creation not permitted in this environment")
+        finally:
+            pool.shutdown()
+        assert first["a"].total_cycles == second["a"].total_cycles
+
+    def test_kill_without_executor_is_a_noop(self):
+        WorkerPool(2).kill()  # never spun up: nothing to terminate

@@ -6,7 +6,7 @@ import pytest
 
 import repro.harness.parallel as parallel_module
 from repro.engine.config import GpuConfig
-from repro.harness import Session
+from repro.harness import Session, faults
 from repro.harness.parallel import Job, run_jobs
 from repro.harness.result_cache import (
     CACHE_FORMAT,
@@ -60,8 +60,12 @@ class TestResultCacheStorage:
         assert cache.get("ab" + "0" * 62) is None
         cache.put("ab" + "0" * 62, {"x": 1})
         assert cache.get("ab" + "0" * 62) == {"x": 1}
-        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1,
-                                 "corrupt": 0, "entries": 1}
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["stores"] == 1 and stats["corrupt"] == 0
+        assert stats["entries"] == 1 and stats["evictions"] == 0
+        assert stats["max_bytes"] is None
+        assert stats["bytes"] == cache._path("ab" + "0" * 62).stat().st_size
 
     def test_corrupted_entry_is_dropped(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -382,3 +386,147 @@ class TestGc:
     def test_gc_on_missing_root_is_empty(self, tmp_path):
         report = ResultCache(tmp_path / "never").gc()
         assert report.removed == 0 and report.kept == 0
+
+    def test_summary_reports_bytes_per_category(self, tmp_path):
+        cache, _good = self.seeded_cache(tmp_path)
+        report = cache.gc(dry_run=True)
+        summary = report.summary()
+        assert report.quarantined_bytes > 0
+        assert f"[{report.quarantined_bytes} B]" in summary
+        assert f"scanned {report.bytes_scanned} bytes" in summary
+        assert report.bytes_scanned == report.kept_bytes + report.bytes_freed
+
+
+class TestDiskGovernance:
+    """Byte quota: evict-before-store, the gc quota rung, and the
+    deterministic LRU-by-access order both share."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_faults(self):
+        faults.clear_faults()
+        yield
+        faults.clear_faults()
+
+    KEYS = ["aa" + "0" * 62, "bb" + "1" * 62,
+            "cc" + "2" * 62, "dd" + "3" * 62]
+
+    def seeded(self, tmp_path, n=3):
+        """``n`` same-sized entries; returns (ungoverned cache, entry size)."""
+        cache = ResultCache(tmp_path)
+        for key in self.KEYS[:n]:
+            cache.put(key, {"v": "x" * 64})
+        size = cache.entry_path(self.KEYS[0]).stat().st_size
+        assert all(cache.entry_path(k).stat().st_size == size
+                   for k in self.KEYS[:n])
+        return cache, size
+
+    def test_constructor_rejects_negative_quota(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_bytes=-1)
+
+    def test_evict_before_store_drops_least_recently_accessed(self, tmp_path):
+        _, size = self.seeded(tmp_path, n=2)
+        cache = ResultCache(tmp_path, max_bytes=2 * size)
+        assert cache.get(self.KEYS[0]) is not None  # refresh aa's recency
+        cache.put(self.KEYS[2], {"v": "x" * 64})
+        # bb (least recently accessed) was evicted to make room; the
+        # refreshed aa and the new cc remain.
+        assert not cache.entry_path(self.KEYS[1]).exists()
+        assert cache.get(self.KEYS[0]) is not None
+        assert cache.get(self.KEYS[2]) is not None
+        assert cache.evictions == 1
+        assert cache.bytes_evicted == size
+
+    def test_overwrite_never_evicts_its_own_key(self, tmp_path):
+        _, size = self.seeded(tmp_path, n=1)
+        cache = ResultCache(tmp_path, max_bytes=size)
+        cache.put(self.KEYS[0], {"v": "x" * 64})
+        assert cache.evictions == 0
+        assert cache.get(self.KEYS[0]) is not None
+
+    def test_entry_larger_than_quota_still_stores(self, tmp_path):
+        _, size = self.seeded(tmp_path, n=2)
+        cache = ResultCache(tmp_path, max_bytes=size // 2)
+        cache.put(self.KEYS[2], {"v": "y" * 4096})
+        # Everything else was sacrificed, but the freshly paid-for
+        # result landed anyway — the quota floor.
+        assert cache.get(self.KEYS[2]) is not None
+        assert not cache.entry_path(self.KEYS[0]).exists()
+        assert not cache.entry_path(self.KEYS[1]).exists()
+        assert cache.evictions == 2
+
+    def test_gc_quota_rung_evicts_lru_after_integrity(self, tmp_path):
+        cache, size = self.seeded(tmp_path, n=3)
+        assert cache.get(self.KEYS[0]) is not None  # aa newest by access
+        report = cache.gc(max_bytes=2 * size)
+        assert report.evicted == 1
+        assert report.evicted_bytes == size
+        assert report.kept == 2
+        # bb was the least recently accessed (aa was refreshed).
+        assert not cache.entry_path(self.KEYS[1]).exists()
+        assert cache.get(self.KEYS[0]) is not None
+        assert cache.get(self.KEYS[2]) is not None
+
+    def test_gc_dry_run_totals_match_actual_reclaim(self, tmp_path):
+        cache, size = self.seeded(tmp_path, n=3)
+        quota = 2 * size
+        dry = cache.gc(dry_run=True, max_bytes=quota)
+        assert dry.evicted == 1 and len(cache) == 3  # nothing deleted
+        real = cache.gc(max_bytes=quota)
+        assert (dry.evicted, dry.evicted_bytes, dry.bytes_freed) \
+            == (real.evicted, real.evicted_bytes, real.bytes_freed)
+        assert len(cache) == 2
+
+    def test_disk_full_phantom_bytes_force_eviction(self, tmp_path):
+        _, size = self.seeded(tmp_path, n=1)
+        faults.install_faults([faults.FaultSpec(kind=faults.KIND_DISK_FULL,
+                                                disk_bytes=10 ** 9)])
+        cache = ResultCache(tmp_path, max_bytes=10 ** 6)
+        assert cache.total_bytes() >= 10 ** 9
+        cache.put(self.KEYS[1], {"v": "x" * 64})
+        # Phantom usage dwarfs the quota: aa is evicted, yet the new
+        # store still lands (the floor again).
+        assert not cache.entry_path(self.KEYS[0]).exists()
+        assert cache.get(self.KEYS[1]) is not None
+        assert cache.evictions == 1
+
+    def test_lost_usage_sidecar_degrades_to_key_order(self, tmp_path):
+        cache, size = self.seeded(tmp_path, n=3)
+        (tmp_path / ResultCache.USAGE_FILE).write_text("not json{")
+        governed = ResultCache(tmp_path, max_bytes=2 * size)
+        report = governed.gc(max_bytes=2 * size)
+        # Unknown entries evict first with the key tiebreak: aa goes.
+        assert report.evicted == 1
+        assert not governed.entry_path(self.KEYS[0]).exists()
+
+    def test_usage_survives_across_instances(self, tmp_path):
+        cache, size = self.seeded(tmp_path, n=3)
+        assert cache.get(self.KEYS[0]) is not None
+        cache.flush_usage()
+        fresh = ResultCache(tmp_path, max_bytes=2 * size)
+        fresh.gc(max_bytes=2 * size)
+        # The recency recorded by the first instance drove eviction in
+        # the second: refreshed aa survived, oldest-access bb did not.
+        assert fresh.entry_path(self.KEYS[0]).exists()
+        assert not fresh.entry_path(self.KEYS[1]).exists()
+
+    def test_gc_drops_stale_usage_accounting(self, tmp_path):
+        import json as json_module
+
+        cache, _size = self.seeded(tmp_path, n=2)
+        cache.entry_path(self.KEYS[1]).unlink()  # deleted externally
+        cache.gc()
+        raw = json_module.loads(
+            (tmp_path / ResultCache.USAGE_FILE).read_text())
+        assert self.KEYS[0] in raw["entries"]
+        assert self.KEYS[1] not in raw["entries"]
+
+    def test_stats_surface_governance_counters(self, tmp_path):
+        _, size = self.seeded(tmp_path, n=2)
+        cache = ResultCache(tmp_path, max_bytes=2 * size)
+        cache.put(self.KEYS[2], {"v": "x" * 64})
+        stats = cache.stats()
+        assert stats["max_bytes"] == 2 * size
+        assert stats["evictions"] == 1
+        assert stats["bytes_evicted"] == size
+        assert stats["bytes"] <= 2 * size

@@ -1,0 +1,246 @@
+"""Serve-layer resource governance: pressure shedding, recovery, and
+resume over an evicted cache entry.
+
+The resource watermark extends the degradation ladder: a pressured host
+answers from the estimate tier (typed, labeled) instead of admitting
+more simulations, recovers to the exact/simulated tiers byte-identically
+once pressure clears, and reports the whole episode in ``/healthz``.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.harness import faults
+from repro.harness.parallel import run_jobs
+from repro.harness.resources import PressurePolicy
+from repro.harness.result_cache import ResultCache
+from repro.serve.health import STATUS_DEGRADED, STATUS_OK, health_snapshot
+from repro.serve.queries import (
+    STATUS_ESTIMATE,
+    STATUS_EXACT,
+    STATUS_REJECTED,
+    STATUS_SIMULATED,
+    PlacementQuery,
+)
+from repro.serve.server import ServeManifest
+
+from .conftest import DEADLINE, make_server
+
+#: Pressure sampling unthrottled so clearing a fault is visible at once.
+LIVE_PRESSURE = PressurePolicy(min_interval_s=0.0)
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear_faults()
+    yield
+    faults.clear_faults()
+
+
+def wait_until(predicate, timeout=30.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def query(names=("GUPS",), policy="baseline"):
+    return PlacementQuery(kind="metrics", workloads=tuple(names),
+                          policy=policy, deadline_s=DEADLINE)
+
+
+def press(available_mb=0.0, load=0.0):
+    faults.install_faults([faults.FaultSpec(
+        kind=faults.KIND_HOST_PRESSURE,
+        available_mb=available_mb, load=load)])
+
+
+class TestPressureShedding:
+    def test_pressured_host_sheds_to_estimate_tier(self, tmp_path):
+        server = make_server(tmp_path / "cache", pressure=LIVE_PRESSURE)
+        server.start()
+        try:
+            warm = server.query(query(("GUPS",)))
+            assert warm.status == STATUS_SIMULATED  # estimate basis now exists
+
+            press()
+            shed = server.query(query(("HS",)))
+            assert shed.status == STATUS_ESTIMATE
+            assert shed.estimate
+            assert "host pressure" in shed.detail
+            assert server.resources_snapshot()["sheds"] >= 1
+            # Pressure is a host condition, not backend health: the
+            # breaker never saw the shed.
+            assert server.breaker.snapshot()["state"] == "closed"
+        finally:
+            server.drain(timeout=2.0)
+
+    def test_pressured_host_without_basis_rejects_typed(self, tmp_path):
+        server = make_server(tmp_path / "cache", pressure=LIVE_PRESSURE)
+        server.start()
+        try:
+            press()
+            response = server.query(query(("GUPS",)))
+            assert response.status == STATUS_REJECTED
+            assert "no estimate basis" in response.detail
+        finally:
+            server.drain(timeout=2.0)
+
+    def test_exact_tier_still_answers_under_pressure(self, tmp_path):
+        # The watermark gates *new simulation work*; cached results are
+        # free to serve and must not degrade.
+        server = make_server(tmp_path / "cache", pressure=LIVE_PRESSURE)
+        server.start()
+        try:
+            assert server.query(query()).status == STATUS_SIMULATED
+            press()
+            response = server.query(query())
+            assert response.status == STATUS_EXACT
+            assert not response.estimate
+        finally:
+            server.drain(timeout=2.0)
+
+    def test_recovery_is_byte_identical_to_unpressured_run(self, tmp_path):
+        # Reference: a server that never saw pressure.
+        reference = make_server(tmp_path / "ref", pressure=LIVE_PRESSURE)
+        reference.start()
+        try:
+            reference.query(query(("GUPS",)))
+            expected = reference.query(query(("HS",)))
+            assert expected.status == STATUS_SIMULATED
+        finally:
+            reference.drain(timeout=2.0)
+
+        server = make_server(tmp_path / "cache", pressure=LIVE_PRESSURE)
+        server.start()
+        try:
+            server.query(query(("GUPS",)))
+            press()
+            shed = server.query(query(("HS",)))
+            assert shed.status == STATUS_ESTIMATE
+
+            faults.clear_faults()
+            recovered = server.query(query(("HS",)))
+            assert recovered.status == STATUS_SIMULATED
+            assert (json.dumps(recovered.payload, sort_keys=True)
+                    == json.dumps(expected.payload, sort_keys=True))
+        finally:
+            server.drain(timeout=2.0)
+
+
+class TestHealthzResources:
+    def test_resources_block_and_degraded_status(self, tmp_path):
+        server = make_server(tmp_path / "cache", pressure=LIVE_PRESSURE)
+        server.start()
+        try:
+            server.query(query())  # warm: one simulated result
+            press(available_mb=12.0, load=64.0)
+            server.query(query(("HS",)))  # bump the shed counter
+
+            snap = health_snapshot(server)
+            assert snap["status"] == STATUS_DEGRADED
+            resources = snap["resources"]
+            assert resources["pressured"] is True
+            assert resources["memory_pressured"] is True
+            assert resources["load_pressured"] is True
+            assert resources["available_mb"] == 12.0
+            assert resources["sheds"] >= 1
+            assert set(resources["watermarks"]) == {"min_available_mb",
+                                                    "max_load_per_cpu"}
+
+            faults.clear_faults()
+            snap = health_snapshot(server)
+            assert snap["status"] == STATUS_OK
+            assert snap["resources"]["pressured"] is False
+        finally:
+            server.drain(timeout=2.0)
+
+    def test_healthz_is_json_serializable(self, tmp_path):
+        server = make_server(tmp_path / "cache", pressure=LIVE_PRESSURE)
+        server.start()
+        try:
+            press()
+            json.dumps(health_snapshot(server), sort_keys=True)
+        finally:
+            server.drain(timeout=2.0)
+
+
+class TestEvictedManifestResume:
+    def test_resume_reenqueues_job_whose_entry_was_evicted(self, tmp_path):
+        """Satellite scenario: drain checkpoints a pending job, its cache
+        entry is evicted before restart — resume must re-enqueue it as a
+        background simulation, not crash or serve a stale exact answer."""
+        root = tmp_path / "cache"
+        server = make_server(root)
+        server._test_gate.clear()  # hold the job "in flight"
+        server.start()
+
+        responses = []
+        asker = threading.Thread(
+            target=lambda: responses.append(server.query(query())))
+        asker.start()
+        assert wait_until(lambda: server.queue.inflight() == 1)
+        checkpointed = server.drain(timeout=0.5)
+        assert checkpointed == 1
+        asker.join(timeout=30)
+        assert not asker.is_alive()
+        server._test_gate.set()
+
+        pending = ServeManifest(root / "serve" / "manifest.json").load()
+        assert len(pending) == 1
+        key, job = pending[0]
+
+        # Out of band: complete the job into the cache, then evict it
+        # through the governed path (quota of zero evicts everything).
+        cache = ResultCache(root)
+        run_jobs([job], workers=1, cache=cache)
+        assert cache.entry_path(key).exists()
+        report = cache.gc(max_bytes=0)
+        assert report.evicted >= 1
+        assert not cache.entry_path(key).exists()
+
+        # Restart: the manifest references an evicted entry, so start()
+        # must re-enqueue the simulation rather than trust the manifest.
+        resumed = make_server(root)
+        resumed.start()
+        try:
+            assert resumed.resumed_jobs == 1
+            assert wait_until(lambda: resumed.cache.get(key) is not None)
+            response = resumed.query(query())
+            assert response.status == STATUS_EXACT
+            assert not response.estimate
+            assert wait_until(lambda: ServeManifest(
+                root / "serve" / "manifest.json").load() == [])
+        finally:
+            resumed.drain(timeout=2.0)
+
+    def test_resume_skips_jobs_still_cached(self, tmp_path):
+        # Control for the scenario above: when the entry survived, the
+        # restart must *not* burn a simulation on it.
+        root = tmp_path / "cache"
+        server = make_server(root)
+        server._test_gate.clear()
+        server.start()
+        asker = threading.Thread(target=lambda: server.query(query()))
+        asker.start()
+        assert wait_until(lambda: server.queue.inflight() == 1)
+        server.drain(timeout=0.5)
+        asker.join(timeout=30)
+        server._test_gate.set()
+
+        pending = ServeManifest(root / "serve" / "manifest.json").load()
+        (key, job), = pending
+        run_jobs([job], workers=1, cache=ResultCache(root))
+
+        resumed = make_server(root)
+        resumed.start()
+        try:
+            assert resumed.resumed_jobs == 0
+            assert resumed.query(query()).status == STATUS_EXACT
+        finally:
+            resumed.drain(timeout=2.0)

@@ -126,6 +126,39 @@ class TestCampaignCommand:
         assert "retried attempt(s)" in out
         assert "supervision:" in out
 
+    def test_governance_flags_parse(self):
+        args = build_parser().parse_args(
+            self.SMALL + ["--max-rss-mb", "512",
+                          "--cache-max-bytes", "1048576"])
+        assert args.max_rss_mb == 512.0
+        assert args.cache_max_bytes == 1048576
+
+    def test_rss_budget_breach_exits_one_with_quarantine(self, tmp_path,
+                                                         capsys):
+        faults.install_faults(
+            [faults.FaultSpec(kind=faults.KIND_RSS_SPIKE, rss_mb=99999.0)])
+        target = tmp_path / "governance.json"
+        rc = main(self.SMALL + ["--max-rss-mb", "512",
+                                "--forensics-dir", str(tmp_path / "bundles"),
+                                "--supervision-report", str(target)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "quarantined" in err
+        assert "Traceback" not in err
+        parsed = json.loads(target.read_text())
+        assert parsed["failures"].get("resource", 0) >= 1
+        assert parsed["retries"] == 0  # deterministic failure: no retry
+        assert parsed["quarantined"]
+        for message in parsed["quarantined"].values():
+            assert "ResourceBudgetExceeded" in message
+        # Satellite: forensics bundle paths ride along in the report.
+        assert parsed["forensics"]
+        for bundle in parsed["forensics"].values():
+            assert bundle.endswith(".json")
+
+    def test_generous_rss_budget_is_invisible(self, capsys):
+        assert main(self.SMALL + ["--max-rss-mb", "1000000"]) == 0
+
     def test_supervision_report_json_to_stdout(self, capsys):
         # The literal value 'json' prints the machine-readable report to
         # stdout — the same schema the file mode writes and the serve
@@ -154,6 +187,12 @@ class TestServeCommand:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve"])
 
+    def test_cache_quota_flag_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "--cache-dir", "/tmp/c",
+             "--cache-max-bytes", "2097152"])
+        assert args.cache_max_bytes == 2097152
+
 
 class TestCacheCommand:
     def test_gc_dry_run_then_real(self, tmp_path, capsys):
@@ -178,6 +217,33 @@ class TestCacheCommand:
         assert "removed 1" in out and "kept 1" in out
         assert cache.quarantined_entries() == 0
         assert cache.get(good) is not None
+
+    def test_gc_quota_dry_run_matches_real_reclaim(self, tmp_path, capsys):
+        from repro.harness.result_cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        keys = ["aa" + "0" * 62, "bb" + "1" * 62, "cc" + "2" * 62]
+        for key in keys:
+            cache.put(key, {"v": "x" * 64})
+        size = cache.entry_path(keys[0]).stat().st_size
+        quota = 2 * size
+
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                     "--max-bytes", str(quota), "--dry-run"]) == 0
+        dry_out = capsys.readouterr().out
+        assert "would remove" in dry_out
+        assert "evicted over quota" in dry_out
+        assert f"[{size} B]" in dry_out
+        assert len(cache) == 3  # dry run touched nothing
+
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                     "--max-bytes", str(quota)]) == 0
+        real_out = capsys.readouterr().out
+        # Acceptance criterion: the dry run's byte totals match what the
+        # real sweep actually reclaimed.
+        assert f"1 evicted over quota [{size} B]" in dry_out
+        assert f"1 evicted over quota [{size} B]" in real_out
+        assert len(cache) == 2
 
 
 class TestReportCommand:
