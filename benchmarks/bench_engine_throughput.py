@@ -63,6 +63,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import statistics
 import sys
 import time
@@ -90,8 +91,19 @@ from repro.workloads.suite import BENCHMARKS, benchmark
 #: This is the regime the latency-folding fast path is built for; the
 #: standard suite footprints are deliberately cache-exceeding and fold
 #: rarely (see the per-pair ``fastpath`` records).
-_HSR_SPEC = dataclasses.replace(BENCHMARKS["HS"], name="HSR",
-                                footprint_bytes=4096)
+#:
+#: Shrinking ``footprint_bytes`` alone is not enough: the stencil
+#: pattern keeps at least three rows, so HS's 8 KiB ``row_bytes`` would
+#: leave a 24 KiB working set spilling out of the 16 KiB L1 — every
+#: spill is a boundary crossing for the sharded engine.  1 KiB rows
+#: (3 KiB working set) and a zeroed tail make the pair genuinely
+#: resident: shard windows then span thousands of cycles between
+#: boundary intents, which is the regime the multi-process backend's
+#: wall-clock speedup claim is measured in.
+_HSR_SPEC = dataclasses.replace(
+    BENCHMARKS["HS"], name="HSR", footprint_bytes=4096,
+    pattern_args={"base_pattern": "stencil", "row_bytes": 1024,
+                  "tail_bytes": 64 * 1024 * 1024, "tail_probability": 0.0})
 
 #: (json key, pair, warps override, scale multiplier) — the contention
 #: sweep.  ``None`` warps means the CLI value.  ``light_resident`` pins
@@ -256,6 +268,29 @@ def measure_pair(pcfg, repeats):
 #: bench default, so x8 is one SM per shard.
 SHARD_COUNTS = (1, 2, 4, 8)
 
+#: Execution backends measured alongside the default inline conductor.
+#: ``threads`` prices the GIL-bound pool (expected near 1.0x wall);
+#: ``processes`` is the real multi-core backend whose measured
+#: ``wall_speedup`` the perf gate holds to an absolute floor on
+#: eligible (>= 4 core, unloaded) hosts.
+SHARD_BACKENDS = ("threads", "processes")
+
+
+def host_info() -> dict:
+    """CPU count and pre-bench load: the wall-speedup eligibility record.
+
+    ``check_perf_gate.py`` only enforces the measured ``wall_speedup``
+    floor when the recording host had enough cores to express the
+    parallelism and was not already loaded; a 1-core or busy host
+    records honest sub-1.0 curves that the gate declines to judge.
+    """
+    cpu_count = os.cpu_count()
+    try:
+        load_1m = os.getloadavg()[0]
+    except OSError:  # pragma: no cover - non-unix
+        load_1m = None
+    return {"cpu_count": cpu_count, "load_avg_1m": load_1m}
+
 
 def _observable(result) -> tuple:
     """Everything the sharded engine is forbidden to change."""
@@ -263,34 +298,49 @@ def _observable(result) -> tuple:
             {t: dataclasses.asdict(s) for t, s in result.tenants.items()})
 
 
-def measure_shard_curve(pcfg, repeats, shard_counts=SHARD_COUNTS):
+def measure_shard_curve(pcfg, repeats, shard_counts=SHARD_COUNTS,
+                        backends=SHARD_BACKENDS):
     """Sharded-engine speedup curve vs the serial oracle (DESIGN.md §13).
 
-    Every shard count's warm-up run is asserted byte-identical to the
-    serial oracle (stats snapshot, cycle count, per-tenant tables)
-    before anything is timed — the benchmark doubles as a differential
-    check at full workload scale.  Two speedups are recorded per shard
-    count, both medians of paired interleaved rounds so host speed
-    divides out:
+    Every shard count's warm-up run — on every backend — is asserted
+    byte-identical to the serial oracle (stats snapshot, cycle count,
+    per-tenant tables) before anything is timed: the benchmark doubles
+    as a differential check at full workload scale.  Speedups are
+    medians of paired interleaved rounds so host speed divides out:
 
-    * ``wall_speedup`` — honest single-machine wall ratio.  On a
-      GIL-bound interpreter with the inline backend this prices the
-      window/barrier machinery, not parallelism, and sits near or
-      below 1.0.
+    * ``wall_speedup`` — honest single-machine wall ratio of the inline
+      conductor.  This prices the window/barrier machinery, not
+      parallelism, and sits near or below 1.0.
     * ``modeled_speedup`` — serial wall over the modeled multi-core
       wall: the measured run wall with the shard-advance time replaced
       by the per-window critical path (the longest single shard's
       slice), i.e. the wall a machine with one core per shard would
-      see.  This is the metric ``check_perf_gate.py`` gates.
+      see.  Gated relative to baseline by ``check_perf_gate.py``.
+    * ``backends.<name>.wall_speedup`` — the *measured* wall ratio on
+      the named execution backend (``threads``: GIL-bound pool;
+      ``processes``: forked shard workers).  These are real numbers,
+      recorded honestly even when they land below 1.0 — miss-dominated
+      pairs serialise at the boundary, and any pair on a host with
+      fewer cores than shards contends for the CPU it has.  The perf
+      gate holds ``processes`` at 4 shards to an absolute floor when
+      (and only when) the recording host was parallel-capable.
     """
     pair, scale, sms, warps = pcfg
+    from repro.engine.parallel_sim import BACKEND_ENV
 
-    def run_k(k):
-        manager = build_manager(pair, scale, sms, warps, EventQueue,
-                                shards=k)
-        start = time.perf_counter()
-        result = manager.run()
-        elapsed = time.perf_counter() - start
+    def run_k(k, backend=None):
+        if backend is not None:
+            os.environ[BACKEND_ENV] = backend
+        try:
+            manager = build_manager(pair, scale, sms, warps, EventQueue,
+                                    shards=k)
+            start = time.perf_counter()
+            result = manager.run()
+            elapsed = time.perf_counter() - start
+        finally:
+            if backend is not None:
+                os.environ.pop(BACKEND_ENV, None)
+        manager.sim.close()
         return result, manager, elapsed
 
     serial_result, _, _ = run_k(1)  # warm-up; also the oracle
@@ -314,7 +364,15 @@ def measure_shard_curve(pcfg, repeats, shard_counts=SHARD_COUNTS):
             "intents_flushed": pstats["intents_flushed"],
             "walls": [],
             "modeled": [],
+            "backends": {},
         }
+        for backend in backends:
+            result, _, _ = run_k(k, backend)  # warm-up + identity check
+            if _observable(result) != oracle:
+                raise SystemExit(
+                    f"{pair}: shards={k} on {backend} diverged from the "
+                    "serial oracle — byte-identity broken")
+            curve[str(k)]["backends"][backend] = {"walls": []}
 
     serial_walls = []
     for _ in range(repeats):
@@ -325,6 +383,9 @@ def measure_shard_curve(pcfg, repeats, shard_counts=SHARD_COUNTS):
             rec["walls"].append(elapsed)
             rec["modeled"].append(
                 manager.sim.parallel_stats()["modeled_wall_ns"] / 1e9)
+            for backend, brec in rec["backends"].items():
+                _, _, belapsed = run_k(int(k_key), backend)
+                brec["walls"].append(belapsed)
 
     for rec in curve.values():
         rec["wall_seconds"] = statistics.median(rec["walls"])
@@ -332,6 +393,10 @@ def measure_shard_curve(pcfg, repeats, shard_counts=SHARD_COUNTS):
             s / w for s, w in zip(serial_walls, rec["walls"]))
         rec["modeled_speedup"] = statistics.median(
             s / m for s, m in zip(serial_walls, rec["modeled"]))
+        for brec in rec["backends"].values():
+            brec["wall_seconds"] = statistics.median(brec["walls"])
+            brec["wall_speedup"] = statistics.median(
+                s / w for s, w in zip(serial_walls, brec["walls"]))
     curve["1"] = {
         "wall_seconds": statistics.median(serial_walls),
         "wall_speedup": 1.0,
@@ -426,6 +491,7 @@ def main(argv=None) -> int:
     if unknown:
         raise SystemExit(f"unknown pair keys: {sorted(unknown)}")
 
+    host = host_info()  # sampled before the sweep: pre-bench load
     pairs = {}
     heavy_pcfg = None
     for entry in PAIR_SWEEP:
@@ -449,6 +515,12 @@ def main(argv=None) -> int:
             f" ({record['shards'][k]['wall_speedup']:.2f} wall,"
             f" {record['shards'][k]['window_fraction']:.0%} windowed)"
             for k in sorted(record["shards"], key=int) if k != "1"))
+        for backend in SHARD_BACKENDS:
+            print(f"  {backend:>9}: " + "  ".join(
+                f"x{k}: "
+                f"{record['shards'][k]['backends'][backend]['wall_speedup']:.2f}"
+                " wall"
+                for k in sorted(record["shards"], key=int) if k != "1"))
 
     payload = {
         "benchmark": "engine_throughput",
@@ -459,6 +531,8 @@ def main(argv=None) -> int:
         "smoke": args.smoke,
         "pairs": pairs,
         "shard_counts": list(SHARD_COUNTS),
+        "shard_backends": list(SHARD_BACKENDS),
+        "host": host,
         "python": sys.version.split()[0],
     }
     if "heavy" in pairs:

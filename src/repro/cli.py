@@ -72,6 +72,14 @@ def _add_shards(parser: argparse.ArgumentParser) -> None:
                              "shards (published as REPRO_SHARDS; default: "
                              "inherit the environment, else 1 = serial "
                              "kernel; results are byte-identical at any K)")
+    parser.add_argument("--shard-backend", default=None,
+                        choices=("inline", "threads", "processes"),
+                        help="execution backend for the sharded engine "
+                             "(published as REPRO_SHARD_BACKEND): inline "
+                             "= one thread, threads = thread pool, "
+                             "processes = persistent forked workers with "
+                             "real wall-clock parallelism; results are "
+                             "byte-identical across backends")
 
 
 def _add_fastpath(parser: argparse.ArgumentParser) -> None:
@@ -139,21 +147,24 @@ def _install_integrity(args) -> Optional[str]:
     return previous
 
 
-def _install_shards(args) -> Optional[str]:
-    """Publish ``--shards`` as ``REPRO_SHARDS``, when given.
+def _install_shards(args):
+    """Publish ``--shards`` / ``--shard-backend`` into the environment.
 
-    Returns the previous value so :func:`main` can restore it — campaign
-    worker processes inherit the variable, but the CLI must not leak it
-    into a calling process's later runs (tests drive ``main()``
-    in-process, same contract as :func:`_install_integrity`).
+    Returns the previous ``(REPRO_SHARDS, REPRO_SHARD_BACKEND)`` values
+    so :func:`main` can restore them — campaign worker processes inherit
+    the variables, but the CLI must not leak them into a calling
+    process's later runs (tests drive ``main()`` in-process, same
+    contract as :func:`_install_integrity`).
     """
     import os
 
-    from repro.engine.parallel_sim import SHARDS_ENV
+    from repro.engine.parallel_sim import BACKEND_ENV, SHARDS_ENV
 
-    previous = os.environ.get(SHARDS_ENV)
+    previous = (os.environ.get(SHARDS_ENV), os.environ.get(BACKEND_ENV))
     if getattr(args, "shards", None) is not None:
         os.environ[SHARDS_ENV] = str(args.shards)
+    if getattr(args, "shard_backend", None) is not None:
+        os.environ[BACKEND_ENV] = args.shard_backend
     return previous
 
 
@@ -594,11 +605,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             else:
                 os.environ[INTEGRITY_ENV] = previous
         if hasattr(args, "shards"):
-            from repro.engine.parallel_sim import SHARDS_ENV
-            if previous_shards is None:
-                os.environ.pop(SHARDS_ENV, None)
-            else:
-                os.environ[SHARDS_ENV] = previous_shards
+            from repro.engine.parallel_sim import BACKEND_ENV, SHARDS_ENV
+            for env, value in zip((SHARDS_ENV, BACKEND_ENV),
+                                  previous_shards):
+                if value is None:
+                    os.environ.pop(env, None)
+                else:
+                    os.environ[env] = value
         if previous_fastpath is not None:
             from repro.gpu.gpu import FASTPATH_ENV, FASTPATH_WALK_ENV
             for env, value in zip((FASTPATH_ENV, FASTPATH_WALK_ENV),

@@ -76,12 +76,23 @@ class CompletionBatches:
     costs one comparison per batch, not per callback.
     """
 
-    __slots__ = ("_pending", "_adds", "delivery_observer")
+    __slots__ = ("_pending", "_adds", "delivery_observer", "halt",
+                 "requeue")
 
     def __init__(self) -> None:
         self._pending: dict = {}
         self._adds = 0
         self.delivery_observer = None
+        # ``halt`` is raised by Simulator.stop() so a stop issued from
+        # inside a batched delivery freezes the rest of the batch —
+        # the unfolded kernel leaves those completions as undelivered
+        # queue entries, and fold identity requires the batched path
+        # to stop at the same delivery.  ``requeue`` (set by the owning
+        # queue) re-schedules a carrier for the frozen tail so a
+        # resumed run delivers it exactly where the unfolded kernel
+        # would.
+        self.halt = False
+        self.requeue = None
 
     def add(self, time: int, fn, args=()) -> bool:
         """Append ``fn(*args)`` to the batch at ``time``.
@@ -137,16 +148,44 @@ class CompletionBatches:
         return 0
 
     def fire(self, time: int) -> None:
-        """Deliver and discard every callback batched at ``time``."""
-        batch = self._pending.pop(time)
+        """Deliver and discard every callback batched at ``time``.
+
+        A :meth:`halt <Simulator.stop>` raised by a delivery freezes
+        the remainder of the batch (see ``halt`` above): the tail is
+        re-registered and a fresh carrier scheduled, so it is dropped
+        if the run ends and delivered in order if the run resumes.
+        """
+        batch = self._pending.pop(time, None)
+        if batch is None:
+            # a frozen tail merged into a younger batch can leave one
+            # extra carrier behind; it finds nothing to deliver
+            return
         observer = self.delivery_observer
         if observer is None:
-            for fn, args in batch:
+            for i, (fn, args) in enumerate(batch):
+                if self.halt:
+                    self._freeze_tail(time, batch[i:])
+                    return
                 fn(*args)
         else:
-            for fn, args in batch:
+            for i, (fn, args) in enumerate(batch):
+                if self.halt:
+                    self._freeze_tail(time, batch[i:])
+                    return
                 observer(fn)
                 fn(*args)
+
+    def _freeze_tail(self, time: int, rest: list) -> None:
+        """Put an undelivered batch tail back for a possible resume."""
+        existing = self._pending.get(time)
+        if existing:
+            # callbacks batched at ``time`` *during* this delivery run
+            # are younger than the frozen tail: keep FIFO order.
+            self._pending[time] = rest + existing
+        else:
+            self._pending[time] = rest
+        if self.requeue is not None:
+            self.requeue(time, self.fire, (time,))
 
     def pending_callbacks(self) -> int:
         """Callbacks batched but not yet delivered (diagnostics).

@@ -123,6 +123,7 @@ class EventQueue:
         self._live = 0
         self._free: list = []
         self._batches = CompletionBatches()
+        self._batches.requeue = self.push_raw
 
     def __len__(self) -> int:
         return self._live
@@ -314,6 +315,7 @@ class HeapEventQueue:
         self._heap: list = []
         self._seq = itertools.count()
         self._batches = CompletionBatches()
+        self._batches.requeue = self.push_raw
 
     def __len__(self) -> int:
         return len(self._heap)

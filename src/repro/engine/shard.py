@@ -30,9 +30,11 @@ from repro.engine.event import Event
 from repro.mem.cache import _noop as _writeback_noop
 
 # Intent codes (kept as ints: intents are parked on the datapath hot path).
-ENSURE = 0   # page_table.ensure_mapped(vpn) — the deferred half of a miss
-LOOKUP = 1   # ensure_mapped + schedule gpu._l2_tlb_lookup (L1 TLB miss)
-NOC = 2      # replay interconnect.access(...) (L1 data miss / writeback)
+ENSURE = 0     # page_table.ensure_mapped(vpn) — the deferred half of a miss
+LOOKUP = 1     # ensure_mapped + schedule gpu._l2_tlb_lookup (L1 TLB miss)
+NOC = 2        # replay interconnect.access(...) (L1 data miss / writeback)
+WARP_DONE = 3  # replay gpu.note_warp_done (processes backend only; the
+               # in-process backends batch these as per-shard deltas)
 
 
 class OrderKey:
@@ -112,6 +114,7 @@ class KeyedQueue:
         self.ctx = Ctx(None)
         self._live = 0
         self._batches = CompletionBatches()
+        self._batches.requeue = self.push_raw
 
     def __len__(self) -> int:
         return self._live
@@ -199,23 +202,43 @@ def _fire_event(event: Event) -> None:
         event.fn(*event.args)
 
 
+def stream_min_cycles(ops) -> int:
+    """Lower bound on the cycles a warp needs to retire ``ops``.
+
+    Each op reserves ``max(1, op.instructions)`` issue-port cycles
+    before the warp can pull the next one (``Sm._advance_warp``), so a
+    whole stream cannot complete faster than the sum of those bursts.
+    Memory latency only adds to this, never subtracts.
+    """
+    total = 0
+    for op in ops:
+        c = op.compute + (1 if op.addrs else 0)
+        total += c if c > 1 else 1
+    return total
+
+
 class CountingStream:
-    """A materialized warp op stream that exposes its remaining length.
+    """A materialized warp op stream that exposes its remaining cost.
 
     Materializing is bit-exact (each warp's pattern generator is the
     sole consumer of its named random stream — the :class:`TraceMemo`
-    argument), and the live count is what lets the conductor bound the
-    earliest possible warp completion: a warp with ``remaining`` ops
-    still to pull cannot finish before ``now + remaining`` cycles, as
-    consecutive pulls are at least one cycle apart.
+    argument), and the suffix cost is what lets the conductor bound the
+    earliest possible warp completion: the op pulled at cycle ``T``
+    holds the issue port for ``max(1, instructions)`` cycles before the
+    next pull (see :func:`stream_min_cycles`), so a warp whose unpulled
+    suffix costs ``C`` cycles cannot finish before ``now + C``.  The
+    bound is monotone along the event sequence — pulls advance the
+    clock by at least the cost they remove from the suffix — so a
+    cached value stays valid between recomputes.
     """
 
-    __slots__ = ("ops", "idx", "done")
+    __slots__ = ("ops", "idx", "done", "_cost_suffix")
 
     def __init__(self, stream) -> None:
         self.ops = stream if type(stream) is list else list(stream)
         self.idx = 0
         self.done = False
+        self._cost_suffix = None
 
     def __iter__(self) -> "CountingStream":
         return self
@@ -231,6 +254,22 @@ class CountingStream:
     @property
     def remaining(self) -> int:
         return len(self.ops) - self.idx
+
+    def min_remaining_cycles(self) -> int:
+        """Cycles before the earliest possible retirement of this warp
+        (0 once every op has been pulled)."""
+        suffix = self._cost_suffix
+        if suffix is None:
+            ops = self.ops
+            suffix = [0] * (len(ops) + 1)
+            acc = 0
+            for j in range(len(ops) - 1, -1, -1):
+                op = ops[j]
+                c = op.compute + (1 if op.addrs else 0)
+                acc += c if c > 1 else 1
+                suffix[j] = acc
+            self._cost_suffix = suffix
+        return suffix[self.idx]
 
 
 class ShardSim:
@@ -415,6 +454,68 @@ class ShardGpuPort:
             return
         delta = self.shard.warp_done_delta
         delta[warp.tenant_id] = delta.get(warp.tenant_id, 0) + 1
+
+
+class ProcShardGpuPort(ShardGpuPort):
+    """The GPU port as seen from inside a forked shard worker.
+
+    A worker's replica of the boundary (page tables, frame allocator,
+    L2 TLB, walkers, NoC/L2/DRAM) is frozen at fork — the parent owns
+    the live copies — so the two paths that read the page table in the
+    in-process window proxy must change:
+
+    * the L1 TLB hit path takes the frame from the TLB entry itself
+      (:meth:`~repro.vm.tlb.Tlb.probe_fast_frame`) — equal to the page
+      table's mapping by construction, since fills carry the frame the
+      parent translated;
+    * ``note_warp_done`` parks as a ``WARP_DONE`` intent instead of a
+      delta: the conductor replays it at its exact serial position with
+      the execution context restored, so a tenant-completion relaunch
+      mints byte-identical keys.
+
+    Installed by flipping the port instance's ``__class__`` in the
+    worker right after fork (``__slots__ = ()`` keeps the layouts
+    identical); the parent's copy keeps the in-process behaviour.
+    """
+
+    __slots__ = ()
+
+    def access_memory(self, sm_id: int, tenant_id: int, vaddr: int,
+                      is_write: bool, on_done: Callable[[], None]) -> None:
+        gpu = self.gpu
+        vpn = vaddr >> gpu._page_bits
+        offset = vaddr & gpu._page_mask
+        tlb = gpu.l1_tlbs[sm_id]
+        frame = tlb.probe_fast_frame(tenant_id, vpn)
+        shard = self.shard
+        shard.unfolded += 1
+        if frame is not None:
+            paddr = frame * gpu._frame_bytes + offset
+            gpu._pending_hits[sm_id] += 1
+            sim = shard.sim
+            sim.events.push_raw(
+                sim.now + tlb._hit_latency, gpu._deliver_hit,
+                (sm_id, paddr, is_write, on_done, tenant_id),
+            )
+            return
+        frame_bytes = gpu._frame_bytes
+        memory = gpu.memory
+
+        def translated(frame: int) -> None:
+            paddr = frame * frame_bytes + offset
+            memory.data_access(sm_id, paddr, is_write, on_done, tenant_id)
+
+        self._translate_miss(sm_id, tenant_id, vpn, translated)
+
+    def note_warp_done(self, sm_id: int, warp) -> None:
+        # Tail call of Sm._advance_warp: the SM already decremented its
+        # own active_warps; the tenant-level decrement (and a possible
+        # completion callback) is boundary work.  The ctx.i snapshot
+        # lets the conductor resume the execution's minting context so
+        # relaunch pushes get their serial keys.
+        shard = self.shard
+        ctx = shard.sim.events.ctx
+        shard.park(WARP_DONE, (warp.tenant_id, ctx.i), float("inf"))
 
 
 class ShardNocPort:

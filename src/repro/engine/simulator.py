@@ -163,8 +163,25 @@ class Simulator:
 
         Equivalent to a ``stop_when`` predicate turning true, without the
         per-event polling cost.  Cleared by the next :meth:`run` call.
+
+        Also halts the in-flight completion batch, if the stop came
+        from inside one: the unfolded kernel leaves same-cycle
+        completions after the stopping event undelivered, and fold
+        identity requires the batched fast path to stop at the same
+        delivery.
         """
         self._stop = True
+        batches = getattr(self.events, "_batches", None)
+        if batches is not None:  # reference kernels predate batching
+            batches.halt = True
+
+    def close(self) -> None:
+        """Release engine-held execution resources (worker pools).
+
+        A no-op for the serial kernel; the sharded engine overrides it.
+        Callers that may hold either (the tenancy manager) can call it
+        unconditionally from a ``finally``.
+        """
 
     def step(self) -> bool:
         """Fire the next event.  Returns ``False`` when the queue is empty."""
@@ -194,6 +211,9 @@ class Simulator:
         self._running = True
         self._stop = False
         events = self.events
+        batches = getattr(events, "_batches", None)
+        if batches is not None:
+            batches.halt = False
         take = events.pop
         recycle = events.recycle
         profiler = self.profiler

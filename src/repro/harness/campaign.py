@@ -464,19 +464,28 @@ class CampaignReport:
 
 def clamp_workers_for_shards(
         workers: Optional[int], shards: int,
-        cpu_count: Optional[int] = None) -> Tuple[Optional[int],
-                                                  Optional[str]]:
+        cpu_count: Optional[int] = None,
+        backend: Optional[str] = None) -> Tuple[Optional[int],
+                                                Optional[str]]:
     """Worker count that keeps ``workers x shards`` within the CPUs.
 
     Each campaign worker process runs a whole simulation; under
-    ``REPRO_SHARDS=K`` every one of those simulations wants K cores of
-    its own, so the pool must shrink rather than oversubscribe the
-    machine K-fold.  Returns ``(workers, warning)``: ``workers`` is the
-    count to hand to the pool (``None`` passes through untouched when no
-    sharding is active), and ``warning`` is a human-readable message
-    when an explicit request had to be clamped, else ``None``.
+    ``REPRO_SHARDS=K`` with a parallel shard backend (``threads`` or
+    ``processes``, inherited via ``REPRO_SHARD_BACKEND``) every one of
+    those simulations wants K cores of its own, so the pool must shrink
+    rather than oversubscribe the machine K-fold.  The ``inline``
+    backend runs a sharded simulation on one core, so no clamp applies.
+    Returns ``(workers, warning)``: ``workers`` is the count to hand to
+    the pool (``None`` passes through untouched when no sharding is
+    active), and ``warning`` is a human-readable message when an
+    explicit request had to be clamped, else ``None``.
     """
     if shards <= 1:
+        return workers, None
+    if backend is None:
+        backend = os.environ.get("REPRO_SHARD_BACKEND", "inline")
+    if backend == "inline":
+        # One core per simulation regardless of K: nothing to clamp.
         return workers, None
     cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
     budget = max(1, cpus // shards)
@@ -487,8 +496,9 @@ def clamp_workers_for_shards(
     if workers * shards <= cpus:
         return workers, None
     return budget, (
-        f"campaign: {workers} workers x {shards} shards oversubscribes "
-        f"{cpus} CPUs; clamping to {budget} worker(s)")
+        f"campaign: {workers} workers x {shards} shards "
+        f"({backend} backend) oversubscribes {cpus} CPUs; "
+        f"clamping to {budget} worker(s)")
 
 
 def run_campaign(session: Session,

@@ -183,12 +183,19 @@ class MultiTenantManager:
 
     def _run(self) -> RunResult:
         start = time.perf_counter()
-        for tenant in self.tenants:
-            self._launch(tenant)
-        # Completion is signalled by _on_tenant_complete via sim.stop(),
-        # which stops at the same event boundary a per-event stop_when
-        # poll would — without paying for the poll on every event.
-        fired = self.sim.run(max_events=self.max_events)
+        try:
+            for tenant in self.tenants:
+                self._launch(tenant)
+            # Completion is signalled by _on_tenant_complete via
+            # sim.stop(), which stops at the same event boundary a
+            # per-event stop_when poll would — without paying for the
+            # poll on every event.
+            fired = self.sim.run(max_events=self.max_events)
+        finally:
+            # Tear down engine-held worker pools (the processes backend
+            # forks per-shard children) even on the error path, so no
+            # worker outlives its simulation.
+            self.sim.close()
         if not self._all_completed_once():
             raise EventBudgetExceeded(
                 "simulation exhausted max_events before every tenant "

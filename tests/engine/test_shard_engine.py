@@ -206,14 +206,32 @@ class TestCampaignShardGuard:
         # no sharding: pass through untouched, including None
         assert clamp_workers_for_shards(None, 1) == (None, None)
         assert clamp_workers_for_shards(8, 1) == (8, None)
+        # inline backend: one core per simulation, nothing to clamp
+        assert clamp_workers_for_shards(
+            8, 4, cpu_count=8, backend="inline") == (8, None)
         # default worker count becomes the shard-aware budget silently
-        assert clamp_workers_for_shards(None, 4, cpu_count=8) == (2, None)
+        assert clamp_workers_for_shards(
+            None, 4, cpu_count=8, backend="threads") == (2, None)
         # explicit fit passes through
-        assert clamp_workers_for_shards(2, 4, cpu_count=8) == (2, None)
+        assert clamp_workers_for_shards(
+            2, 4, cpu_count=8, backend="processes") == (2, None)
         # explicit oversubscription clamps with a warning message
-        workers, warning = clamp_workers_for_shards(8, 4, cpu_count=8)
+        workers, warning = clamp_workers_for_shards(
+            8, 4, cpu_count=8, backend="processes")
         assert workers == 2
         assert "oversubscribes" in warning
+        assert "processes" in warning
         # never below one worker
-        workers, _ = clamp_workers_for_shards(4, 16, cpu_count=4)
+        workers, _ = clamp_workers_for_shards(
+            4, 16, cpu_count=4, backend="threads")
         assert workers == 1
+
+    def test_clamp_reads_backend_from_env(self, monkeypatch):
+        from repro.harness.campaign import clamp_workers_for_shards
+
+        monkeypatch.delenv("REPRO_SHARD_BACKEND", raising=False)
+        # unset environment means the inline default: no clamp
+        assert clamp_workers_for_shards(8, 4, cpu_count=8) == (8, None)
+        monkeypatch.setenv("REPRO_SHARD_BACKEND", "processes")
+        workers, warning = clamp_workers_for_shards(8, 4, cpu_count=8)
+        assert workers == 2 and "oversubscribes" in warning

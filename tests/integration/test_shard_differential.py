@@ -227,3 +227,50 @@ def test_shards_clamped_to_sm_count():
     _, manager = run_once(wl, "baseline", shards=64, warps=1, sms=4)
     assert manager.shards == 4
     assert manager.sim.num_shards == 4
+
+
+def _run_processes_backend(workloads, policy, shards, warps=2, sms=4):
+    """run_once with the worker-pool backend selected via environment."""
+    os.environ["REPRO_SHARD_BACKEND"] = "processes"
+    try:
+        result, manager = run_once(workloads, policy, shards,
+                                   warps=warps, sms=sms)
+    finally:
+        os.environ.pop("REPRO_SHARD_BACKEND", None)
+    manager.sim.close()
+    return result, manager
+
+
+@pytest.mark.parametrize("archetype", sorted(BENCHMARKS))
+def test_processes_identity_all_policies(archetype):
+    """The multi-process backend must match the serial oracle bit for
+    bit across the full archetype x policy grid at shards=2: same stats
+    snapshot, same per-tenant tables, same total cycles."""
+    for policy in POLICIES:
+        pair = [benchmark(archetype, scale=SCALE), benchmark("HS", scale=SCALE)]
+        serial, _ = run_once(pair, policy, shards=1)
+        pair = [benchmark(archetype, scale=SCALE), benchmark("HS", scale=SCALE)]
+        procs, manager = _run_processes_backend(pair, policy, shards=2)
+        assert manager.sim.backend == "processes"
+        assert observable(procs) == observable(serial), (
+            f"{archetype} under {policy}: processes backend diverged "
+            "from the serial schedule")
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_processes_identity_resident_pair(shards):
+    """The window-dominated regime on real worker processes, at the two
+    shard counts the perf gate measures.  Windows must open and real
+    events must fire inside workers — a degraded run proves nothing."""
+    def pair():
+        return [Workload(RESIDENT_SPEC, RESIDENT_SCALE),
+                Workload(RESIDENT_SPEC, RESIDENT_SCALE)]
+
+    serial, _ = run_once(pair(), "dws", shards=1, warps=1, sms=8)
+    procs, manager = _run_processes_backend(pair(), "dws", shards=shards,
+                                            warps=1, sms=8)
+    assert observable(procs) == observable(serial)
+    stats = manager.sim.parallel_stats()
+    assert stats["windows"] > 0, "resident pair must open windows"
+    assert stats["window_events"] > 0
+    assert manager.sim._procs is not None, "worker pool never engaged"
